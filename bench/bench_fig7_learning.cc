@@ -1,0 +1,190 @@
+// Fig. 7 reproduction: learning-efficiency comparison of DP-VAE,
+// P3GM(AE) and P3GM at matched privacy budgets.
+//  * 7a/7b — per-iteration reconstruction loss on MNIST-like and
+//    Credit-like data (DP-VAE vs P3GM). Paper claim: P3GM converges
+//    earlier and more monotonically.
+//  * 7c/7d — per-epoch downstream utility (CNN accuracy on MNIST-like,
+//    AUROC on Credit-like). Paper claim: P3GM(AE) converges first but
+//    plateaus below P3GM; DP-VAE trails both.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/transforms.h"
+#include "eval/cnn_classifier.h"
+#include "eval/logistic_regression.h"
+#include "eval/metrics.h"
+#include "util/csv.h"
+
+using namespace p3gm;        // NOLINT(build/namespaces)
+using namespace p3gm::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr std::size_t kEpochs = 10;
+
+// Calibrated DP-SGD sigma for a pure DP-SGD schedule (DP-VAE).
+double DpVaeSigma(std::size_t n, std::size_t batch, std::size_t epochs) {
+  dp::P3gmPrivacyParams pp;
+  pp.pca_epsilon = 0.0;
+  pp.em_iters = 0;
+  pp.sgd_sampling_rate = static_cast<double>(batch) / static_cast<double>(n);
+  pp.sgd_steps = epochs * (n / batch);
+  auto sigma = dp::CalibrateSgdSigma(pp, kEpsilon, kDelta);
+  P3GM_CHECK(sigma.ok());
+  return *sigma;
+}
+
+// Downstream utility of a model snapshot: samples labeled rows and
+// scores them on the held-out test set.
+template <typename Model>
+double SnapshotUtility(Model* model, const data::Split& split, bool image) {
+  util::Rng rng(17);
+  const std::size_t n_gen = std::min<std::size_t>(800, split.train.size());
+  linalg::Matrix joint = model->Sample(n_gen, &rng);
+  data::LabeledRows rows =
+      data::DetachLabels(joint, split.train.num_classes);
+  if (image) {
+    eval::CnnClassifier::Options copt;
+    copt.conv_channels = 8;
+    copt.hidden = 32;
+    copt.epochs = 1;
+    copt.batch_size = 32;
+    eval::CnnClassifier cnn(copt);
+    if (!cnn.Fit(rows.features, rows.labels).ok()) return 0.0;
+    return eval::Accuracy(cnn.Predict(split.test.features),
+                          split.test.labels);
+  }
+  eval::LogisticRegression lr;
+  if (!lr.Fit(rows.features, rows.labels).ok()) return 0.5;
+  auto auroc = eval::Auroc(lr.PredictProba(split.test.features),
+                           split.test.labels);
+  return auroc.ok() ? *auroc : 0.5;
+}
+
+struct Curves {
+  std::vector<double> dpvae_recon, p3gm_recon;            // Per iteration.
+  std::vector<double> dpvae_util, p3gm_util, ae_util;     // Per epoch.
+};
+
+Curves RunDataset(const data::Split& split, bool image,
+                  core::PgmOptions pgm_base, std::size_t batch) {
+  Curves out;
+  const std::size_t n = split.train.size();
+  const linalg::Matrix joint = data::AttachLabels(
+      split.train.features, split.train.labels, split.train.num_classes);
+
+  // DP-VAE.
+  {
+    core::VaeOptions opt;
+    opt.hidden = pgm_base.hidden;
+    opt.latent_dim = pgm_base.latent_dim;
+    opt.epochs = kEpochs;
+    opt.batch_size = batch;
+    opt.differentially_private = true;
+    opt.sgd_sigma = DpVaeSigma(n, batch, kEpochs);
+    core::Vae vae(opt);
+    util::Status st = vae.Fit(joint, [&](const core::TrainProgress&) {
+      out.dpvae_util.push_back(SnapshotUtility(&vae, split, image));
+    });
+    P3GM_CHECK_MSG(st.ok(), st.ToString().c_str());
+    out.dpvae_recon = vae.trace().recon_loss;
+  }
+  // P3GM and the P3GM(AE) ablation.
+  for (bool freeze : {false, true}) {
+    core::PgmOptions opt = pgm_base;
+    opt.epochs = kEpochs;
+    opt.batch_size = batch;
+    opt.freeze_variance = freeze;
+    opt = MakePrivate(opt, n);
+    core::Pgm pgm(opt);
+    std::vector<double>* util_curve = freeze ? &out.ae_util : &out.p3gm_util;
+    util::Status st = pgm.Fit(joint, [&](const core::TrainProgress&) {
+      util_curve->push_back(SnapshotUtility(&pgm, split, image));
+    });
+    P3GM_CHECK_MSG(st.ok(), st.ToString().c_str());
+    if (!freeze) out.p3gm_recon = pgm.trace().recon_loss;
+  }
+  return out;
+}
+
+void Report(const std::string& tag, const Curves& c, const char* metric) {
+  std::printf("-- %s reconstruction loss per iteration (first/last 3):\n",
+              tag.c_str());
+  auto head_tail = [](const std::vector<double>& v) {
+    std::string s;
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, v.size()); ++i) {
+      s += util::FormatDouble(v[i], 2) + " ";
+    }
+    s += "... ";
+    for (std::size_t i = v.size() >= 3 ? v.size() - 3 : 0; i < v.size();
+         ++i) {
+      s += util::FormatDouble(v[i], 2) + " ";
+    }
+    return s;
+  };
+  std::printf("   DP-VAE: %s\n", head_tail(c.dpvae_recon).c_str());
+  std::printf("   P3GM:   %s\n", head_tail(c.p3gm_recon).c_str());
+
+  std::printf("-- %s %s per epoch:\n", tag.c_str(), metric);
+  std::printf("   %-8s", "epoch");
+  for (std::size_t e = 0; e < c.p3gm_util.size(); ++e) {
+    std::printf(" %6zu", e + 1);
+  }
+  std::printf("\n   %-8s", "DP-VAE");
+  for (double v : c.dpvae_util) std::printf(" %6.3f", v);
+  std::printf("\n   %-8s", "P3GM(AE)");
+  for (double v : c.ae_util) std::printf(" %6.3f", v);
+  std::printf("\n   %-8s", "P3GM");
+  for (double v : c.p3gm_util) std::printf(" %6.3f", v);
+  std::printf("\n\n");
+
+  util::CsvWriter csv("fig7_" + tag + ".csv");
+  csv.WriteHeader({"epoch", "dpvae", "p3gm_ae", "p3gm"});
+  for (std::size_t e = 0; e < c.p3gm_util.size(); ++e) {
+    csv.WriteRow({util::FormatDouble(static_cast<double>(e + 1), 0),
+                  util::FormatDouble(c.dpvae_util[e]),
+                  util::FormatDouble(c.ae_util[e]),
+                  util::FormatDouble(c.p3gm_util[e])});
+  }
+  util::CsvWriter rcsv("fig7_" + tag + "_recon.csv");
+  rcsv.WriteHeader({"iteration", "dpvae", "p3gm"});
+  const std::size_t iters =
+      std::min(c.dpvae_recon.size(), c.p3gm_recon.size());
+  for (std::size_t i = 0; i < iters; ++i) {
+    rcsv.WriteRow({util::FormatDouble(static_cast<double>(i), 0),
+                   util::FormatDouble(c.dpvae_recon[i]),
+                   util::FormatDouble(c.p3gm_recon[i])});
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Fig. 7: learning efficiency, DP-VAE vs P3GM(AE) vs P3GM");
+  util::Stopwatch total;
+
+  {
+    data::Dataset mnist = BenchMnist(10000);
+    auto split = data::StratifiedSplit(mnist, 0.1, 11);
+    P3GM_CHECK(split.ok());
+    Curves c = RunDataset(*split, /*image=*/true, ImagePgmOptions(), 240);
+    Report("mnist", c, "accuracy");
+  }
+  {
+    data::Dataset credit = BenchCredit();
+    auto split = data::StratifiedSplit(credit, 0.25, 11);
+    P3GM_CHECK(split.ok());
+    Curves c =
+        RunDataset(*split, /*image=*/false, CreditPgmOptions(), 200);
+    Report("credit", c, "AUROC");
+  }
+
+  std::printf(
+      "paper shape check: P3GM recon loss below DP-VAE's and decreasing "
+      "more monotonically; P3GM(AE) rises earliest, P3GM ends highest.\n");
+  std::printf("[fig7 done in %.1fs; CSV: fig7_*.csv]\n",
+              total.ElapsedSeconds());
+  return 0;
+}

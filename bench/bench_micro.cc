@@ -1,0 +1,167 @@
+// Substrate micro-benchmarks (google-benchmark): the dense kernels,
+// eigensolver, privacy accountant and per-example-gradient machinery the
+// P3GM pipeline sits on. Not part of the paper's evaluation; used to
+// watch for performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "linalg/covariance.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+#include "nn/dp_sgd.h"
+#include "nn/linear.h"
+#include "pca/pca.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace {
+
+using p3gm::linalg::Matrix;
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  p3gm::util::Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal();
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = RandomMatrix(n, n, 1);
+  Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::linalg::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Syrk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = RandomMatrix(512, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::linalg::Syrk(a));
+  }
+}
+BENCHMARK(BM_Syrk)->Arg(32)->Arg(128);
+
+void BM_EigenSym(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix b = RandomMatrix(n, n, 5);
+  Matrix a = p3gm::linalg::MatmulTransB(b, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::linalg::EigenSym(a));
+  }
+}
+BENCHMARK(BM_EigenSym)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TopKEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix b = RandomMatrix(n, n, 7);
+  Matrix a = p3gm::linalg::MatmulTransB(b, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::linalg::TopKEigenSym(a, 10, 100));
+  }
+}
+BENCHMARK(BM_TopKEigen)->Arg(256)->Arg(617);
+
+void BM_SampledGaussianRdp(benchmark::State& state) {
+  for (auto _ : state) {
+    double total = 0.0;
+    for (std::size_t alpha = 2; alpha <= 64; ++alpha) {
+      total += p3gm::dp::SampledGaussianRdp(alpha, 0.01, 1.5);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SampledGaussianRdp);
+
+void BM_FullP3gmComposition(benchmark::State& state) {
+  p3gm::dp::P3gmPrivacyParams params;
+  params.sgd_sampling_rate = 0.004;
+  params.sgd_steps = 2600;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p3gm::dp::ComputeP3gmEpsilonRdp(params, 1e-5));
+  }
+}
+BENCHMARK(BM_FullP3gmComposition);
+
+void BM_SigmaCalibration(benchmark::State& state) {
+  p3gm::dp::P3gmPrivacyParams params;
+  params.sgd_sampling_rate = 0.004;
+  params.sgd_steps = 2600;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p3gm::dp::CalibrateSgdSigma(params, 1.0, 1e-5));
+  }
+}
+BENCHMARK(BM_SigmaCalibration);
+
+void BM_WishartSample(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  p3gm::util::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p3gm::dp::SampleWishart(d, static_cast<double>(d) + 1.0, 0.01,
+                                &rng));
+  }
+}
+BENCHMARK(BM_WishartSample)->Arg(32)->Arg(128);
+
+void BM_DpPca(benchmark::State& state) {
+  Matrix x = RandomMatrix(1000, static_cast<std::size_t>(state.range(0)),
+                          13);
+  p3gm::util::Rng rng(17);
+  p3gm::pca::DpPcaOptions opt;
+  opt.num_components = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::pca::FitDpPca(x, opt, &rng));
+  }
+}
+BENCHMARK(BM_DpPca)->Arg(64)->Arg(256);
+
+void BM_GmmFit(benchmark::State& state) {
+  p3gm::util::Rng rng(19);
+  Matrix x(2000, 10);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double shift = (i % 3 == 0) ? -1.0 : ((i % 3 == 1) ? 0.0 : 1.0);
+    for (std::size_t j = 0; j < 10; ++j) {
+      x(i, j) = rng.Normal(shift, 0.3);
+    }
+  }
+  p3gm::stats::EmOptions opt;
+  opt.num_components = 3;
+  opt.max_iters = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::stats::FitGmm(x, opt));
+  }
+}
+BENCHMARK(BM_GmmFit);
+
+void BM_PerExampleClipStep(benchmark::State& state) {
+  // One DP-SGD gradient privatization for a 784->200 affine layer at
+  // batch 100 (the dominant inner loop of Table VII training).
+  p3gm::util::Rng rng(23);
+  p3gm::nn::Linear lin("l", 784, 200, &rng);
+  Matrix x = RandomMatrix(100, 784, 29);
+  Matrix dy = RandomMatrix(100, 200, 31);
+  p3gm::nn::DpSgdOptions opt;
+  std::vector<p3gm::nn::Parameter*> params = lin.Parameters();
+  for (auto _ : state) {
+    lin.Forward(x, true);
+    lin.Backward(dy, /*accumulate=*/false);
+    p3gm::nn::DpSgdStep step(opt, &rng);
+    benchmark::DoNotOptimize(step.CollectSquaredNorms({&lin}, 100));
+    for (auto* p : params) p->ZeroGrad();
+    step.ApplyClippedAccumulation({&lin});
+    step.AddNoiseAndAverage(params, 100);
+  }
+}
+BENCHMARK(BM_PerExampleClipStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

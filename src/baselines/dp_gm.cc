@@ -1,0 +1,167 @@
+#include "baselines/dp_gm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/transforms.h"
+
+namespace p3gm {
+namespace baselines {
+
+DpGmSynthesizer::DpGmSynthesizer(const DpGmOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+util::Status DpGmSynthesizer::Fit(const data::Dataset& train) {
+  if (!components_.empty()) {
+    return util::Status::FailedPrecondition("DpGmSynthesizer::Fit twice");
+  }
+  if (train.size() == 0) {
+    return util::Status::InvalidArgument("DpGmSynthesizer: empty dataset");
+  }
+  num_classes_ = train.num_classes;
+  dataset_name_ = train.name;
+  const linalg::Matrix joint =
+      data::AttachLabels(train.features, train.labels, num_classes_);
+
+  // Private partitioning.
+  stats::DpKMeansOptions km_opts;
+  km_opts.num_clusters =
+      std::min(options_.num_clusters, train.size() / 2 + 1);
+  km_opts.iters = options_.kmeans_iters;
+  km_opts.noise_multiplier = options_.kmeans_sigma;
+  km_opts.seed = options_.seed ^ 0x4b;
+  P3GM_ASSIGN_OR_RETURN(stats::KMeansResult partition,
+                        stats::DpKMeans(joint, km_opts, &rng_));
+
+  // Noisy cluster sizes drive the sampling mixture (one Gaussian release).
+  std::vector<double> counts(km_opts.num_clusters, 0.0);
+  for (std::size_t c : partition.assignment) counts[c] += 1.0;
+  std::vector<double> noisy_counts = counts;
+  if (options_.count_sigma > 0.0) {
+    for (double& v : noisy_counts) {
+      v += rng_.Normal(0.0, options_.count_sigma);
+    }
+  }
+  for (double& v : noisy_counts) v = std::max(v, 0.0);
+
+  // One DP-SGD-trained VAE per non-trivial cluster.
+  for (std::size_t c = 0; c < km_opts.num_clusters; ++c) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < partition.assignment.size(); ++i) {
+      if (partition.assignment[i] == c) idx.push_back(i);
+    }
+    // A cluster too small to fill even a couple of batches cannot train;
+    // drop it (its noisy weight is dropped with it).
+    if (idx.size() < 8) continue;
+    core::VaeOptions vae_opts = options_.vae;
+    vae_opts.differentially_private = true;
+    vae_opts.seed = options_.seed + 1000 + c;
+    vae_opts.batch_size = std::min(vae_opts.batch_size, idx.size());
+    auto vae = std::make_unique<core::Vae>(vae_opts);
+    P3GM_RETURN_NOT_OK(vae->Fit(joint.SelectRows(idx)));
+    const double q = static_cast<double>(vae_opts.batch_size) /
+                     static_cast<double>(idx.size());
+    const std::size_t steps =
+        vae_opts.epochs *
+        std::max<std::size_t>(1, idx.size() / vae_opts.batch_size);
+    component_sgd_.emplace_back(q, steps);
+    components_.push_back(std::move(vae));
+    component_weights_.push_back(std::max(noisy_counts[c], 1.0));
+  }
+  if (components_.empty()) {
+    return util::Status::Internal(
+        "DpGmSynthesizer: every cluster degenerated");
+  }
+  return util::Status::OK();
+}
+
+util::Result<data::Dataset> DpGmSynthesizer::Generate(std::size_t n,
+                                                      util::Rng* rng) {
+  if (components_.empty()) {
+    return util::Status::FailedPrecondition(
+        "DpGmSynthesizer: Generate before Fit");
+  }
+  // Draw the component of each row first, then batch-sample per
+  // component (one decoder pass per component instead of per row).
+  std::vector<std::size_t> counts(components_.size(), 0);
+  std::vector<std::size_t> row_component(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_component[i] = rng->Categorical(component_weights_);
+    ++counts[row_component[i]];
+  }
+  std::vector<linalg::Matrix> blocks(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    if (counts[c] > 0) blocks[c] = components_[c]->Sample(counts[c], rng);
+  }
+  std::vector<std::size_t> cursor(components_.size(), 0);
+  linalg::Matrix joint(n, blocks[row_component[0]].cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = row_component[i];
+    joint.SetRow(i, blocks[c].Row(cursor[c]++));
+  }
+  data::LabeledRows rows = data::DetachLabels(joint, num_classes_);
+  data::Dataset out;
+  out.name = dataset_name_ + "+DP-GM";
+  out.num_classes = num_classes_;
+  out.features = std::move(rows.features);
+  out.labels = std::move(rows.labels);
+  return out;
+}
+
+dp::DpGuarantee DpGmSynthesizer::ComputeEpsilon(double delta) const {
+  // Sequential: DP k-means (2 releases per iteration) + the cluster-size
+  // release. Parallel across disjoint clusters: the worst per-cluster
+  // DP-SGD cost (element-wise max over RDP orders).
+  dp::RdpAccountant acc;
+  acc.AddGaussian(options_.kmeans_sigma, 2 * options_.kmeans_iters);
+  acc.AddGaussian(options_.count_sigma, 1);
+  std::vector<double> worst(acc.orders().size(), 0.0);
+  for (const auto& [q, steps] : component_sgd_) {
+    dp::RdpAccountant one;
+    one.AddSampledGaussian(q, options_.vae.sgd_sigma, steps);
+    for (std::size_t i = 0; i < worst.size(); ++i) {
+      worst[i] = std::max(worst[i], one.rdp()[i]);
+    }
+  }
+  acc.AddRdp(worst);
+  return acc.GetEpsilon(delta);
+}
+
+util::Result<double> DpGmSynthesizer::CalibrateSigma(
+    const DpGmOptions& options, std::size_t n, double target_epsilon,
+    double delta) {
+  if (n == 0 || options.num_clusters == 0) {
+    return util::Status::InvalidArgument(
+        "DpGm CalibrateSigma: invalid n or cluster count");
+  }
+  const std::size_t cluster_n =
+      std::max<std::size_t>(8, n / options.num_clusters);
+  const std::size_t batch = std::min(options.vae.batch_size, cluster_n);
+  const double q =
+      static_cast<double>(batch) / static_cast<double>(cluster_n);
+  const std::size_t steps =
+      options.vae.epochs * std::max<std::size_t>(1, cluster_n / batch);
+
+  auto eps_at = [&](double sigma) {
+    dp::RdpAccountant acc;
+    acc.AddGaussian(options.kmeans_sigma, 2 * options.kmeans_iters);
+    acc.AddGaussian(options.count_sigma, 1);
+    acc.AddSampledGaussian(q, sigma, steps);
+    return acc.GetEpsilon(delta).epsilon;
+  };
+  double lo = 0.3, hi = 256.0;
+  if (eps_at(hi) > target_epsilon) {
+    return util::Status::FailedPrecondition(
+        "DpGm CalibrateSigma: target unreachable; k-means budget too large");
+  }
+  if (eps_at(lo) <= target_epsilon) return lo;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (eps_at(mid) > target_epsilon ? lo : hi) = mid;
+    if ((hi - lo) / hi < 1e-4) break;
+  }
+  return hi;
+}
+
+}  // namespace baselines
+}  // namespace p3gm

@@ -1,0 +1,76 @@
+#include "core/mixture_kl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace core {
+
+MixtureKlResult MixturePriorKl(const linalg::Matrix& mu,
+                               const linalg::Matrix& logvar,
+                               const stats::GaussianMixture& prior,
+                               bool mean) {
+  P3GM_CHECK(mu.rows() == logvar.rows() && mu.cols() == logvar.cols());
+  P3GM_CHECK(mu.cols() == prior.dim());
+  const std::size_t b = mu.rows();
+  const std::size_t d = mu.cols();
+  const std::size_t k = prior.num_components();
+  const double scale = mean ? 1.0 / static_cast<double>(b) : 1.0;
+
+  MixtureKlResult out;
+  out.per_example.assign(b, 0.0);
+  out.grad_logvar = linalg::Matrix(b, d);
+
+  std::vector<double> log_terms(k);
+  std::vector<double> resp(k);
+  for (std::size_t i = 0; i < b; ++i) {
+    const double* m = mu.row_data(i);
+    const double* lv = logvar.row_data(i);
+    // KL_b = KL(N(m, diag(exp(lv))) || component b), closed form for
+    // diagonal Gaussians.
+    for (std::size_t comp = 0; comp < k; ++comp) {
+      const double* mb = prior.means().row_data(comp);
+      const double* vb = prior.variances().row_data(comp);
+      double kl = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double v = std::exp(lv[j]);
+        const double diff = m[j] - mb[j];
+        kl += std::log(vb[j]) - lv[j] + (v + diff * diff) / vb[j] - 1.0;
+      }
+      kl *= 0.5;
+      log_terms[comp] =
+          std::log(std::max(prior.weights()[comp], 1e-300)) - kl;
+    }
+    // D_i = -logsumexp(log_terms); responsibilities are the softmax.
+    double mx = -std::numeric_limits<double>::infinity();
+    for (double t : log_terms) mx = std::max(mx, t);
+    double total = 0.0;
+    for (std::size_t comp = 0; comp < k; ++comp) {
+      resp[comp] = std::exp(log_terms[comp] - mx);
+      total += resp[comp];
+    }
+    const double lse = mx + std::log(total);
+    for (double& r : resp) r /= total;
+    out.per_example[i] = -lse;
+    out.value += -lse * scale;
+
+    // dD/dlv_j = sum_b r_b * dKL_b/dlv_j, with
+    // dKL_b/dlv_j = 0.5 (exp(lv_j)/v_bj - 1).
+    double* g = out.grad_logvar.row_data(i);
+    for (std::size_t comp = 0; comp < k; ++comp) {
+      if (resp[comp] == 0.0) continue;
+      const double* vb = prior.variances().row_data(comp);
+      for (std::size_t j = 0; j < d; ++j) {
+        g[j] += resp[comp] * 0.5 * (std::exp(lv[j]) / vb[j] - 1.0);
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) g[j] *= scale;
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace p3gm

@@ -1,0 +1,312 @@
+#include "core/pgm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/mixture_kl.h"
+#include "dp/mechanisms.h"
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "nn/dp_sgd.h"
+#include "nn/losses.h"
+#include "stats/dp_em.h"
+
+namespace p3gm {
+namespace core {
+
+namespace {
+
+constexpr double kLogVarMin = -8.0;
+constexpr double kLogVarMax = 8.0;
+
+void ClampInPlace(double lo, double hi, linalg::Matrix* m) {
+  double* data = m->data();
+  for (std::size_t i = 0; i < m->size(); ++i) {
+    data[i] = std::clamp(data[i], lo, hi);
+  }
+}
+
+}  // namespace
+
+Pgm::Pgm(const PgmOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      encoder_trunk_("encoder"),
+      decoder_("decoder"),
+      optimizer_(options.learning_rate) {}
+
+linalg::Matrix Pgm::EncodeMean(const linalg::Matrix& x) const {
+  linalg::Matrix z = pca_fitted_ ? pca_.Transform(x) : x;
+  if (options_.differentially_private) {
+    // The same unit-ball clipping DP-EM applied; keeping the encoder
+    // consistent with the statistics the prior was fitted on.
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      std::vector<double> row = z.Row(i);
+      dp::ClipL2(1.0, &row);
+      z.SetRow(i, row);
+    }
+  }
+  return z;
+}
+
+util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
+  if (fitted_) {
+    return util::Status::FailedPrecondition("Pgm::Fit called twice");
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return util::Status::InvalidArgument("Pgm::Fit: empty data");
+  }
+  if (options_.batch_size == 0 || options_.batch_size > x.rows()) {
+    return util::Status::InvalidArgument(
+        "Pgm::Fit: batch size must be in [1, n]");
+  }
+  fitted_ = true;
+  data_size_ = x.rows();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const bool dp = options_.differentially_private;
+
+  // ---------------------------------------------------------------
+  // Encoding Phase (Algorithm 1 lines 1-4).
+  // ---------------------------------------------------------------
+  effective_latent_ = options_.use_pca ? options_.latent_dim : d;
+  if (options_.use_pca) {
+    if (effective_latent_ > d) {
+      return util::Status::InvalidArgument(
+          "Pgm::Fit: latent_dim exceeds data dimension");
+    }
+    if (dp) {
+      pca::DpPcaOptions pca_opts;
+      pca_opts.num_components = effective_latent_;
+      pca_opts.epsilon = options_.pca_epsilon;
+      P3GM_ASSIGN_OR_RETURN(pca_, pca::FitDpPca(x, pca_opts, &rng_));
+    } else {
+      P3GM_ASSIGN_OR_RETURN(pca_, pca::FitPca(x, effective_latent_));
+    }
+    pca_fitted_ = true;
+  }
+  const linalg::Matrix encoded = EncodeMean(x);
+
+  if (dp) {
+    stats::DpEmOptions em_opts;
+    em_opts.num_components = options_.mog_components;
+    em_opts.iters = options_.em_iters;
+    em_opts.noise_multiplier = options_.em_sigma;
+    em_opts.seed = options_.seed ^ 0xe3;
+    P3GM_ASSIGN_OR_RETURN(stats::DpEmResult em,
+                          stats::FitGmmDpEm(encoded, em_opts, &rng_));
+    prior_ = std::move(em.mixture);
+  } else {
+    stats::EmOptions em_opts;
+    em_opts.num_components = options_.mog_components;
+    em_opts.max_iters = options_.em_iters;
+    em_opts.seed = options_.seed ^ 0xe3;
+    P3GM_ASSIGN_OR_RETURN(prior_, stats::FitGmm(encoded, em_opts));
+  }
+
+  // ---------------------------------------------------------------
+  // Decoding Phase (Algorithm 1 lines 5-11).
+  // ---------------------------------------------------------------
+  const std::size_t dl = effective_latent_;
+  const bool learn_variance = !options_.freeze_variance;
+  if (learn_variance) {
+    encoder_trunk_.Emplace<nn::Linear>("enc1", d, options_.hidden, &rng_);
+    encoder_trunk_.Emplace<nn::Relu>();
+    logvar_head_ = std::make_unique<nn::Linear>("enc_logvar",
+                                                options_.hidden, dl, &rng_);
+  }
+  decoder_.Emplace<nn::Linear>("dec1", dl, options_.hidden, &rng_);
+  decoder_.Emplace<nn::Relu>();
+  decoder_.Emplace<nn::Linear>("dec2", options_.hidden, d, &rng_);
+
+  std::vector<nn::Layer*> stacks;
+  if (learn_variance) {
+    stacks.push_back(&encoder_trunk_);
+    stacks.push_back(logvar_head_.get());
+  }
+  stacks.push_back(&decoder_);
+  std::vector<nn::Parameter*> params;
+  for (nn::Layer* s : stacks) {
+    for (nn::Parameter* p : s->Parameters()) params.push_back(p);
+  }
+  auto zero_grads = [&] {
+    for (nn::Parameter* p : params) p->ZeroGrad();
+  };
+
+  const double q =
+      static_cast<double>(options_.batch_size) / static_cast<double>(n);
+  nn::DpSgdOptions dp_opts;
+  dp_opts.clip_norm = options_.clip_norm;
+  dp_opts.noise_multiplier = options_.sgd_sigma;
+  dp_opts.lot_size = options_.batch_size;
+
+  const std::size_t steps_per_epoch =
+      std::max<std::size_t>(1, n / options_.batch_size);
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<std::size_t> perm = rng_.Permutation(n);
+    double epoch_recon = 0.0, epoch_kl = 0.0, epoch_examples = 0.0;
+    for (std::size_t step = 0; step < steps_per_epoch; ++step) {
+      std::vector<std::size_t> idx;
+      if (dp) {
+        idx = rng_.PoissonSample(n, q);
+        if (idx.empty()) continue;
+      } else {
+        const std::size_t start = step * options_.batch_size;
+        for (std::size_t i = start;
+             i < std::min(start + options_.batch_size, n); ++i) {
+          idx.push_back(perm[i]);
+        }
+      }
+      const std::size_t b = idx.size();
+      const linalg::Matrix xb = x.SelectRows(idx);
+      const linalg::Matrix cx = encoded.SelectRows(idx);
+
+      zero_grads();
+      const bool mean = !dp;
+
+      linalg::Matrix z = cx;
+      linalg::Matrix logvar, eps, half_std;
+      if (learn_variance) {
+        const linalg::Matrix h = encoder_trunk_.Forward(xb, true);
+        logvar = logvar_head_->Forward(h, true);
+        ClampInPlace(kLogVarMin, kLogVarMax, &logvar);
+        eps = linalg::Matrix(b, dl);
+        half_std = linalg::Matrix(b, dl);
+        for (std::size_t i = 0; i < eps.size(); ++i) {
+          eps.data()[i] = rng_.Normal();
+          half_std.data()[i] = std::exp(0.5 * logvar.data()[i]);
+          z.data()[i] += half_std.data()[i] * eps.data()[i];
+        }
+      }
+      const linalg::Matrix logits = decoder_.Forward(z, true);
+      const nn::LossResult recon =
+          options_.decoder == DecoderType::kBernoulli
+              ? nn::BceWithLogitsLoss(logits, xb, mean)
+              : nn::MseLoss(logits, xb, mean);
+
+      MixtureKlResult kl;
+      if (learn_variance) {
+        kl = MixturePriorKl(cx, logvar, prior_, mean);
+      }
+
+      for (std::size_t i = 0; i < b; ++i) {
+        epoch_recon += recon.per_example[i];
+        if (learn_variance) epoch_kl += kl.per_example[i];
+      }
+      epoch_examples += static_cast<double>(b);
+      {
+        double batch_recon = 0.0;
+        for (double v : recon.per_example) batch_recon += v;
+        trace_.recon_loss.push_back(batch_recon / static_cast<double>(b));
+      }
+
+      // Backward. The frozen encoder mean receives no gradient; only the
+      // decoder and (optionally) the variance head train.
+      const linalg::Matrix dz = decoder_.Backward(recon.grad, !dp);
+      if (learn_variance) {
+        linalg::Matrix dlogvar = kl.grad_logvar;
+        for (std::size_t i = 0; i < dlogvar.size(); ++i) {
+          dlogvar.data()[i] +=
+              dz.data()[i] * eps.data()[i] * 0.5 * half_std.data()[i];
+        }
+        const linalg::Matrix dh = logvar_head_->Backward(dlogvar, !dp);
+        encoder_trunk_.Backward(dh, !dp);
+      }
+
+      if (dp) {
+        nn::DpSgdStep dp_step(dp_opts, &rng_);
+        P3GM_RETURN_NOT_OK(dp_step.CollectSquaredNorms(stacks, b));
+        dp_step.ApplyClippedAccumulation(stacks);
+        dp_step.AddNoiseAndAverage(params, b);
+        ++sgd_steps_taken_;
+      }
+      optimizer_.Step(params);
+    }
+    if (callback) {
+      TrainProgress progress;
+      progress.epoch = epoch;
+      progress.recon_loss =
+          epoch_examples > 0 ? epoch_recon / epoch_examples : 0.0;
+      progress.kl_loss = epoch_examples > 0 ? epoch_kl / epoch_examples : 0.0;
+      callback(progress);
+    }
+  }
+  return util::Status::OK();
+}
+
+linalg::Matrix Pgm::Sample(std::size_t n, util::Rng* rng) {
+  P3GM_CHECK(fitted_);
+  return Decode(prior_.SampleN(n, rng));
+}
+
+linalg::Matrix Pgm::Decode(const linalg::Matrix& z) {
+  linalg::Matrix logits = decoder_.Forward(z, false);
+  double* data = logits.data();
+  if (options_.decoder == DecoderType::kBernoulli) {
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      data[i] = nn::SigmoidScalar(data[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      data[i] = std::clamp(data[i], 0.0, 1.0);
+    }
+  }
+  return logits;
+}
+
+std::vector<linalg::Matrix> Pgm::ExportDecoderWeights() {
+  P3GM_CHECK_MSG(fitted_, "ExportDecoderWeights before Fit");
+  std::vector<linalg::Matrix> out;
+  for (nn::Parameter* p : decoder_.Parameters()) out.push_back(p->value);
+  return out;  // {W1, b1, W2, b2} in layer order.
+}
+
+dp::P3gmPrivacyParams Pgm::PrivacyParams() const {
+  dp::P3gmPrivacyParams params;
+  params.pca_epsilon =
+      (options_.use_pca && options_.differentially_private)
+          ? options_.pca_epsilon
+          : 0.0;
+  params.em_sigma = options_.em_sigma;
+  params.em_iters = options_.differentially_private ? options_.em_iters : 0;
+  params.mog_components = options_.mog_components;
+  params.sgd_sigma = options_.sgd_sigma;
+  params.sgd_sampling_rate =
+      data_size_ > 0 ? static_cast<double>(options_.batch_size) /
+                           static_cast<double>(data_size_)
+                     : 0.0;
+  params.sgd_steps = sgd_steps_taken_;
+  return params;
+}
+
+dp::DpGuarantee Pgm::ComputeEpsilon(double delta) const {
+  dp::DpGuarantee out;
+  out.delta = delta;
+  if (!options_.differentially_private) {
+    out.epsilon = 0.0;
+    return out;
+  }
+  return dp::ComputeP3gmEpsilonRdp(PrivacyParams(), delta);
+}
+
+util::Result<double> Pgm::CalibrateSigma(const PgmOptions& options,
+                                         std::size_t n, double target_epsilon,
+                                         double delta) {
+  if (n == 0 || options.batch_size == 0 || options.batch_size > n) {
+    return util::Status::InvalidArgument(
+        "CalibrateSigma: invalid n or batch size");
+  }
+  dp::P3gmPrivacyParams params;
+  params.pca_epsilon = options.use_pca ? options.pca_epsilon : 0.0;
+  params.em_sigma = options.em_sigma;
+  params.em_iters = options.em_iters;
+  params.mog_components = options.mog_components;
+  params.sgd_sampling_rate =
+      static_cast<double>(options.batch_size) / static_cast<double>(n);
+  params.sgd_steps =
+      options.epochs * std::max<std::size_t>(1, n / options.batch_size);
+  return dp::CalibrateSgdSigma(params, target_epsilon, delta);
+}
+
+}  // namespace core
+}  // namespace p3gm

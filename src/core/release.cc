@@ -1,0 +1,203 @@
+#include "core/release.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/transforms.h"
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "util/serialize.h"
+
+namespace p3gm {
+namespace core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50334752;  // "P3GR".
+constexpr std::uint32_t kVersion = 1;
+
+util::Status CheckWeights(const std::vector<linalg::Matrix>& w) {
+  if (w.size() != 4) {
+    return util::Status::Internal("decoder export: expected 4 tensors");
+  }
+  // {W1 (dl x h), b1 (1 x h), W2 (h x d), b2 (1 x d)}.
+  if (w[1].rows() != 1 || w[3].rows() != 1 ||
+      w[0].cols() != w[1].cols() || w[0].cols() != w[2].rows() ||
+      w[2].cols() != w[3].cols()) {
+    return util::Status::Internal("decoder export: inconsistent shapes");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<ReleasePackage> ReleasePackage::FromPgm(Pgm* model,
+                                                     std::size_t num_classes,
+                                                     std::string name) {
+  std::vector<linalg::Matrix> w = model->ExportDecoderWeights();
+  P3GM_RETURN_NOT_OK(CheckWeights(w));
+  ReleasePackage pkg;
+  pkg.name_ = std::move(name);
+  pkg.num_classes_ = num_classes;
+  pkg.decoder_type_ = model->options().decoder;
+  pkg.prior_ = model->prior();
+  pkg.w1_ = std::move(w[0]);
+  pkg.b1_ = std::move(w[1]);
+  pkg.w2_ = std::move(w[2]);
+  pkg.b2_ = std::move(w[3]);
+  P3GM_RETURN_NOT_OK(pkg.Validate());
+  return pkg;
+}
+
+util::Result<ReleasePackage> ReleasePackage::FromVae(Vae* model,
+                                                     std::size_t num_classes,
+                                                     std::string name) {
+  std::vector<linalg::Matrix> w = model->ExportDecoderWeights();
+  P3GM_RETURN_NOT_OK(CheckWeights(w));
+  ReleasePackage pkg;
+  pkg.name_ = std::move(name);
+  pkg.num_classes_ = num_classes;
+  pkg.decoder_type_ = model->options().decoder;
+  const std::size_t dl = w[0].rows();
+  P3GM_ASSIGN_OR_RETURN(
+      pkg.prior_,
+      stats::GaussianMixture::Create({1.0}, linalg::Matrix(1, dl),
+                                     linalg::Matrix(1, dl, 1.0)));
+  pkg.w1_ = std::move(w[0]);
+  pkg.b1_ = std::move(w[1]);
+  pkg.w2_ = std::move(w[2]);
+  pkg.b2_ = std::move(w[3]);
+  P3GM_RETURN_NOT_OK(pkg.Validate());
+  return pkg;
+}
+
+util::Status ReleasePackage::Validate() const {
+  if (w1_.empty() || w2_.empty()) {
+    return util::Status::FailedPrecondition("ReleasePackage: empty decoder");
+  }
+  if (prior_.dim() != w1_.rows()) {
+    return util::Status::InvalidArgument(
+        "ReleasePackage: prior/decoder latent dimension mismatch");
+  }
+  if (num_classes_ >= output_dim() && num_classes_ != 0) {
+    return util::Status::InvalidArgument(
+        "ReleasePackage: label block exceeds output dimension");
+  }
+  return util::Status::OK();
+}
+
+util::Status ReleasePackage::Save(const std::string& path) const {
+  P3GM_RETURN_NOT_OK(Validate());
+  util::BinaryWriter w(path, kMagic, kVersion);
+  P3GM_RETURN_NOT_OK(w.status());
+  w.WriteString(name_);
+  w.WriteU64(num_classes_);
+  w.WriteU64(decoder_type_ == DecoderType::kBernoulli ? 0 : 1);
+  // Prior.
+  w.WriteU64(prior_.num_components());
+  w.WriteU64(prior_.dim());
+  w.WriteDoubles(prior_.weights());
+  w.WriteMatrix(prior_.means().rows(), prior_.means().cols(),
+                prior_.means().data());
+  w.WriteMatrix(prior_.variances().rows(), prior_.variances().cols(),
+                prior_.variances().data());
+  // Decoder.
+  for (const linalg::Matrix* m : {&w1_, &b1_, &w2_, &b2_}) {
+    w.WriteMatrix(m->rows(), m->cols(), m->data());
+  }
+  return w.Close();
+}
+
+util::Result<ReleasePackage> ReleasePackage::Load(const std::string& path) {
+  util::BinaryReader r(path, kMagic, kVersion);
+  P3GM_RETURN_NOT_OK(r.status());
+  ReleasePackage pkg;
+  P3GM_ASSIGN_OR_RETURN(pkg.name_, r.ReadString());
+  P3GM_ASSIGN_OR_RETURN(std::uint64_t classes, r.ReadU64());
+  pkg.num_classes_ = static_cast<std::size_t>(classes);
+  P3GM_ASSIGN_OR_RETURN(std::uint64_t decoder_code, r.ReadU64());
+  if (decoder_code > 1) {
+    return util::Status::InvalidArgument(
+        "ReleasePackage: unknown decoder type");
+  }
+  pkg.decoder_type_ = decoder_code == 0 ? DecoderType::kBernoulli
+                                        : DecoderType::kGaussian;
+
+  P3GM_ASSIGN_OR_RETURN(std::uint64_t k, r.ReadU64());
+  P3GM_ASSIGN_OR_RETURN(std::uint64_t dim, r.ReadU64());
+  P3GM_ASSIGN_OR_RETURN(std::vector<double> weights, r.ReadDoubles());
+  if (weights.size() != k) {
+    return util::Status::InvalidArgument(
+        "ReleasePackage: prior weight count mismatch");
+  }
+  auto read_matrix = [&r](linalg::Matrix* out) -> util::Status {
+    std::size_t rows = 0, cols = 0;
+    std::vector<double> flat;
+    P3GM_RETURN_NOT_OK(r.ReadMatrix(&rows, &cols, &flat));
+    P3GM_ASSIGN_OR_RETURN(*out,
+                          linalg::Matrix::FromFlat(rows, cols,
+                                                   std::move(flat)));
+    return util::Status::OK();
+  };
+  linalg::Matrix means, variances;
+  P3GM_RETURN_NOT_OK(read_matrix(&means));
+  P3GM_RETURN_NOT_OK(read_matrix(&variances));
+  if (means.rows() != k || means.cols() != dim) {
+    return util::Status::InvalidArgument(
+        "ReleasePackage: prior mean shape mismatch");
+  }
+  P3GM_ASSIGN_OR_RETURN(
+      pkg.prior_,
+      stats::GaussianMixture::Create(std::move(weights), std::move(means),
+                                     std::move(variances)));
+  P3GM_RETURN_NOT_OK(read_matrix(&pkg.w1_));
+  P3GM_RETURN_NOT_OK(read_matrix(&pkg.b1_));
+  P3GM_RETURN_NOT_OK(read_matrix(&pkg.w2_));
+  P3GM_RETURN_NOT_OK(read_matrix(&pkg.b2_));
+  P3GM_RETURN_NOT_OK(pkg.Validate());
+  return pkg;
+}
+
+util::Result<data::Dataset> ReleasePackage::Generate(std::size_t n,
+                                                     util::Rng* rng) const {
+  P3GM_RETURN_NOT_OK(Validate());
+  if (n == 0) {
+    return util::Status::InvalidArgument("ReleasePackage: n must be > 0");
+  }
+  linalg::Matrix z = prior_.SampleN(n, rng);
+  linalg::Matrix h = linalg::Matmul(z, w1_);
+  linalg::AddRowVector(b1_.Row(0), &h);
+  double* hd = h.data();
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (hd[i] < 0.0) hd[i] = 0.0;  // ReLU.
+  }
+  linalg::Matrix logits = linalg::Matmul(h, w2_);
+  linalg::AddRowVector(b2_.Row(0), &logits);
+  double* ld = logits.data();
+  if (decoder_type_ == DecoderType::kBernoulli) {
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      ld[i] = nn::SigmoidScalar(ld[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      ld[i] = std::clamp(ld[i], 0.0, 1.0);
+    }
+  }
+
+  data::Dataset out;
+  out.name = name_;
+  if (num_classes_ > 0) {
+    out.num_classes = num_classes_;
+    data::LabeledRows rows = data::DetachLabels(logits, num_classes_);
+    out.features = std::move(rows.features);
+    out.labels = std::move(rows.labels);
+  } else {
+    out.num_classes = 1;
+    out.features = std::move(logits);
+    out.labels.assign(n, 0);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace p3gm

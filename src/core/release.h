@@ -1,0 +1,75 @@
+#ifndef P3GM_CORE_RELEASE_H_
+#define P3GM_CORE_RELEASE_H_
+
+#include <string>
+
+#include "core/pgm.h"
+#include "core/vae.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "stats/gmm.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace core {
+
+/// The shareable artifact of Fig. 1: a trained decoder plus the latent
+/// prior, detached from all training state. By DP post-processing, any
+/// number of samples drawn from a package built from a privately trained
+/// model stays within the training run's (epsilon, delta) budget.
+///
+/// The package serializes to a small self-contained binary file, so an
+/// untrusted analyst can regenerate data with nothing but this library's
+/// `Load` + `Generate`.
+class ReleasePackage {
+ public:
+  ReleasePackage() = default;
+
+  /// Extracts the decoder and MoG prior from a fitted PGM/P3GM.
+  /// `num_classes` > 0 marks the trailing one-hot label block so
+  /// Generate() can emit labeled rows; pass 0 for unlabeled models.
+  static util::Result<ReleasePackage> FromPgm(Pgm* model,
+                                              std::size_t num_classes,
+                                              std::string name);
+
+  /// Extracts the decoder from a fitted VAE / DP-VAE; the prior is the
+  /// standard normal (a single-component MoG).
+  static util::Result<ReleasePackage> FromVae(Vae* model,
+                                              std::size_t num_classes,
+                                              std::string name);
+
+  /// Writes the package to `path` (binary, versioned).
+  util::Status Save(const std::string& path) const;
+
+  /// Reads a package written by Save. Validates header and shapes.
+  static util::Result<ReleasePackage> Load(const std::string& path);
+
+  /// Samples `n` rows: z ~ prior, x = sigmoid(W2 relu(W1 z + b1) + b2),
+  /// labels decoded from the one-hot block when num_classes > 0.
+  util::Result<data::Dataset> Generate(std::size_t n, util::Rng* rng) const;
+
+  const std::string& name() const { return name_; }
+  DecoderType decoder_type() const { return decoder_type_; }
+  std::size_t latent_dim() const { return w1_.rows(); }
+  std::size_t output_dim() const { return w2_.cols(); }
+  /// Feature dimensionality excluding the label block.
+  std::size_t feature_dim() const { return output_dim() - num_classes_; }
+  std::size_t num_classes() const { return num_classes_; }
+  const stats::GaussianMixture& prior() const { return prior_; }
+
+ private:
+  util::Status Validate() const;
+
+  std::string name_;
+  std::size_t num_classes_ = 0;
+  DecoderType decoder_type_ = DecoderType::kBernoulli;
+  stats::GaussianMixture prior_;
+  // Decoder affine weights: hidden = relu(z W1 + b1); logits = h W2 + b2.
+  linalg::Matrix w1_, b1_, w2_, b2_;
+};
+
+}  // namespace core
+}  // namespace p3gm
+
+#endif  // P3GM_CORE_RELEASE_H_

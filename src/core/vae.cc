@@ -1,0 +1,226 @@
+#include "core/vae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "nn/losses.h"
+
+namespace p3gm {
+namespace core {
+
+namespace {
+
+// Log-variance heads are clamped into this range before exponentiation to
+// keep exp() finite during the noisy early DP-SGD steps.
+constexpr double kLogVarMin = -8.0;
+constexpr double kLogVarMax = 8.0;
+
+void ClampInPlace(double lo, double hi, linalg::Matrix* m) {
+  double* data = m->data();
+  for (std::size_t i = 0; i < m->size(); ++i) {
+    data[i] = std::clamp(data[i], lo, hi);
+  }
+}
+
+}  // namespace
+
+Vae::Vae(const VaeOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      encoder_trunk_("encoder"),
+      decoder_("decoder"),
+      optimizer_(options.learning_rate) {}
+
+util::Status Vae::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
+  if (fitted_) {
+    return util::Status::FailedPrecondition("Vae::Fit called twice");
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return util::Status::InvalidArgument("Vae::Fit: empty data");
+  }
+  if (options_.batch_size == 0 || options_.batch_size > x.rows()) {
+    return util::Status::InvalidArgument(
+        "Vae::Fit: batch size must be in [1, n]");
+  }
+  fitted_ = true;
+  data_size_ = x.rows();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t dl = options_.latent_dim;
+
+  // Paper architecture: encoder FC [d, hidden, d'], decoder FC
+  // [d', hidden, d], ReLU activations.
+  encoder_trunk_.Emplace<nn::Linear>("enc1", d, options_.hidden, &rng_);
+  encoder_trunk_.Emplace<nn::Relu>();
+  mu_head_ = std::make_unique<nn::Linear>("enc_mu", options_.hidden, dl,
+                                          &rng_);
+  logvar_head_ = std::make_unique<nn::Linear>("enc_logvar", options_.hidden,
+                                              dl, &rng_);
+  decoder_.Emplace<nn::Linear>("dec1", dl, options_.hidden, &rng_);
+  decoder_.Emplace<nn::Relu>();
+  decoder_.Emplace<nn::Linear>("dec2", options_.hidden, d, &rng_);
+
+  std::vector<nn::Parameter*> params;
+  std::vector<nn::Layer*> stacks = {&encoder_trunk_, mu_head_.get(),
+                                    logvar_head_.get(), &decoder_};
+  for (nn::Layer* s : stacks) {
+    for (nn::Parameter* p : s->Parameters()) params.push_back(p);
+  }
+  auto zero_grads = [&] {
+    for (nn::Parameter* p : params) p->ZeroGrad();
+  };
+
+  const bool dp = options_.differentially_private;
+  const double q = static_cast<double>(options_.batch_size) /
+                   static_cast<double>(n);
+  nn::DpSgdOptions dp_opts;
+  dp_opts.clip_norm = options_.clip_norm;
+  dp_opts.noise_multiplier = options_.sgd_sigma;
+  dp_opts.lot_size = options_.batch_size;
+
+  const std::size_t steps_per_epoch =
+      std::max<std::size_t>(1, n / options_.batch_size);
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<std::size_t> perm = rng_.Permutation(n);
+    double epoch_recon = 0.0, epoch_kl = 0.0, epoch_examples = 0.0;
+    for (std::size_t step = 0; step < steps_per_epoch; ++step) {
+      std::vector<std::size_t> idx;
+      if (dp) {
+        // Poisson sampling with rate q, matching the sampled-Gaussian
+        // RDP analysis.
+        idx = rng_.PoissonSample(n, q);
+        if (idx.empty()) continue;
+      } else {
+        const std::size_t start = step * options_.batch_size;
+        for (std::size_t i = start;
+             i < std::min(start + options_.batch_size, n); ++i) {
+          idx.push_back(perm[i]);
+        }
+      }
+      const std::size_t b = idx.size();
+      const linalg::Matrix xb = x.SelectRows(idx);
+
+      zero_grads();
+      // Forward.
+      const linalg::Matrix h = encoder_trunk_.Forward(xb, true);
+      const linalg::Matrix mu = mu_head_->Forward(h, true);
+      linalg::Matrix logvar = logvar_head_->Forward(h, true);
+      ClampInPlace(kLogVarMin, kLogVarMax, &logvar);
+      linalg::Matrix eps(b, options_.latent_dim);
+      for (std::size_t i = 0; i < eps.size(); ++i) {
+        eps.data()[i] = rng_.Normal();
+      }
+      linalg::Matrix z = mu;
+      linalg::Matrix half_std(b, options_.latent_dim);
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const double std_i = std::exp(0.5 * logvar.data()[i]);
+        half_std.data()[i] = std_i;
+        z.data()[i] += std_i * eps.data()[i];
+      }
+      const linalg::Matrix logits = decoder_.Forward(z, true);
+
+      // Losses. In DP mode gradients must stay per-example sums (the
+      // averaging happens after noising), so mean=false there.
+      const bool mean = !dp;
+      const nn::LossResult recon =
+          options_.decoder == DecoderType::kBernoulli
+              ? nn::BceWithLogitsLoss(logits, xb, mean)
+              : nn::MseLoss(logits, xb, mean);
+      const nn::KlResult kl = nn::StandardNormalKl(mu, logvar, mean);
+      for (std::size_t i = 0; i < b; ++i) {
+        epoch_recon += recon.per_example[i];
+        epoch_kl += kl.per_example[i];
+      }
+      epoch_examples += static_cast<double>(b);
+      {
+        double batch_recon = 0.0;
+        for (double v : recon.per_example) batch_recon += v;
+        trace_.recon_loss.push_back(batch_recon / static_cast<double>(b));
+      }
+
+      // Backward through decoder and reparametrization.
+      const linalg::Matrix dz = decoder_.Backward(recon.grad, !dp);
+      linalg::Matrix dmu = dz;
+      dmu += kl.grad_mu;
+      linalg::Matrix dlogvar = kl.grad_logvar;
+      for (std::size_t i = 0; i < dlogvar.size(); ++i) {
+        dlogvar.data()[i] +=
+            dz.data()[i] * eps.data()[i] * 0.5 * half_std.data()[i];
+      }
+      linalg::Matrix dh = mu_head_->Backward(dmu, !dp);
+      dh += logvar_head_->Backward(dlogvar, !dp);
+      encoder_trunk_.Backward(dh, !dp);
+
+      if (dp) {
+        nn::DpSgdStep dp_step(dp_opts, &rng_);
+        P3GM_RETURN_NOT_OK(dp_step.CollectSquaredNorms(stacks, b));
+        dp_step.ApplyClippedAccumulation(stacks);
+        dp_step.AddNoiseAndAverage(params, b);
+        ++sgd_steps_taken_;
+      }
+      optimizer_.Step(params);
+    }
+    if (callback) {
+      TrainProgress progress;
+      progress.epoch = epoch;
+      progress.recon_loss =
+          epoch_examples > 0 ? epoch_recon / epoch_examples : 0.0;
+      progress.kl_loss = epoch_examples > 0 ? epoch_kl / epoch_examples : 0.0;
+      callback(progress);
+    }
+  }
+  return util::Status::OK();
+}
+
+linalg::Matrix Vae::Sample(std::size_t n, util::Rng* rng) {
+  linalg::Matrix z(n, options_.latent_dim);
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = rng->Normal();
+  return Decode(z);
+}
+
+linalg::Matrix Vae::Decode(const linalg::Matrix& z) {
+  linalg::Matrix logits = decoder_.Forward(z, false);
+  double* data = logits.data();
+  if (options_.decoder == DecoderType::kBernoulli) {
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      data[i] = nn::SigmoidScalar(data[i]);
+    }
+  } else {
+    // Gaussian decoder: outputs are means in data space, clamped to the
+    // [0,1] feature domain.
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      data[i] = std::clamp(data[i], 0.0, 1.0);
+    }
+  }
+  return logits;
+}
+
+linalg::Matrix Vae::EncodeMean(const linalg::Matrix& x) {
+  return mu_head_->Forward(encoder_trunk_.Forward(x, false), false);
+}
+
+std::vector<linalg::Matrix> Vae::ExportDecoderWeights() {
+  P3GM_CHECK_MSG(fitted_, "ExportDecoderWeights before Fit");
+  std::vector<linalg::Matrix> out;
+  for (nn::Parameter* p : decoder_.Parameters()) out.push_back(p->value);
+  return out;  // {W1, b1, W2, b2} in layer order.
+}
+
+dp::DpGuarantee Vae::ComputeEpsilon(double delta) const {
+  dp::DpGuarantee out;
+  out.delta = delta;
+  if (!options_.differentially_private || sgd_steps_taken_ == 0) {
+    out.epsilon = 0.0;
+    return out;
+  }
+  dp::RdpAccountant acc;
+  const double q = static_cast<double>(options_.batch_size) /
+                   static_cast<double>(data_size_);
+  acc.AddSampledGaussian(q, options_.sgd_sigma, sgd_steps_taken_);
+  return acc.GetEpsilon(delta);
+}
+
+}  // namespace core
+}  // namespace p3gm

@@ -1,0 +1,122 @@
+#ifndef P3GM_CORE_VAE_H_
+#define P3GM_CORE_VAE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "linalg/matrix.h"
+#include "nn/dp_sgd.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace core {
+
+/// Progress report passed to the per-epoch callback during training.
+struct TrainProgress {
+  std::size_t epoch = 0;
+  /// Mean per-example reconstruction loss (first ELBO term) this epoch.
+  double recon_loss = 0.0;
+  /// Mean per-example KL term this epoch.
+  double kl_loss = 0.0;
+};
+using EpochCallback = std::function<void(const TrainProgress&)>;
+
+/// Per-iteration reconstruction-loss trace (Fig. 7a/b granularity).
+struct IterationTrace {
+  std::vector<double> recon_loss;
+};
+
+/// Observation model of the decoder head (paper Section IV-C: "a
+/// Bernoulli or Gaussian MLP depending on the type of data").
+enum class DecoderType {
+  /// Bernoulli likelihood on [0,1] data: BCE loss, sigmoid outputs.
+  kBernoulli,
+  /// Fixed-variance Gaussian likelihood: MSE loss, linear outputs
+  /// clamped to [0,1] at sampling time. Better for continuous tabular
+  /// features concentrated away from {0,1}.
+  kGaussian,
+};
+
+/// Configuration shared by VAE and DP-VAE.
+struct VaeOptions {
+  /// Hidden width of the one-hidden-layer encoder/decoder MLPs. The paper
+  /// uses 1000; the benches default lower to fit the single-core budget.
+  std::size_t hidden = 200;
+  /// Latent dimensionality d'.
+  std::size_t latent_dim = 10;
+  std::size_t epochs = 10;
+  std::size_t batch_size = 120;
+  double learning_rate = 1e-3;
+  /// Observation model of the reconstruction term.
+  DecoderType decoder = DecoderType::kBernoulli;
+  std::uint64_t seed = 57;
+
+  /// When true, trains with DP-SGD (this is the paper's DP-VAE baseline).
+  bool differentially_private = false;
+  /// DP-SGD knobs (used only when differentially_private).
+  double clip_norm = 1.0;
+  double sgd_sigma = 1.5;
+};
+
+/// Variational autoencoder (Kingma & Welling) with the paper's
+/// architecture: encoder FC [d, hidden, d'] with ReLU producing mean and
+/// log-variance heads, Bernoulli decoder FC [d', hidden, d]. Trains
+/// end-to-end on the ELBO with Adam; with
+/// `options.differentially_private` gradients are per-example clipped and
+/// noised (DP-SGD), which is exactly the paper's DP-VAE baseline.
+///
+/// Inputs must be scaled to [0, 1] (Bernoulli reconstruction).
+class Vae {
+ public:
+  explicit Vae(const VaeOptions& options);
+
+  /// Trains on rows of `x`. Safe to call once per instance.
+  util::Status Fit(const linalg::Matrix& x,
+                   const EpochCallback& callback = nullptr);
+
+  /// Generates `n` rows: z ~ N(0, I), x = sigmoid(decoder(z)).
+  linalg::Matrix Sample(std::size_t n, util::Rng* rng);
+
+  /// Decodes the given latent rows.
+  linalg::Matrix Decode(const linalg::Matrix& z);
+
+  /// Encoder mean rows for `x` (diagnostics).
+  linalg::Matrix EncodeMean(const linalg::Matrix& x);
+
+  /// Privacy cost of the performed training under (epsilon, delta)-DP.
+  /// Returns epsilon = 0 for the non-private configuration.
+  dp::DpGuarantee ComputeEpsilon(double delta) const;
+
+  /// Per-iteration reconstruction losses recorded during Fit (Fig. 7a/b).
+  const IterationTrace& trace() const { return trace_; }
+
+  /// Exports the decoder's affine weights {W1, b1, W2, b2} for packaging
+  /// into a ReleasePackage. Valid after Fit.
+  std::vector<linalg::Matrix> ExportDecoderWeights();
+
+  const VaeOptions& options() const { return options_; }
+
+ private:
+  VaeOptions options_;
+  util::Rng rng_;
+  nn::Sequential encoder_trunk_;
+  std::unique_ptr<nn::Linear> mu_head_;
+  std::unique_ptr<nn::Linear> logvar_head_;
+  nn::Sequential decoder_;
+  nn::Adam optimizer_;
+  IterationTrace trace_;
+  std::size_t data_size_ = 0;
+  std::size_t sgd_steps_taken_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace core
+}  // namespace p3gm
+
+#endif  // P3GM_CORE_VAE_H_

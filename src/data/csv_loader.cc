@@ -1,0 +1,139 @@
+#include "data/csv_loader.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "data/transforms.h"
+#include "util/string_utils.h"
+
+namespace p3gm {
+namespace data {
+
+namespace {
+
+util::Result<double> ParseCell(const std::string& cell, std::size_t line) {
+  if (cell.empty()) {
+    return util::Status::InvalidArgument(
+        util::Format("CSV line %zu: empty cell", line));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end == cell.c_str() || *end != '\0' ||
+      !std::isfinite(v)) {
+    return util::Status::InvalidArgument(
+        util::Format("CSV line %zu: non-numeric cell '%s'", line,
+                     cell.c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+util::Result<Dataset> LoadCsvDataset(const std::string& path,
+                                     const CsvLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return util::Status::IoError("cannot open CSV: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  bool skipped_header = !options.has_header;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    const std::vector<std::string> cells =
+        util::Split(line, options.separator);
+    if (width == 0) {
+      width = cells.size();
+      if (width < 2) {
+        return util::Status::InvalidArgument(
+            "CSV needs at least one feature and one label column");
+      }
+    } else if (cells.size() != width) {
+      return util::Status::InvalidArgument(
+          util::Format("CSV line %zu: expected %zu cells, got %zu", line_no,
+                       width, cells.size()));
+    }
+    std::vector<double> row(width);
+    for (std::size_t j = 0; j < width; ++j) {
+      P3GM_ASSIGN_OR_RETURN(row[j], ParseCell(cells[j], line_no));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return util::Status::InvalidArgument("CSV has no data rows: " + path);
+  }
+
+  int label_col = options.label_column;
+  if (label_col < 0) label_col += static_cast<int>(width);
+  if (label_col < 0 || static_cast<std::size_t>(label_col) >= width) {
+    return util::Status::InvalidArgument("label column out of range");
+  }
+  const auto lc = static_cast<std::size_t>(label_col);
+
+  Dataset out;
+  out.name = path;
+  out.features = linalg::Matrix(rows.size(), width - 1);
+  out.labels.resize(rows.size());
+  std::size_t max_label = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double label_value = rows[i][lc];
+    const double rounded = std::round(label_value);
+    if (label_value < 0.0 || std::fabs(label_value - rounded) > 1e-9 ||
+        rounded > 1e6) {
+      return util::Status::InvalidArgument(util::Format(
+          "row %zu: label %g is not a small non-negative integer", i,
+          label_value));
+    }
+    out.labels[i] = static_cast<std::size_t>(rounded);
+    max_label = std::max(max_label, out.labels[i]);
+    std::size_t col = 0;
+    for (std::size_t j = 0; j < width; ++j) {
+      if (j == lc) continue;
+      out.features(i, col++) = rows[i][j];
+    }
+  }
+  out.num_classes = max_label + 1;
+  if (options.scale_features) {
+    P3GM_ASSIGN_OR_RETURN(MinMaxScaler scaler,
+                          MinMaxScaler::Fit(out.features));
+    out.features = scaler.Transform(out.features);
+  }
+  return out;
+}
+
+util::Status SaveCsvDataset(const Dataset& dataset, const std::string& path) {
+  if (dataset.size() == 0) {
+    return util::Status::InvalidArgument("SaveCsvDataset: empty dataset");
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return util::Status::IoError("cannot open for writing: " + path);
+  }
+  for (std::size_t j = 0; j < dataset.dim(); ++j) {
+    out << "f" << j << ",";
+  }
+  out << "label\n";
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double* row = dataset.features.row_data(i);
+    for (std::size_t j = 0; j < dataset.dim(); ++j) {
+      out << util::Format("%.9g", row[j]) << ",";
+    }
+    out << dataset.labels[i] << "\n";
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+}  // namespace data
+}  // namespace p3gm

@@ -1,0 +1,41 @@
+#ifndef P3GM_DATA_CSV_LOADER_H_
+#define P3GM_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace data {
+
+/// Options for loading a real tabular dataset from CSV — the path a
+/// downstream user takes to run P3GM on their own data instead of the
+/// bundled synthetic generators.
+struct CsvLoadOptions {
+  /// Whether the first row is a header (skipped).
+  bool has_header = true;
+  /// Zero-based index of the label column; negative counts from the end
+  /// (-1 = last column).
+  int label_column = -1;
+  /// When true, features are min-max scaled to [0, 1] (the input domain
+  /// the generative models assume). Labels are never scaled.
+  bool scale_features = true;
+  /// Field separator.
+  char separator = ',';
+};
+
+/// Loads a numeric CSV into a Dataset. Labels must be non-negative
+/// integers; num_classes is 1 + the maximum label. Fails on ragged rows,
+/// non-numeric cells, an out-of-range label column, or an empty file.
+util::Result<Dataset> LoadCsvDataset(const std::string& path,
+                                     const CsvLoadOptions& options = {});
+
+/// Writes a Dataset to CSV (features then a final "label" column), the
+/// inverse of LoadCsvDataset for releasing synthetic data as a file.
+util::Status SaveCsvDataset(const Dataset& dataset, const std::string& path);
+
+}  // namespace data
+}  // namespace p3gm
+
+#endif  // P3GM_DATA_CSV_LOADER_H_

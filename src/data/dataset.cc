@@ -1,0 +1,129 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p3gm {
+namespace data {
+
+double Dataset::PositiveRate() const {
+  if (labels.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (std::size_t y : labels) pos += (y == 1) ? 1 : 0;
+  return static_cast<double>(pos) / static_cast<double>(labels.size());
+}
+
+std::vector<std::size_t> Dataset::ClassCounts() const {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t y : labels) {
+    P3GM_CHECK(y < num_classes);
+    ++counts[y];
+  }
+  return counts;
+}
+
+Dataset Dataset::FilterByLabel(std::size_t label) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) idx.push_back(i);
+  }
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.features = features.SelectRows(idx);
+  out.labels.assign(idx.size(), label);
+  return out;
+}
+
+Dataset Dataset::Head(std::size_t n) const {
+  n = std::min(n, size());
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.features = features.SelectRows(idx);
+  out.labels.assign(labels.begin(),
+                    labels.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+util::Result<Split> StratifiedSplit(const Dataset& dataset,
+                                    double test_fraction,
+                                    std::uint64_t seed) {
+  if (dataset.size() == 0) {
+    return util::Status::InvalidArgument("StratifiedSplit: empty dataset");
+  }
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return util::Status::InvalidArgument(
+        "StratifiedSplit: test_fraction must be in (0, 1)");
+  }
+  if (dataset.labels.size() != dataset.size()) {
+    return util::Status::InvalidArgument(
+        "StratifiedSplit: labels/features size mismatch");
+  }
+  util::Rng rng(seed);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t c = 0; c < dataset.num_classes; ++c) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (dataset.labels[i] == c) idx.push_back(i);
+    }
+    rng.Shuffle(&idx);
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(idx.size()) * test_fraction);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < n_test ? test_idx : train_idx).push_back(idx[i]);
+    }
+  }
+  rng.Shuffle(&train_idx);
+  rng.Shuffle(&test_idx);
+
+  auto subset = [&](const std::vector<std::size_t>& idx) {
+    Dataset out;
+    out.name = dataset.name;
+    out.num_classes = dataset.num_classes;
+    out.features = dataset.features.SelectRows(idx);
+    out.labels.reserve(idx.size());
+    for (std::size_t i : idx) out.labels.push_back(dataset.labels[i]);
+    return out;
+  };
+  return Split{subset(train_idx), subset(test_idx)};
+}
+
+Dataset StratifiedResample(const Dataset& dataset, std::size_t n,
+                           util::Rng* rng) {
+  P3GM_CHECK(dataset.size() > 0);
+  const std::vector<std::size_t> counts = dataset.ClassCounts();
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[dataset.labels[i]].push_back(i);
+  }
+  std::vector<std::size_t> idx;
+  idx.reserve(n);
+  for (std::size_t c = 0; c < dataset.num_classes; ++c) {
+    if (by_class[c].empty()) continue;
+    const auto want = static_cast<std::size_t>(
+        std::round(static_cast<double>(n) * static_cast<double>(counts[c]) /
+                   static_cast<double>(dataset.size())));
+    for (std::size_t i = 0; i < want; ++i) {
+      idx.push_back(by_class[c][rng->UniformInt(by_class[c].size())]);
+    }
+  }
+  while (idx.size() < n) {
+    idx.push_back(rng->UniformInt(dataset.size()));
+  }
+  rng->Shuffle(&idx);
+  idx.resize(n);
+
+  Dataset out;
+  out.name = dataset.name;
+  out.num_classes = dataset.num_classes;
+  out.features = dataset.features.SelectRows(idx);
+  out.labels.reserve(n);
+  for (std::size_t i : idx) out.labels.push_back(dataset.labels[i]);
+  return out;
+}
+
+}  // namespace data
+}  // namespace p3gm

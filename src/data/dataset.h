@@ -1,0 +1,57 @@
+#ifndef P3GM_DATA_DATASET_H_
+#define P3GM_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace data {
+
+/// A supervised dataset: an (n x d) feature matrix plus integer class
+/// labels. All generators in this library produce features already scaled
+/// to [0, 1] (the input domain P3GM's Bernoulli decoder assumes).
+struct Dataset {
+  std::string name;
+  linalg::Matrix features;
+  std::vector<std::size_t> labels;
+  std::size_t num_classes = 2;
+
+  std::size_t size() const { return features.rows(); }
+  std::size_t dim() const { return features.cols(); }
+
+  /// Fraction of examples with label 1 (binary datasets).
+  double PositiveRate() const;
+
+  /// Per-class example counts.
+  std::vector<std::size_t> ClassCounts() const;
+
+  /// Rows with the given label.
+  Dataset FilterByLabel(std::size_t label) const;
+
+  /// The first `n` rows (n clamped to size()).
+  Dataset Head(std::size_t n) const;
+};
+
+/// Train/test split preserving class ratios. `test_fraction` in (0, 1).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+util::Result<Split> StratifiedSplit(const Dataset& dataset,
+                                    double test_fraction, std::uint64_t seed);
+
+/// Draws a class-stratified bootstrap of `n` rows — used to make synthetic
+/// datasets "so that the label ratio is the same as the real training
+/// dataset" (paper Section VI).
+Dataset StratifiedResample(const Dataset& dataset, std::size_t n,
+                           util::Rng* rng);
+
+}  // namespace data
+}  // namespace p3gm
+
+#endif  // P3GM_DATA_DATASET_H_

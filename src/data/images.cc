@@ -1,0 +1,350 @@
+#include "data/images.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+namespace p3gm {
+namespace data {
+
+namespace {
+
+constexpr std::size_t kS = kImageSide;
+
+/// Scratch raster for building one glyph. Coordinates are in glyph space
+/// [0,1]^2 with (x right, y down); an affine jitter maps glyph space to
+/// pixel space.
+class Canvas {
+ public:
+  Canvas() : pix_(kS * kS, 0.0) {}
+
+  /// Sets the per-sample affine: rotation (radians), anisotropic scale,
+  /// translation (pixels).
+  void SetAffine(double rot, double sx, double sy, double tx, double ty) {
+    cos_ = std::cos(rot);
+    sin_ = std::sin(rot);
+    sx_ = sx;
+    sy_ = sy;
+    tx_ = tx;
+    ty_ = ty;
+  }
+
+  /// Stamps a filled disc of the given radius (pixels) at glyph point
+  /// (x, y); intensity accumulates and saturates at 1.
+  void Dot(double x, double y, double radius) {
+    const auto [px, py] = Map(x, y);
+    const int lo_i = static_cast<int>(std::floor(py - radius - 1));
+    const int hi_i = static_cast<int>(std::ceil(py + radius + 1));
+    const int lo_j = static_cast<int>(std::floor(px - radius - 1));
+    const int hi_j = static_cast<int>(std::ceil(px + radius + 1));
+    for (int i = std::max(lo_i, 0); i <= std::min<int>(hi_i, kS - 1); ++i) {
+      for (int j = std::max(lo_j, 0); j <= std::min<int>(hi_j, kS - 1);
+           ++j) {
+        const double dx = static_cast<double>(j) - px;
+        const double dy = static_cast<double>(i) - py;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        // Soft brush edge over one pixel.
+        const double v = std::clamp(radius + 0.5 - dist, 0.0, 1.0);
+        double& p = pix_[static_cast<std::size_t>(i) * kS +
+                         static_cast<std::size_t>(j)];
+        p = std::min(1.0, p + v);
+      }
+    }
+  }
+
+  /// Thick line from (x0,y0) to (x1,y1) in glyph space.
+  void Line(double x0, double y0, double x1, double y1, double radius) {
+    const double len = std::hypot(x1 - x0, y1 - y0);
+    const int steps = std::max(2, static_cast<int>(len * kS * 2.0));
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      Dot(x0 + t * (x1 - x0), y0 + t * (y1 - y0), radius);
+    }
+  }
+
+  /// Elliptic arc centered at (cx, cy) with radii (rx, ry), from angle a0
+  /// to a1 (radians, y-down screen convention).
+  void Arc(double cx, double cy, double rx, double ry, double a0, double a1,
+           double radius) {
+    const int steps = 40;
+    for (int s = 0; s <= steps; ++s) {
+      const double a = a0 + (a1 - a0) * static_cast<double>(s) / steps;
+      Dot(cx + rx * std::cos(a), cy + ry * std::sin(a), radius);
+    }
+  }
+
+  /// Axis-aligned filled rectangle in glyph space (for silhouettes).
+  void FillRect(double x0, double y0, double x1, double y1) {
+    const int steps = static_cast<int>(kS * 1.6);
+    for (int a = 0; a <= steps; ++a) {
+      for (int b = 0; b <= steps; ++b) {
+        const double x = x0 + (x1 - x0) * a / static_cast<double>(steps);
+        const double y = y0 + (y1 - y0) * b / static_cast<double>(steps);
+        Dot(x, y, 0.55);
+      }
+    }
+  }
+
+  /// Filled ellipse in glyph space.
+  void FillEllipse(double cx, double cy, double rx, double ry) {
+    const int steps = static_cast<int>(kS * 1.6);
+    for (int a = 0; a <= steps; ++a) {
+      for (int b = 0; b <= steps; ++b) {
+        const double u = -1.0 + 2.0 * a / static_cast<double>(steps);
+        const double v = -1.0 + 2.0 * b / static_cast<double>(steps);
+        if (u * u + v * v <= 1.0) Dot(cx + rx * u, cy + ry * v, 0.55);
+      }
+    }
+  }
+
+  /// 3x3 box blur followed by additive pixel noise and clamping.
+  void Finish(double noise_std, util::Rng* rng) {
+    std::vector<double> blurred(kS * kS, 0.0);
+    for (std::size_t i = 0; i < kS; ++i) {
+      for (std::size_t j = 0; j < kS; ++j) {
+        double total = 0.0;
+        int count = 0;
+        for (int di = -1; di <= 1; ++di) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            const int ii = static_cast<int>(i) + di;
+            const int jj = static_cast<int>(j) + dj;
+            if (ii < 0 || jj < 0 || ii >= static_cast<int>(kS) ||
+                jj >= static_cast<int>(kS)) {
+              continue;
+            }
+            total += pix_[static_cast<std::size_t>(ii) * kS +
+                          static_cast<std::size_t>(jj)];
+            ++count;
+          }
+        }
+        blurred[i * kS + j] = total / count;
+      }
+    }
+    for (std::size_t k = 0; k < pix_.size(); ++k) {
+      pix_[k] = std::clamp(blurred[k] + rng->Normal(0.0, noise_std), 0.0, 1.0);
+    }
+  }
+
+  const std::vector<double>& pixels() const { return pix_; }
+
+ private:
+  std::pair<double, double> Map(double x, double y) const {
+    // Glyph space [0,1]^2 -> centered -> rotate/scale -> pixel space.
+    const double cxg = x - 0.5, cyg = y - 0.5;
+    const double rx = cos_ * cxg - sin_ * cyg;
+    const double ry = sin_ * cxg + cos_ * cyg;
+    const double margin = 4.0;
+    const double span = static_cast<double>(kS) - 2.0 * margin;
+    return {margin + (rx * sx_ + 0.5) * span + tx_,
+            margin + (ry * sy_ + 0.5) * span + ty_};
+  }
+
+  std::vector<double> pix_;
+  double cos_ = 1.0, sin_ = 0.0, sx_ = 1.0, sy_ = 1.0, tx_ = 0.0, ty_ = 0.0;
+};
+
+constexpr double kPi = 3.14159265358979323846;
+
+void DrawDigit(std::size_t digit, double r, Canvas* c) {
+  switch (digit) {
+    case 0:
+      c->Arc(0.5, 0.5, 0.32, 0.45, 0.0, 2.0 * kPi, r);
+      break;
+    case 1:
+      c->Line(0.35, 0.25, 0.55, 0.05, r);
+      c->Line(0.55, 0.05, 0.55, 0.95, r);
+      break;
+    case 2:
+      c->Arc(0.5, 0.28, 0.3, 0.25, -kPi, 0.35, r);
+      c->Line(0.76, 0.38, 0.22, 0.95, r);
+      c->Line(0.22, 0.95, 0.8, 0.95, r);
+      break;
+    case 3:
+      c->Arc(0.45, 0.27, 0.3, 0.24, -kPi * 0.9, kPi * 0.5, r);
+      c->Arc(0.45, 0.73, 0.32, 0.26, -kPi * 0.5, kPi * 0.9, r);
+      break;
+    case 4:
+      c->Line(0.62, 0.05, 0.2, 0.62, r);
+      c->Line(0.2, 0.62, 0.85, 0.62, r);
+      c->Line(0.62, 0.05, 0.62, 0.95, r);
+      break;
+    case 5:
+      c->Line(0.75, 0.08, 0.3, 0.08, r);
+      c->Line(0.3, 0.08, 0.28, 0.45, r);
+      c->Arc(0.48, 0.68, 0.28, 0.26, -kPi * 0.6, kPi * 0.85, r);
+      break;
+    case 6:
+      c->Arc(0.55, 0.2, 0.3, 0.3, kPi * 0.85, kPi * 1.45, r);
+      c->Line(0.28, 0.33, 0.24, 0.68, r);
+      c->Arc(0.5, 0.7, 0.26, 0.24, 0.0, 2.0 * kPi, r);
+      break;
+    case 7:
+      c->Line(0.18, 0.08, 0.82, 0.08, r);
+      c->Line(0.82, 0.08, 0.42, 0.95, r);
+      break;
+    case 8:
+      c->Arc(0.5, 0.28, 0.24, 0.21, 0.0, 2.0 * kPi, r);
+      c->Arc(0.5, 0.72, 0.29, 0.25, 0.0, 2.0 * kPi, r);
+      break;
+    case 9:
+      c->Arc(0.5, 0.3, 0.26, 0.24, 0.0, 2.0 * kPi, r);
+      c->Line(0.76, 0.3, 0.68, 0.92, r);
+      break;
+    default:
+      P3GM_CHECK(false);
+  }
+}
+
+void DrawGarment(std::size_t cls, util::Rng* rng, Canvas* c) {
+  const double j1 = rng->Uniform(-0.03, 0.03);
+  const double j2 = rng->Uniform(-0.03, 0.03);
+  switch (cls) {
+    case 0:  // T-shirt: torso + short sleeves.
+      c->FillRect(0.3 + j1, 0.25, 0.7 + j2, 0.85);
+      c->FillRect(0.1, 0.25, 0.32, 0.45 + j1);
+      c->FillRect(0.68, 0.25, 0.9, 0.45 + j2);
+      break;
+    case 1:  // Trouser: two legs.
+      c->FillRect(0.32 + j1, 0.1, 0.48, 0.92);
+      c->FillRect(0.54, 0.1, 0.7 + j2, 0.92);
+      c->FillRect(0.32 + j1, 0.1, 0.7 + j2, 0.3);
+      break;
+    case 2:  // Pullover: torso + long sleeves.
+      c->FillRect(0.3 + j1, 0.2, 0.7 + j2, 0.85);
+      c->FillRect(0.08, 0.2, 0.32, 0.8 + j1);
+      c->FillRect(0.68, 0.2, 0.92, 0.8 + j2);
+      break;
+    case 3:  // Dress: narrow top widening down.
+      c->FillRect(0.4 + j1, 0.1, 0.6 + j2, 0.4);
+      c->FillEllipse(0.5 + j1, 0.72, 0.26, 0.26);
+      c->FillRect(0.34, 0.45, 0.66, 0.75 + j2);
+      break;
+    case 4:  // Coat: long torso, long sleeves, open front line.
+      c->FillRect(0.28 + j1, 0.15, 0.72 + j2, 0.95);
+      c->FillRect(0.06, 0.15, 0.3, 0.85 + j1);
+      c->FillRect(0.7, 0.15, 0.94, 0.85 + j2);
+      break;
+    case 5:  // Sandal: strips.
+      c->FillRect(0.1 + j1, 0.62, 0.9 + j2, 0.72);
+      c->FillRect(0.2, 0.45, 0.35 + j1, 0.65);
+      c->FillRect(0.5, 0.45, 0.65 + j2, 0.65);
+      c->FillRect(0.75, 0.5, 0.9, 0.65);
+      break;
+    case 6:  // Shirt: torso + sleeves + collar gap.
+      c->FillRect(0.32 + j1, 0.2, 0.68 + j2, 0.88);
+      c->FillRect(0.12, 0.2, 0.34, 0.6 + j1);
+      c->FillRect(0.66, 0.2, 0.88, 0.6 + j2);
+      c->FillRect(0.46, 0.2, 0.54, 0.34);
+      break;
+    case 7:  // Sneaker: low wedge.
+      c->FillEllipse(0.4 + j1, 0.68, 0.32, 0.14);
+      c->FillRect(0.1, 0.68, 0.9 + j2, 0.82);
+      c->FillRect(0.6, 0.55, 0.9 + j2, 0.72);
+      break;
+    case 8:  // Bag: body + handle arc.
+      c->FillRect(0.2 + j1, 0.45, 0.8 + j2, 0.88);
+      c->Arc(0.5, 0.45, 0.2, 0.22, -kPi, 0.0, 1.2);
+      break;
+    case 9:  // Ankle boot: L-shaped.
+      c->FillRect(0.35 + j1, 0.2, 0.6 + j2, 0.8);
+      c->FillRect(0.35 + j1, 0.62, 0.88, 0.84);
+      break;
+    default:
+      P3GM_CHECK(false);
+  }
+}
+
+Dataset MakeImageDataset(std::size_t n, std::uint64_t seed, bool fashion,
+                         const std::string& name) {
+  P3GM_CHECK(n >= 10);
+  util::Rng rng(seed);
+  Dataset out;
+  out.name = name;
+  out.num_classes = 10;
+  out.features = linalg::Matrix(n, kImagePixels);
+  out.labels.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = rng.UniformInt(10);
+    out.labels[i] = cls;
+    Canvas canvas;
+    canvas.SetAffine(rng.Uniform(-0.22, 0.22), rng.Uniform(0.82, 1.08),
+                     rng.Uniform(0.82, 1.08), rng.Uniform(-1.8, 1.8),
+                     rng.Uniform(-1.8, 1.8));
+    if (fashion) {
+      DrawGarment(cls, &rng, &canvas);
+    } else {
+      DrawDigit(cls, rng.Uniform(0.7, 1.5), &canvas);
+    }
+    canvas.Finish(/*noise_std=*/0.03, &rng);
+    const std::vector<double>& pix = canvas.pixels();
+    double* row = out.features.row_data(i);
+    std::copy(pix.begin(), pix.end(), row);
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset MakeMnistLike(std::size_t n, std::uint64_t seed) {
+  return MakeImageDataset(n, seed, /*fashion=*/false, "mnist-like");
+}
+
+Dataset MakeFashionLike(std::size_t n, std::uint64_t seed) {
+  return MakeImageDataset(n, seed, /*fashion=*/true, "fashion-like");
+}
+
+std::string AsciiImage(const double* pixels, std::size_t side) {
+  static const char kShades[] = " .:-=+*#%@";
+  std::string out;
+  out.reserve(side * (side + 1));
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      const double v = std::clamp(pixels[i * side + j], 0.0, 1.0);
+      out += kShades[static_cast<std::size_t>(v * 9.999)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::Status SaveImageGridPgm(const linalg::Matrix& images,
+                              std::size_t grid_cols, const std::string& path,
+                              std::size_t side) {
+  if (images.rows() == 0 || images.cols() != side * side) {
+    return util::Status::InvalidArgument(
+        "SaveImageGridPgm: rows must be flattened side*side images");
+  }
+  if (grid_cols == 0) {
+    return util::Status::InvalidArgument("SaveImageGridPgm: grid_cols == 0");
+  }
+  const std::size_t grid_rows =
+      (images.rows() + grid_cols - 1) / grid_cols;
+  const std::size_t width = grid_cols * (side + 1) - 1;
+  const std::size_t height = grid_rows * (side + 1) - 1;
+  std::vector<unsigned char> raster(width * height, 32);  // Dim separator.
+  for (std::size_t k = 0; k < images.rows(); ++k) {
+    const std::size_t gr = k / grid_cols;
+    const std::size_t gc = k % grid_cols;
+    const double* img = images.row_data(k);
+    for (std::size_t i = 0; i < side; ++i) {
+      for (std::size_t j = 0; j < side; ++j) {
+        const double v = std::clamp(img[i * side + j], 0.0, 1.0);
+        raster[(gr * (side + 1) + i) * width + gc * (side + 1) + j] =
+            static_cast<unsigned char>(v * 255.0);
+      }
+    }
+  }
+  std::ofstream f(path, std::ios::binary);
+  if (!f.is_open()) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  f << "P5\n" << width << " " << height << "\n255\n";
+  f.write(reinterpret_cast<const char*>(raster.data()),
+          static_cast<std::streamsize>(raster.size()));
+  if (!f) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+}  // namespace data
+}  // namespace p3gm

@@ -1,0 +1,255 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/transforms.h"
+#include "linalg/ops.h"
+
+namespace p3gm {
+namespace data {
+
+namespace {
+
+// Scales every column of `features` to [0, 1] in place (generation-time
+// normalization; the scaler is not retained because synthetic generators
+// define their own canonical scale).
+void ScaleToUnit(linalg::Matrix* features) {
+  auto scaler = MinMaxScaler::Fit(*features);
+  P3GM_CHECK(scaler.ok());
+  *features = scaler.ValueOrDie().Transform(*features);
+}
+
+}  // namespace
+
+Dataset MakeCreditLike(std::size_t n, std::uint64_t seed,
+                       double positive_rate) {
+  P3GM_CHECK(n >= 100);
+  P3GM_CHECK(positive_rate > 0.0 && positive_rate < 0.5);
+  util::Rng rng(seed);
+  constexpr std::size_t kDim = 29;
+  const double kPositiveRate = positive_rate;
+
+  Dataset out;
+  out.name = "credit-like";
+  out.num_classes = 2;
+  out.features = linalg::Matrix(n, kDim);
+  out.labels.assign(n, 0);
+
+  // Decaying per-component scales, mimicking PCA-ordered components.
+  std::vector<double> comp_scale(28);
+  for (std::size_t j = 0; j < 28; ++j) {
+    comp_scale[j] = 2.0 * std::exp(-0.08 * static_cast<double>(j)) + 0.2;
+  }
+  // Fraud signature: a fixed shift direction in 8 of the 28 components.
+  // The shift is moderate so the classes overlap — real Credit is not
+  // perfectly separable (original AUROC ~0.97 in the paper, not 1.0).
+  util::Rng dir_rng(seed ^ 0xf00d);
+  std::vector<double> fraud_shift(28, 0.0);
+  for (std::size_t j = 0; j < 8; ++j) {
+    fraud_shift[j * 3] = dir_rng.Normal(0.0, 1.0) > 0 ? 1.3 : -1.3;
+  }
+
+  const auto num_pos = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::round(kPositiveRate * n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i < num_pos;
+    out.labels[i] = positive ? 1 : 0;
+    double* row = out.features.row_data(i);
+    for (std::size_t j = 0; j < 28; ++j) {
+      double v = rng.Normal(0.0, comp_scale[j]);
+      if (positive) v = 0.85 * v + fraud_shift[j] * comp_scale[j];
+      row[j] = v;
+    }
+    // Amount: lognormal-ish, slightly heavier for fraud.
+    const double log_amount =
+        rng.Normal(positive ? 3.8 : 3.4, positive ? 1.2 : 1.0);
+    row[28] = std::exp(std::min(log_amount, 9.0));
+  }
+
+  // Shuffle so positives are interleaved.
+  std::vector<std::size_t> perm = rng.Permutation(n);
+  out.features = out.features.SelectRows(perm);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = out.labels[perm[i]];
+  out.labels = std::move(labels);
+
+  ScaleToUnit(&out.features);
+  return out;
+}
+
+Dataset MakeAdultLike(std::size_t n, std::uint64_t seed) {
+  P3GM_CHECK(n >= 100);
+  util::Rng rng(seed);
+  constexpr std::size_t kDim = 15;
+
+  Dataset out;
+  out.name = "adult-like";
+  out.num_classes = 2;
+  out.features = linalg::Matrix(n, kDim);
+  out.labels.assign(n, 0);
+
+  std::vector<double> logits(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = out.features.row_data(i);
+    // 0: age (years), correlated driver of several other columns.
+    const double age = std::clamp(rng.Normal(38.0, 13.0), 17.0, 90.0);
+    // 1: workclass (8 categories).
+    const double workclass = static_cast<double>(rng.UniformInt(8));
+    // 2: fnlwgt-like weight.
+    const double weight = std::exp(rng.Normal(11.0, 0.6));
+    // 3: education level (16 ordered categories), mildly age-linked.
+    double edu = rng.Normal(9.5 + (age - 38.0) * 0.02, 2.8);
+    edu = std::clamp(std::round(edu), 1.0, 16.0);
+    // 4: education-num equals the ordered code (deterministic copy — a
+    // real Adult redundancy PrivBayes can exploit).
+    const double edu_num = edu;
+    // 5: marital status (7 categories), age-linked.
+    const double marital =
+        age > 28.0 && rng.Bernoulli(0.62) ? 1.0
+            : static_cast<double>(rng.UniformInt(7));
+    // 6: occupation (14 categories), education-linked.
+    double occupation = std::round(rng.Normal(edu * 0.7, 2.5));
+    occupation = std::clamp(occupation, 0.0, 13.0);
+    // 7: relationship (6), 8: race (5), 9: sex (2).
+    const double relationship = static_cast<double>(rng.UniformInt(6));
+    const double race = static_cast<double>(rng.UniformInt(5));
+    const double sex = rng.Bernoulli(0.67) ? 1.0 : 0.0;
+    // 10: capital gain — sparse spikes.
+    const double cap_gain =
+        rng.Bernoulli(0.08) ? std::exp(rng.Normal(8.5, 1.0)) : 0.0;
+    // 11: capital loss — sparser spikes.
+    const double cap_loss =
+        rng.Bernoulli(0.04) ? std::exp(rng.Normal(7.4, 0.5)) : 0.0;
+    // 12: hours per week.
+    const double hours = std::clamp(rng.Normal(40.0, 11.0), 1.0, 99.0);
+    // 13: native country (binary US/other dominant mass).
+    const double country = rng.Bernoulli(0.9) ? 0.0
+                               : static_cast<double>(1 + rng.UniformInt(10));
+    // 14: age bucket (decade) — another deterministic redundancy.
+    const double age_bucket = std::floor(age / 10.0);
+
+    const double values[kDim] = {age,   workclass, weight,  edu,
+                                 edu_num, marital, occupation, relationship,
+                                 race,  sex,       cap_gain, cap_loss,
+                                 hours, country,   age_bucket};
+    for (std::size_t j = 0; j < kDim; ++j) row[j] = values[j];
+
+    // Income logit: sparse dependence on a few columns, like real Adult.
+    logits[i] = 0.045 * (age - 38.0) + 0.38 * (edu - 9.5) +
+                0.055 * (hours - 40.0) + (cap_gain > 0.0 ? 2.4 : 0.0) +
+                (marital == 1.0 ? 1.1 : -0.4) + 0.35 * sex +
+                rng.Normal(0.0, 0.8);
+  }
+
+  // Calibrate the intercept so the positive rate lands at ~24.1 %.
+  std::vector<double> sorted = logits;
+  std::sort(sorted.begin(), sorted.end());
+  const double intercept =
+      -sorted[static_cast<std::size_t>(0.759 * static_cast<double>(n))];
+  for (std::size_t i = 0; i < n; ++i) {
+    out.labels[i] = (logits[i] + intercept > 0.0) ? 1 : 0;
+  }
+
+  ScaleToUnit(&out.features);
+  return out;
+}
+
+Dataset MakeIsoletLike(std::size_t n, std::uint64_t seed) {
+  P3GM_CHECK(n >= 100);
+  util::Rng rng(seed);
+  constexpr std::size_t kDim = 617;
+  constexpr std::size_t kRank = 25;
+  constexpr std::size_t kLetters = 26;
+
+  Dataset out;
+  out.name = "isolet-like";
+  out.num_classes = 2;
+  out.features = linalg::Matrix(n, kDim);
+  out.labels.assign(n, 0);
+
+  // Shared loading matrix F (kDim x kRank) and per-letter latent means.
+  util::Rng model_rng(seed ^ 0x150137);
+  linalg::Matrix loadings(kDim, kRank);
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j < kRank; ++j) {
+      loadings(i, j) = model_rng.Normal(0.0, 1.0 / std::sqrt(kRank));
+    }
+  }
+  // Letter clusters overlap (sd comparable to within-letter spread) so
+  // the binarized task is hard but learnable, like real ISOLET.
+  linalg::Matrix letter_means(kLetters, kRank);
+  for (std::size_t c = 0; c < kLetters; ++c) {
+    for (std::size_t j = 0; j < kRank; ++j) {
+      letter_means(c, j) = model_rng.Normal(0.0, 0.9);
+    }
+  }
+  // 5 of 26 letters positive ~= 19.2 %.
+  auto is_positive = [](std::size_t letter) { return letter < 5; };
+
+  std::vector<double> z(kRank);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t letter = rng.UniformInt(kLetters);
+    out.labels[i] = is_positive(letter) ? 1 : 0;
+    for (std::size_t j = 0; j < kRank; ++j) {
+      z[j] = letter_means(letter, j) +
+             rng.Normal(0.0, 0.8 * std::exp(-0.05 * static_cast<double>(j)));
+    }
+    const std::vector<double> x = linalg::MatVec(loadings, z);
+    double* row = out.features.row_data(i);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      row[j] = x[j] + rng.Normal(0.0, 0.15);
+    }
+  }
+
+  ScaleToUnit(&out.features);
+  return out;
+}
+
+Dataset MakeEsrLike(std::size_t n, std::uint64_t seed) {
+  P3GM_CHECK(n >= 100);
+  util::Rng rng(seed);
+  constexpr std::size_t kSeries = 178;
+  constexpr std::size_t kDim = kSeries + 1;
+  constexpr double kPositiveRate = 0.20;
+
+  Dataset out;
+  out.name = "esr-like";
+  out.num_classes = 2;
+  out.features = linalg::Matrix(n, kDim);
+  out.labels.assign(n, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool seizure = rng.Uniform() < kPositiveRate;
+    out.labels[i] = seizure ? 1 : 0;
+    // AR(2): x_t = a1 x_{t-1} + a2 x_{t-2} + e_t. Seizure windows have a
+    // slower oscillation (poles nearer the unit circle) plus occasional
+    // spikes, and a larger amplitude *on average* — a per-window random
+    // gain makes the amplitude distributions overlap so the task is hard
+    // but not trivial (paper's original ESR AUROC ~0.87).
+    const double a1 = seizure ? 1.55 : 1.35;
+    const double a2 = seizure ? -0.72 : -0.58;
+    const double gain = std::exp(rng.Normal(0.0, 0.5));
+    const double noise_scale = gain * (seizure ? 1.6 : 1.0);
+    double prev1 = rng.Normal(0.0, noise_scale);
+    double prev2 = rng.Normal(0.0, noise_scale);
+    double* row = out.features.row_data(i);
+    double abs_sum = 0.0;
+    for (std::size_t t = 0; t < kSeries; ++t) {
+      double x = a1 * prev1 + a2 * prev2 + rng.Normal(0.0, noise_scale);
+      if (seizure && rng.Bernoulli(0.02)) x += rng.Normal(0.0, 12.0);
+      row[t] = x;
+      abs_sum += std::fabs(x);
+      prev2 = prev1;
+      prev1 = x;
+    }
+    // Amplitude summary channel.
+    row[kSeries] = abs_sum / static_cast<double>(kSeries);
+  }
+
+  ScaleToUnit(&out.features);
+  return out;
+}
+
+}  // namespace data
+}  // namespace p3gm

@@ -1,0 +1,105 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+
+namespace p3gm {
+namespace data {
+
+util::Result<MinMaxScaler> MinMaxScaler::Fit(const linalg::Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return util::Status::InvalidArgument("MinMaxScaler: empty data");
+  }
+  MinMaxScaler s;
+  s.lo_.assign(x.cols(), 0.0);
+  s.hi_.assign(x.cols(), 0.0);
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    double lo = x(0, j), hi = x(0, j);
+    for (std::size_t i = 1; i < x.rows(); ++i) {
+      lo = std::min(lo, x(i, j));
+      hi = std::max(hi, x(i, j));
+    }
+    s.lo_[j] = lo;
+    s.hi_[j] = hi;
+  }
+  return s;
+}
+
+linalg::Matrix MinMaxScaler::Transform(const linalg::Matrix& x) const {
+  P3GM_CHECK(x.cols() == lo_.size());
+  linalg::Matrix out = x;
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    const double range = hi_[j] - lo_[j];
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out(i, j) = range > 0.0 ? (x(i, j) - lo_[j]) / range : 0.0;
+    }
+  }
+  return out;
+}
+
+linalg::Matrix MinMaxScaler::InverseTransform(const linalg::Matrix& x) const {
+  P3GM_CHECK(x.cols() == lo_.size());
+  linalg::Matrix out = x;
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    const double range = hi_[j] - lo_[j];
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out(i, j) = lo_[j] + x(i, j) * range;
+    }
+  }
+  return out;
+}
+
+linalg::Matrix LabelsToOneHot(const std::vector<std::size_t>& labels,
+                              std::size_t num_classes) {
+  linalg::Matrix out(labels.size(), num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    P3GM_CHECK(labels[i] < num_classes);
+    out(i, labels[i]) = 1.0;
+  }
+  return out;
+}
+
+std::vector<std::size_t> OneHotToLabels(const linalg::Matrix& one_hot) {
+  std::vector<std::size_t> labels(one_hot.rows(), 0);
+  for (std::size_t i = 0; i < one_hot.rows(); ++i) {
+    const double* row = one_hot.row_data(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < one_hot.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    labels[i] = best;
+  }
+  return labels;
+}
+
+linalg::Matrix AttachLabels(const linalg::Matrix& features,
+                            const std::vector<std::size_t>& labels,
+                            std::size_t num_classes) {
+  P3GM_CHECK(features.rows() == labels.size());
+  return features.ConcatCols(LabelsToOneHot(labels, num_classes));
+}
+
+LabeledRows DetachLabels(const linalg::Matrix& joint,
+                         std::size_t num_classes) {
+  P3GM_CHECK(joint.cols() > num_classes);
+  const std::size_t d = joint.cols() - num_classes;
+  LabeledRows out;
+  out.features = joint.FirstCols(d);
+  linalg::Matrix one_hot(joint.rows(), num_classes);
+  for (std::size_t i = 0; i < joint.rows(); ++i) {
+    for (std::size_t j = 0; j < num_classes; ++j) {
+      one_hot(i, j) = joint(i, d + j);
+    }
+  }
+  out.labels = OneHotToLabels(one_hot);
+  return out;
+}
+
+void Clamp(double lo, double hi, linalg::Matrix* m) {
+  double* data = m->data();
+  for (std::size_t i = 0; i < m->size(); ++i) {
+    data[i] = std::clamp(data[i], lo, hi);
+  }
+}
+
+}  // namespace data
+}  // namespace p3gm

@@ -1,0 +1,59 @@
+#ifndef P3GM_DATA_TRANSFORMS_H_
+#define P3GM_DATA_TRANSFORMS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace data {
+
+/// Per-column min-max scaler mapping features to [0, 1]. Constant columns
+/// map to 0.
+class MinMaxScaler {
+ public:
+  /// Learns per-column ranges from `x`.
+  static util::Result<MinMaxScaler> Fit(const linalg::Matrix& x);
+
+  linalg::Matrix Transform(const linalg::Matrix& x) const;
+  linalg::Matrix InverseTransform(const linalg::Matrix& x) const;
+
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+/// One-hot encodes integer labels to an (n x num_classes) 0/1 matrix.
+linalg::Matrix LabelsToOneHot(const std::vector<std::size_t>& labels,
+                              std::size_t num_classes);
+
+/// Argmax decode of (possibly soft) one-hot rows back to labels.
+std::vector<std::size_t> OneHotToLabels(const linalg::Matrix& one_hot);
+
+/// [features | one-hot(labels)] — the paper trains P3GM "with
+/// one-hot-encoding of the label" so generated rows carry a label
+/// (Section IV-E).
+linalg::Matrix AttachLabels(const linalg::Matrix& features,
+                            const std::vector<std::size_t>& labels,
+                            std::size_t num_classes);
+
+/// Splits [features | one-hot] back apart; the label block is the last
+/// `num_classes` columns, decoded by argmax.
+struct LabeledRows {
+  linalg::Matrix features;
+  std::vector<std::size_t> labels;
+};
+LabeledRows DetachLabels(const linalg::Matrix& joint,
+                         std::size_t num_classes);
+
+/// Clamps every element of `m` into [lo, hi] in place.
+void Clamp(double lo, double hi, linalg::Matrix* m);
+
+}  // namespace data
+}  // namespace p3gm
+
+#endif  // P3GM_DATA_TRANSFORMS_H_

@@ -1,0 +1,154 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace dp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+RdpAccountant::RdpAccountant(std::vector<double> orders)
+    : orders_(orders.empty() ? DefaultRdpOrders() : std::move(orders)),
+      rdp_(orders_.size(), 0.0) {
+  for (double a : orders_) P3GM_CHECK(a > 1.0);
+}
+
+void RdpAccountant::AddGaussian(double sigma, std::size_t count) {
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(count) * GaussianRdp(orders_[i], sigma);
+  }
+}
+
+void RdpAccountant::AddSampledGaussian(double q, double sigma,
+                                       std::size_t steps) {
+  if (steps == 0 || q == 0.0) return;
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    // Our order grid holds integers; the sampled-Gaussian formula is exact
+    // for integer orders.
+    const auto alpha = static_cast<std::size_t>(orders_[i]);
+    rdp_[i] +=
+        static_cast<double>(steps) * SampledGaussianRdp(alpha, q, sigma);
+  }
+}
+
+void RdpAccountant::AddDpEm(double sigma_e, std::size_t num_components,
+                            std::size_t steps) {
+  if (steps == 0) return;
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(steps) *
+               DpEmRdp(orders_[i], sigma_e, num_components);
+  }
+}
+
+void RdpAccountant::AddPureDp(double eps) {
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += PureDpRdp(orders_[i], eps);
+  }
+}
+
+void RdpAccountant::AddRdp(const std::vector<double>& eps_per_order) {
+  P3GM_CHECK(eps_per_order.size() == orders_.size());
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += eps_per_order[i];
+  }
+}
+
+DpGuarantee RdpAccountant::GetEpsilon(double delta) const {
+  P3GM_CHECK(delta > 0.0 && delta < 1.0);
+  DpGuarantee out;
+  out.delta = delta;
+  out.epsilon = kInf;
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    const double eps = RdpToDp(orders_[i], rdp_[i], delta);
+    if (eps < out.epsilon) {
+      out.epsilon = eps;
+      out.best_order = orders_[i];
+    }
+  }
+  return out;
+}
+
+DpGuarantee ComputeP3gmEpsilonRdp(const P3gmPrivacyParams& params,
+                                  double delta) {
+  RdpAccountant acc;
+  if (params.pca_epsilon > 0.0) acc.AddPureDp(params.pca_epsilon);
+  if (params.em_iters > 0) {
+    acc.AddDpEm(params.em_sigma, params.mog_components, params.em_iters);
+  }
+  acc.AddSampledGaussian(params.sgd_sampling_rate, params.sgd_sigma,
+                         params.sgd_steps);
+  return acc.GetEpsilon(delta);
+}
+
+double ComputeP3gmEpsilonBaseline(const P3gmPrivacyParams& params,
+                                  double delta) {
+  // DP-SGD via the classic moments accountant (paper Eq. 4), spending
+  // delta/2: eps = min_lambda (T * MA(lambda) + log(2/delta)) / lambda.
+  double eps_sgd = kInf;
+  if (params.sgd_steps > 0 && params.sgd_sampling_rate > 0.0) {
+    for (std::size_t lambda = 1; lambda <= 64; ++lambda) {
+      const double ma = MomentsAccountantEq4(lambda, params.sgd_sampling_rate,
+                                             params.sgd_sigma);
+      if (!std::isfinite(ma)) continue;
+      const double eps =
+          (static_cast<double>(params.sgd_steps) * ma +
+           std::log(2.0 / delta)) /
+          static_cast<double>(lambda);
+      eps_sgd = std::min(eps_sgd, eps);
+    }
+  } else {
+    eps_sgd = 0.0;
+  }
+
+  // DP-EM via zCDP, spending delta/2. Per-step rho = (2K+1)/(2 sigma_e^2)
+  // (Eq. 3 is exactly linear in alpha, i.e. zCDP).
+  double eps_em = 0.0;
+  if (params.em_iters > 0) {
+    const double rho_step =
+        (2.0 * static_cast<double>(params.mog_components) + 1.0) /
+        (2.0 * params.em_sigma * params.em_sigma);
+    eps_em = ZcdpToDp(rho_step * static_cast<double>(params.em_iters),
+                      delta / 2.0);
+  }
+
+  return params.pca_epsilon + eps_em + eps_sgd;
+}
+
+util::Result<double> CalibrateSgdSigma(P3gmPrivacyParams params,
+                                       double target_epsilon, double delta,
+                                       double sigma_lo, double sigma_hi) {
+  if (target_epsilon <= 0.0) {
+    return util::Status::InvalidArgument(
+        "CalibrateSgdSigma: target epsilon must be positive");
+  }
+  auto eps_at = [&](double sigma) {
+    params.sgd_sigma = sigma;
+    return ComputeP3gmEpsilonRdp(params, delta).epsilon;
+  };
+  if (eps_at(sigma_hi) > target_epsilon) {
+    return util::Status::FailedPrecondition(
+        "CalibrateSgdSigma: target epsilon unreachable even at sigma_hi; "
+        "PCA/EM budget may already exceed the target");
+  }
+  if (eps_at(sigma_lo) <= target_epsilon) return sigma_lo;
+  // eps is monotonically decreasing in sigma; bisect to ~1e-4 relative.
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (sigma_lo + sigma_hi);
+    if (eps_at(mid) > target_epsilon) {
+      sigma_lo = mid;
+    } else {
+      sigma_hi = mid;
+    }
+    if ((sigma_hi - sigma_lo) / sigma_hi < 1e-4) break;
+  }
+  return sigma_hi;  // Conservative side: epsilon(sigma_hi) <= target.
+}
+
+}  // namespace dp
+}  // namespace p3gm

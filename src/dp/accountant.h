@@ -1,0 +1,103 @@
+#ifndef P3GM_DP_ACCOUNTANT_H_
+#define P3GM_DP_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/rdp.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace dp {
+
+/// An (epsilon, delta) guarantee together with the Rényi order that
+/// achieved it.
+struct DpGuarantee {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  double best_order = 0.0;
+};
+
+/// Tracks cumulative Rényi-DP cost over a grid of orders and converts to
+/// (epsilon, delta)-DP at the end (Theorem 2). Mechanisms compose by
+/// adding their per-order costs (Theorem 1), which is the tight
+/// composition P3GM's Theorem 4 uses.
+class RdpAccountant {
+ public:
+  /// Uses DefaultRdpOrders() when `orders` is empty.
+  explicit RdpAccountant(std::vector<double> orders = {});
+
+  /// Composes `count` releases of the plain Gaussian mechanism with noise
+  /// multiplier `sigma`.
+  void AddGaussian(double sigma, std::size_t count = 1);
+
+  /// Composes `steps` DP-SGD steps with Poisson sampling rate `q` and noise
+  /// multiplier `sigma`.
+  void AddSampledGaussian(double q, double sigma, std::size_t steps);
+
+  /// Composes `steps` DP-EM iterations with `num_components` Gaussians and
+  /// noise multiplier `sigma_e` (paper Eq. 3).
+  void AddDpEm(double sigma_e, std::size_t num_components, std::size_t steps);
+
+  /// Composes one (eps, 0)-DP release (e.g. DP-PCA's Wishart mechanism).
+  void AddPureDp(double eps);
+
+  /// Adds arbitrary per-order RDP costs; `eps_per_order` must match the
+  /// accountant's order grid.
+  void AddRdp(const std::vector<double>& eps_per_order);
+
+  /// Converts the accumulated RDP to (epsilon, delta)-DP, minimizing over
+  /// the order grid. Requires 0 < delta < 1.
+  DpGuarantee GetEpsilon(double delta) const;
+
+  const std::vector<double>& orders() const { return orders_; }
+  const std::vector<double>& rdp() const { return rdp_; }
+
+ private:
+  std::vector<double> orders_;
+  std::vector<double> rdp_;
+};
+
+/// All privacy knobs of one P3GM run (Algorithm 1 / Theorem 4).
+struct P3gmPrivacyParams {
+  /// Pure-DP budget of the DP-PCA Wishart mechanism; 0 disables PCA
+  /// accounting (e.g. Kaggle Credit, where no reduction is applied).
+  double pca_epsilon = 0.1;
+  /// Noise multiplier of DP-EM's M-step Gaussian mechanism.
+  double em_sigma = 100.0;
+  /// Number of DP-EM iterations (Te).
+  std::size_t em_iters = 20;
+  /// Number of MoG components (K).
+  std::size_t mog_components = 3;
+  /// DP-SGD noise multiplier (sigma_s); the knob calibration solves for.
+  double sgd_sigma = 1.5;
+  /// DP-SGD sampling probability (batch size / N).
+  double sgd_sampling_rate = 0.01;
+  /// Number of DP-SGD steps (Ts = epochs * N / B).
+  std::size_t sgd_steps = 1000;
+};
+
+/// Total (epsilon, delta)-DP of a P3GM run via RDP composition of
+/// DP-PCA + DP-EM + DP-SGD (the paper's Theorem 4).
+DpGuarantee ComputeP3gmEpsilonRdp(const P3gmPrivacyParams& params,
+                                  double delta);
+
+/// The paper's Fig. 6 baseline: DP-SGD accounted with the moments
+/// accountant (Eq. 4, delta/2), DP-EM with zCDP (Bun–Steinke conversion,
+/// delta/2), DP-PCA as pure DP, composed sequentially.
+double ComputeP3gmEpsilonBaseline(const P3gmPrivacyParams& params,
+                                  double delta);
+
+/// Finds the DP-SGD noise multiplier sigma_s such that the full P3GM
+/// composition (RDP) meets `target_epsilon` at `delta`, by bisection over
+/// [sigma_lo, sigma_hi]. Fails if the target is unreachable within the
+/// bracket (e.g. the PCA + EM budget alone already exceeds the target).
+util::Result<double> CalibrateSgdSigma(P3gmPrivacyParams params,
+                                       double target_epsilon, double delta,
+                                       double sigma_lo = 0.3,
+                                       double sigma_hi = 256.0);
+
+}  // namespace dp
+}  // namespace p3gm
+
+#endif  // P3GM_DP_ACCOUNTANT_H_

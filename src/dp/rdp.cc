@@ -1,0 +1,138 @@
+#include "dp/rdp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace dp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// log(n choose k) via lgamma.
+double LogBinom(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+// Numerically stable log(sum exp(terms)).
+double LogSumExp(const std::vector<double>& terms) {
+  double mx = -kInf;
+  for (double t : terms) mx = std::max(mx, t);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double t : terms) s += std::exp(t - mx);
+  return mx + std::log(s);
+}
+
+// log of the double factorial (t-1)!! for t >= 1.
+double LogDoubleFactorial(std::size_t t) {
+  double s = 0.0;
+  for (std::size_t v = t; v >= 2; v -= 2) s += std::log(static_cast<double>(v));
+  return s;
+}
+
+}  // namespace
+
+double GaussianRdp(double alpha, double sigma) {
+  P3GM_CHECK(alpha > 1.0 && sigma > 0.0);
+  return alpha / (2.0 * sigma * sigma);
+}
+
+double SampledGaussianRdp(std::size_t alpha, double q, double sigma) {
+  P3GM_CHECK(alpha >= 2);
+  P3GM_CHECK(q >= 0.0 && q <= 1.0);
+  P3GM_CHECK(sigma > 0.0);
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return GaussianRdp(static_cast<double>(alpha), sigma);
+
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+  std::vector<double> terms;
+  terms.reserve(alpha + 1);
+  for (std::size_t k = 0; k <= alpha; ++k) {
+    const double kk = static_cast<double>(k);
+    terms.push_back(LogBinom(alpha, k) +
+                    static_cast<double>(alpha - k) * log_1mq + kk * log_q +
+                    kk * (kk - 1.0) / (2.0 * sigma * sigma));
+  }
+  const double log_moment = LogSumExp(terms);
+  return std::max(0.0, log_moment / (static_cast<double>(alpha) - 1.0));
+}
+
+double DpEmRdp(double alpha, double sigma_e, std::size_t num_components) {
+  P3GM_CHECK(alpha > 1.0 && sigma_e > 0.0 && num_components > 0);
+  // Eq. (3): MA(lambda) <= (2K+1)(lambda^2+lambda)/(2 sigma_e^2); by
+  // Theorem 3 the mechanism is (lambda+1, MA(lambda)/lambda)-RDP, i.e.
+  // eps(alpha) = (2K+1) * alpha / (2 sigma_e^2) at alpha = lambda + 1.
+  const double k_factor = 2.0 * static_cast<double>(num_components) + 1.0;
+  return k_factor * alpha / (2.0 * sigma_e * sigma_e);
+}
+
+double PureDpRdp(double alpha, double eps) {
+  P3GM_CHECK(alpha > 1.0 && eps >= 0.0);
+  return std::min(2.0 * alpha * eps * eps, eps);
+}
+
+double RdpToDp(double alpha, double rdp_eps, double delta) {
+  P3GM_CHECK(alpha > 1.0);
+  P3GM_CHECK(delta > 0.0 && delta < 1.0);
+  return rdp_eps + std::log(1.0 / delta) / (alpha - 1.0);
+}
+
+double MomentsAccountantEq4(std::size_t lambda, double s, double sigma) {
+  P3GM_CHECK(lambda >= 1);
+  P3GM_CHECK(s > 0.0 && s < 1.0 && sigma > 0.0);
+  const double lam = static_cast<double>(lambda);
+  const double one_ms = 1.0 - s;
+  // First term: s^2 lambda (lambda+1) / ((1-s) sigma^2).
+  // (The paper prints alpha(alpha-1); Abadi et al.'s Lemma 3 derivation
+  // gives lambda(lambda+1) — we keep the paper's printed form.)
+  double total = s * s * lam * (lam - 1.0) / (one_ms * sigma * sigma);
+  // Tail: t = 3 .. lambda + 1. Evaluate each addend in log space and bail
+  // to +inf if any term overflows.
+  for (std::size_t t = 3; t <= lambda + 1; ++t) {
+    const double td = static_cast<double>(t);
+    const double log_2s_t = td * std::log(2.0 * s);
+    const double log_dfact = LogDoubleFactorial(t - 1);
+    const double log_one_ms_tm1 = (td - 1.0) * std::log(one_ms);
+
+    const double term1 =
+        log_2s_t + log_dfact - std::log(2.0) - log_one_ms_tm1 -
+        td * std::log(sigma);
+    const double term2 =
+        td * std::log(s) - td * std::log(one_ms) -
+        2.0 * td * std::log(sigma);
+    const double inner = LogSumExp(
+        {td * std::log(sigma) + log_dfact, td * std::log(td)});
+    const double term3 = log_2s_t + (td * td - td) / (2.0 * sigma * sigma) +
+                         inner - std::log(2.0) - log_one_ms_tm1 -
+                         2.0 * td * std::log(sigma);
+    const double addend = LogSumExp({term1, term2, term3});
+    if (addend > 700.0) return kInf;
+    total += std::exp(addend);
+    if (!std::isfinite(total)) return kInf;
+  }
+  return total;
+}
+
+double ZcdpToDp(double rho, double delta) {
+  P3GM_CHECK(rho >= 0.0);
+  P3GM_CHECK(delta > 0.0 && delta < 1.0);
+  return rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
+}
+
+std::vector<double> DefaultRdpOrders() {
+  std::vector<double> orders;
+  for (int a = 2; a <= 64; ++a) orders.push_back(static_cast<double>(a));
+  for (int a = 80; a <= 1024; a *= 2) orders.push_back(static_cast<double>(a));
+  return orders;
+}
+
+}  // namespace dp
+}  // namespace p3gm

@@ -1,0 +1,67 @@
+#ifndef P3GM_DP_RDP_H_
+#define P3GM_DP_RDP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace p3gm {
+namespace dp {
+
+/// Analytic Rényi-DP costs of the mechanisms P3GM composes, plus the
+/// zCDP / Moments-Accountant baselines the paper compares against in
+/// Fig. 6. All formulas are per *one* invocation; multiply by the number
+/// of iterations (RDP composes additively, Theorem 1).
+
+/// RDP of the plain Gaussian mechanism with noise multiplier sigma
+/// (noise stddev = sigma * sensitivity): epsilon(alpha) = alpha / (2 sigma^2).
+double GaussianRdp(double alpha, double sigma);
+
+/// RDP upper bound of the *sampled* Gaussian mechanism (one DP-SGD step
+/// with Poisson sampling rate q and noise multiplier sigma) at integer
+/// order alpha >= 2, following Mironov et al. 2019 / the moments
+/// accountant of Abadi et al. 2016:
+///
+///   eps(alpha) = log( sum_{k=0}^{alpha} C(alpha,k) (1-q)^{alpha-k} q^k
+///                      exp(k(k-1) / (2 sigma^2)) ) / (alpha - 1).
+///
+/// Computed with log-sum-exp; exact for integer alpha. q in [0,1].
+double SampledGaussianRdp(std::size_t alpha, double q, double sigma);
+
+/// Paper Eq. (3): per-iteration moments-accountant bound of DP-EM with K
+/// mixture components and noise multiplier sigma_e, expressed as RDP at
+/// order alpha (via Theorem 3: MA(alpha-1)/(alpha-1)). Reduces to
+/// (2K+1) * alpha / (2 sigma_e^2), i.e. zCDP with rho = (2K+1)/(2 sigma_e^2).
+double DpEmRdp(double alpha, double sigma_e, std::size_t num_components);
+
+/// RDP of an (epsilon, 0)-DP mechanism at order alpha. The paper uses the
+/// bound 2 * alpha * eps^2 (Mironov Lemma 1) for DP-PCA; we additionally
+/// cap at eps, which is always valid because the Rényi divergence is
+/// bounded by the max divergence.
+double PureDpRdp(double alpha, double eps);
+
+/// Converts an RDP guarantee (alpha, rdp_eps) to (epsilon, delta)-DP via
+/// Theorem 2: epsilon = rdp_eps + log(1/delta) / (alpha - 1).
+double RdpToDp(double alpha, double rdp_eps, double delta);
+
+/// Paper Eq. (4): the explicit per-step moments-accountant upper bound for
+/// DP-SGD of Abadi et al., with sampling probability s and noise
+/// multiplier sigma, at integer moment lambda. Used only for the
+/// zCDP+MA baseline curve in Fig. 6; returns +inf when the series
+/// diverges numerically.
+double MomentsAccountantEq4(std::size_t lambda, double s, double sigma);
+
+/// zCDP composition of T Gaussian-mechanism-style releases with total
+/// rho = per_step_rho * steps, converted to (epsilon, delta)-DP via
+/// Bun–Steinke: epsilon = rho + 2 sqrt(rho * log(1/delta)).
+double ZcdpToDp(double rho, double delta);
+
+/// Default order grid used by the accountant: integers 2..64, then a
+/// geometric tail up to 1024. Matches common DP-SGD practice.
+std::vector<double> DefaultRdpOrders();
+
+}  // namespace dp
+}  // namespace p3gm
+
+#endif  // P3GM_DP_RDP_H_

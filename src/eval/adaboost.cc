@@ -1,0 +1,107 @@
+#include "eval/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/activations.h"
+
+namespace p3gm {
+namespace eval {
+
+util::Status AdaBoost::Fit(const linalg::Matrix& x,
+                           const std::vector<std::size_t>& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return util::Status::InvalidArgument(
+        "AdaBoost: empty data or label size mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  stumps_.clear();
+
+  std::vector<double> sign(n);
+  for (std::size_t i = 0; i < n; ++i) sign[i] = (y[i] == 1) ? 1.0 : -1.0;
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+
+  // Pre-sort each feature once; reused every round.
+  std::vector<std::vector<std::size_t>> order(d);
+  for (std::size_t f = 0; f < d; ++f) {
+    order[f].resize(n);
+    std::iota(order[f].begin(), order[f].end(), 0);
+    std::sort(order[f].begin(), order[f].end(),
+              [&](std::size_t a, std::size_t b) { return x(a, f) < x(b, f); });
+  }
+
+  for (std::size_t round = 0; round < options_.num_stumps; ++round) {
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+    double total_pos = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sign[i] > 0) total_pos += w[i];
+    }
+
+    Stump best;
+    double best_err = 0.5;
+    bool found = false;
+    for (std::size_t f = 0; f < d; ++f) {
+      // One linear sweep per feature: maintain the weight mass and
+      // positive mass strictly below each candidate cut.
+      double below = 0.0;
+      double pos_below = 0.0;
+      for (std::size_t k = 0; k + 1 < n; ++k) {
+        const std::size_t idx = order[f][k];
+        below += w[idx];
+        if (sign[idx] > 0) pos_below += w[idx];
+        if (x(order[f][k], f) == x(order[f][k + 1], f)) continue;
+        // Polarity +1 predicts positive above the cut. Its weighted error
+        // is the positives below plus the negatives above.
+        const double neg_above = (total - below) - (total_pos - pos_below);
+        const double err_plus = pos_below + neg_above;
+        const double err = std::min(err_plus, total - err_plus);
+        if (err < best_err - 1e-12) {
+          best_err = err;
+          best.feature = f;
+          best.threshold = 0.5 * (x(order[f][k], f) + x(order[f][k + 1], f));
+          best.polarity = (err_plus <= total - err_plus) ? 1.0 : -1.0;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    if (best_err <= 1e-10) {
+      // Perfect stump: give it a large finite vote and stop.
+      best.alpha = 10.0;
+      stumps_.push_back(best);
+      break;
+    }
+    best.alpha = 0.5 * std::log((1.0 - best_err) / best_err);
+    stumps_.push_back(best);
+
+    // Reweight and renormalize.
+    double z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double h = StumpPredict(best, x.row_data(i));
+      w[i] *= std::exp(-best.alpha * sign[i] * h);
+      z += w[i];
+    }
+    for (double& wi : w) wi /= z;
+  }
+  return util::Status::OK();
+}
+
+std::vector<double> AdaBoost::PredictProba(const linalg::Matrix& x) const {
+  std::vector<double> p(x.rows(), 0.5);
+  if (stumps_.empty()) return p;
+  double alpha_total = 0.0;
+  for (const Stump& s : stumps_) alpha_total += s.alpha;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double margin = 0.0;
+    for (const Stump& s : stumps_) {
+      margin += s.alpha * StumpPredict(s, x.row_data(i));
+    }
+    p[i] = nn::SigmoidScalar(2.0 * margin / std::max(alpha_total, 1e-12));
+  }
+  return p;
+}
+
+}  // namespace eval
+}  // namespace p3gm

@@ -1,0 +1,52 @@
+#ifndef P3GM_EVAL_ADABOOST_H_
+#define P3GM_EVAL_ADABOOST_H_
+
+#include <vector>
+
+#include "eval/classifier.h"
+
+namespace p3gm {
+namespace eval {
+
+/// Discrete AdaBoost (Freund & Schapire) over decision stumps — the
+/// stand-in for sklearn.ensemble.AdaBoostClassifier. Scores are the
+/// weighted stump margin squashed through a sigmoid so PredictProba is
+/// rank-consistent with the boosted decision function.
+class AdaBoost : public BinaryClassifier {
+ public:
+  struct Options {
+    std::size_t num_stumps = 50;
+  };
+
+  AdaBoost() = default;
+  explicit AdaBoost(const Options& options) : options_(options) {}
+
+  util::Status Fit(const linalg::Matrix& x,
+                   const std::vector<std::size_t>& y) override;
+  std::vector<double> PredictProba(const linalg::Matrix& x) const override;
+  std::string name() const override { return "AdaBoost"; }
+
+  std::size_t num_stumps() const { return stumps_.size(); }
+
+ private:
+  struct Stump {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    /// +1: predict positive above threshold; -1: below.
+    double polarity = 1.0;
+    double alpha = 0.0;
+  };
+
+  static double StumpPredict(const Stump& s, const double* row) {
+    const double side = (row[s.feature] > s.threshold) ? 1.0 : -1.0;
+    return side * s.polarity;
+  }
+
+  Options options_;
+  std::vector<Stump> stumps_;
+};
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_ADABOOST_H_

@@ -1,0 +1,59 @@
+#ifndef P3GM_EVAL_BOOSTING_H_
+#define P3GM_EVAL_BOOSTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "eval/classifier.h"
+#include "eval/regression_tree.h"
+
+namespace p3gm {
+namespace eval {
+
+/// Tree-boosted binary classifier on the logistic loss. One engine serves
+/// two presets:
+///
+///  * GradientBoostingClassifier() — first-order boosting (hessian fixed
+///    to 1 in split search, Newton leaves), shrinkage 0.1, sqrt feature
+///    subsampling, tree limits per the paper's sklearn settings.
+///  * XgboostClassifier() — second-order boosting with logistic hessians
+///    and L2 leaf regularization (lambda = 1), xgboost 0.90-ish defaults
+///    (depth 3, eta 0.3, 100 rounds).
+class GradientBoostedTrees : public BinaryClassifier {
+ public:
+  struct Options {
+    std::size_t num_rounds = 100;
+    double learning_rate = 0.1;
+    TreeOptions tree;
+    /// Use logistic hessians in the split search (XGBoost) rather than
+    /// unit hessians (classic GBM).
+    bool second_order = false;
+    std::uint64_t seed = 31;
+    std::string display_name = "GradientBoostedTrees";
+  };
+
+  explicit GradientBoostedTrees(const Options& options) : options_(options) {}
+
+  util::Status Fit(const linalg::Matrix& x,
+                   const std::vector<std::size_t>& y) override;
+  std::vector<double> PredictProba(const linalg::Matrix& x) const override;
+  std::string name() const override { return options_.display_name; }
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  double base_score_ = 0.0;  // Initial log-odds.
+  std::vector<RegressionTree> trees_;
+};
+
+/// Factory presets matching the paper's classifier roster.
+std::unique_ptr<GradientBoostedTrees> MakeGbmClassifier(
+    std::uint64_t seed = 31);
+std::unique_ptr<GradientBoostedTrees> MakeXgboostClassifier(
+    std::uint64_t seed = 37);
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_BOOSTING_H_

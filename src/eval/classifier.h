@@ -1,0 +1,42 @@
+#ifndef P3GM_EVAL_CLASSIFIER_H_
+#define P3GM_EVAL_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace p3gm {
+namespace eval {
+
+/// Interface of the downstream binary classifiers used in the paper's
+/// synthetic-data evaluation protocol (train on synthetic, test on real).
+/// These classifiers are NOT part of the privacy mechanism; they play the
+/// role of sklearn/xgboost in the paper's Table V/VI.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on (n x d) features with 0/1 labels.
+  virtual util::Status Fit(const linalg::Matrix& x,
+                           const std::vector<std::size_t>& y) = 0;
+
+  /// P(y = 1 | x) per row; valid after a successful Fit.
+  virtual std::vector<double> PredictProba(const linalg::Matrix& x) const = 0;
+
+  /// Thresholded labels at 0.5.
+  std::vector<std::size_t> Predict(const linalg::Matrix& x) const {
+    const std::vector<double> p = PredictProba(x);
+    std::vector<std::size_t> labels(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) labels[i] = p[i] >= 0.5;
+    return labels;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_CLASSIFIER_H_

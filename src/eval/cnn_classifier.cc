@@ -1,0 +1,100 @@
+#include "eval/cnn_classifier.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+
+namespace p3gm {
+namespace eval {
+
+CnnClassifier::CnnClassifier(const Options& options)
+    : options_(options),
+      net_("cnn"),
+      optimizer_(options.lr),
+      rng_(options.seed) {
+  const std::size_t side = options.image_side;
+  auto* conv = net_.Emplace<nn::Conv2d>("conv1", 1, side, side,
+                                        options.conv_channels, 3,
+                                        /*padding=*/1, &rng_);
+  net_.Emplace<nn::Relu>();
+  auto* pool = net_.Emplace<nn::MaxPool2d>(options.conv_channels,
+                                           conv->out_height(),
+                                           conv->out_width());
+  const std::size_t flat =
+      options.conv_channels * pool->out_height() * pool->out_width();
+  net_.Emplace<nn::Linear>("fc1", flat, options.hidden, &rng_);
+  net_.Emplace<nn::Relu>();
+  net_.Emplace<nn::Dropout>(options.dropout, options.seed ^ 0xd0);
+  net_.Emplace<nn::Linear>("fc2", options.hidden, options.num_classes, &rng_);
+}
+
+util::Status CnnClassifier::Fit(const linalg::Matrix& x,
+                                const std::vector<std::size_t>& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return util::Status::InvalidArgument(
+        "CnnClassifier: empty data or label size mismatch");
+  }
+  if (x.cols() != options_.image_side * options_.image_side) {
+    return util::Status::InvalidArgument(
+        "CnnClassifier: rows must be flattened side*side images");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t batch = std::min(options_.batch_size, n);
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<std::size_t> perm = rng_.Permutation(n);
+    for (std::size_t start = 0; start + batch <= n; start += batch) {
+      std::vector<std::size_t> idx(perm.begin() + start,
+                                   perm.begin() + start + batch);
+      const linalg::Matrix xb = x.SelectRows(idx);
+      std::vector<std::size_t> yb(batch);
+      for (std::size_t i = 0; i < batch; ++i) yb[i] = y[idx[i]];
+
+      net_.ZeroGrad();
+      const linalg::Matrix logits = net_.Forward(xb, /*train=*/true);
+      const nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, yb);
+      net_.Backward(loss.grad, /*accumulate=*/true);
+      optimizer_.Step(net_.Parameters());
+    }
+  }
+  return util::Status::OK();
+}
+
+linalg::Matrix CnnClassifier::PredictProba(const linalg::Matrix& x) {
+  // Evaluate in chunks to bound im2col scratch memory.
+  const std::size_t chunk = 128;
+  linalg::Matrix probs(x.rows(), options_.num_classes);
+  for (std::size_t start = 0; start < x.rows(); start += chunk) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < std::min(start + chunk, x.rows()); ++i) {
+      idx.push_back(i);
+    }
+    const linalg::Matrix logits =
+        net_.Forward(x.SelectRows(idx), /*train=*/false);
+    const linalg::Matrix p = nn::Softmax(logits);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      for (std::size_t j = 0; j < options_.num_classes; ++j) {
+        probs(idx[i], j) = p(i, j);
+      }
+    }
+  }
+  return probs;
+}
+
+std::vector<std::size_t> CnnClassifier::Predict(const linalg::Matrix& x) {
+  const linalg::Matrix probs = PredictProba(x);
+  std::vector<std::size_t> labels(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = probs.row_data(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < probs.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    labels[i] = best;
+  }
+  return labels;
+}
+
+}  // namespace eval
+}  // namespace p3gm

@@ -1,0 +1,57 @@
+#ifndef P3GM_EVAL_CNN_CLASSIFIER_H_
+#define P3GM_EVAL_CNN_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace eval {
+
+/// The paper's image classifier (Section VI, "Implementations of
+/// Classifiers"): one convolution with 28 kernels of size (3,3), 2x2 max
+/// pooling, and two fully connected layers [128, 10] with ReLU and
+/// dropout, trained with softmax cross-entropy. Used for the Table VII /
+/// Fig. 5 accuracy numbers.
+class CnnClassifier {
+ public:
+  struct Options {
+    std::size_t image_side = 28;
+    std::size_t num_classes = 10;
+    std::size_t conv_channels = 28;
+    std::size_t hidden = 128;
+    double dropout = 0.3;
+    std::size_t epochs = 4;
+    std::size_t batch_size = 64;
+    double lr = 1e-3;
+    std::uint64_t seed = 41;
+  };
+
+  explicit CnnClassifier(const Options& options);
+
+  /// Trains on flattened image rows with integer labels.
+  util::Status Fit(const linalg::Matrix& x,
+                   const std::vector<std::size_t>& y);
+
+  /// Class-probability rows (n x num_classes).
+  linalg::Matrix PredictProba(const linalg::Matrix& x);
+
+  /// Argmax labels.
+  std::vector<std::size_t> Predict(const linalg::Matrix& x);
+
+ private:
+  Options options_;
+  nn::Sequential net_;
+  nn::Adam optimizer_;
+  util::Rng rng_;
+};
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_CNN_CLASSIFIER_H_

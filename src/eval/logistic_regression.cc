@@ -1,0 +1,76 @@
+#include "eval/logistic_regression.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "util/check.h"
+
+namespace p3gm {
+namespace eval {
+
+util::Status LogisticRegression::Fit(const linalg::Matrix& x,
+                                     const std::vector<std::size_t>& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return util::Status::InvalidArgument(
+        "LogisticRegression: empty data or label size mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  // Adam state.
+  std::vector<double> m(d + 1, 0.0), v(d + 1, 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (std::size_t t = 1; t <= options_.iters; ++t) {
+    std::vector<double> grad_w(d, 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.row_data(i);
+      double logit = b_;
+      for (std::size_t j = 0; j < d; ++j) logit += w_[j] * row[j];
+      const double err =
+          nn::SigmoidScalar(logit) - static_cast<double>(y[i] == 1);
+      for (std::size_t j = 0; j < d; ++j) grad_w[j] += err * row[j];
+      grad_b += err;
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      grad_w[j] = grad_w[j] * inv_n + options_.l2 * w_[j];
+    }
+    grad_b *= inv_n;
+
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+    for (std::size_t j = 0; j <= d; ++j) {
+      const double g = (j < d) ? grad_w[j] : grad_b;
+      m[j] = beta1 * m[j] + (1.0 - beta1) * g;
+      v[j] = beta2 * v[j] + (1.0 - beta2) * g * g;
+      const double step =
+          options_.lr * (m[j] / bc1) / (std::sqrt(v[j] / bc2) + eps);
+      if (j < d) {
+        w_[j] -= step;
+      } else {
+        b_ -= step;
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const linalg::Matrix& x) const {
+  P3GM_CHECK(x.cols() == w_.size());
+  std::vector<double> p(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_data(i);
+    double logit = b_;
+    for (std::size_t j = 0; j < w_.size(); ++j) logit += w_[j] * row[j];
+    p[i] = nn::SigmoidScalar(logit);
+  }
+  return p;
+}
+
+}  // namespace eval
+}  // namespace p3gm

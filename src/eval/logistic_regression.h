@@ -1,0 +1,42 @@
+#ifndef P3GM_EVAL_LOGISTIC_REGRESSION_H_
+#define P3GM_EVAL_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "eval/classifier.h"
+
+namespace p3gm {
+namespace eval {
+
+/// L2-regularized logistic regression trained by full-batch gradient
+/// descent with Adam-style adaptive steps — the stand-in for
+/// sklearn.linear_model.LogisticRegression in Table V/VI.
+class LogisticRegression : public BinaryClassifier {
+ public:
+  struct Options {
+    std::size_t iters = 300;
+    double lr = 0.1;
+    double l2 = 1e-4;
+  };
+
+  LogisticRegression() = default;
+  explicit LogisticRegression(const Options& options) : options_(options) {}
+
+  util::Status Fit(const linalg::Matrix& x,
+                   const std::vector<std::size_t>& y) override;
+  std::vector<double> PredictProba(const linalg::Matrix& x) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  Options options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,132 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace eval {
+
+util::Result<double> Auroc(const std::vector<double>& scores,
+                           const std::vector<std::size_t>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return util::Status::InvalidArgument("Auroc: size mismatch or empty");
+  }
+  std::size_t pos = 0;
+  for (std::size_t y : labels) pos += (y == 1) ? 1 : 0;
+  const std::size_t neg = labels.size() - pos;
+  if (pos == 0 || neg == 0) {
+    return util::Status::InvalidArgument(
+        "Auroc: needs both positive and negative examples");
+  }
+  // Midranks of scores.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(scores.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = midrank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) rank_sum_pos += rank[k];
+  }
+  const double auc =
+      (rank_sum_pos - static_cast<double>(pos) *
+                          (static_cast<double>(pos) + 1.0) / 2.0) /
+      (static_cast<double>(pos) * static_cast<double>(neg));
+  return auc;
+}
+
+util::Result<double> Auprc(const std::vector<double>& scores,
+                           const std::vector<std::size_t>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return util::Status::InvalidArgument("Auprc: size mismatch or empty");
+  }
+  std::size_t total_pos = 0;
+  for (std::size_t y : labels) total_pos += (y == 1) ? 1 : 0;
+  if (total_pos == 0) {
+    return util::Status::InvalidArgument("Auprc: needs positive examples");
+  }
+  // Average precision: sum over descending thresholds of
+  // (recall_k - recall_{k-1}) * precision_k, grouping tied scores.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  double ap = 0.0;
+  std::size_t tp = 0, fp = 0;
+  double prev_recall = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    const double recall = static_cast<double>(tp) / total_pos;
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(tp + fp);
+    ap += (recall - prev_recall) * precision;
+    prev_recall = recall;
+    i = j + 1;
+  }
+  return ap;
+}
+
+double Accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& actual) {
+  P3GM_CHECK(predicted.size() == actual.size() && !predicted.empty());
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    hit += (predicted[i] == actual[i]) ? 1 : 0;
+  }
+  return static_cast<double>(hit) / static_cast<double>(predicted.size());
+}
+
+double F1Score(const std::vector<std::size_t>& predicted,
+               const std::vector<std::size_t>& actual) {
+  P3GM_CHECK(predicted.size() == actual.size());
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == 1 && actual[i] == 1) ++tp;
+    if (predicted[i] == 1 && actual[i] == 0) ++fp;
+    if (predicted[i] == 0 && actual[i] == 1) ++fn;
+  }
+  const double denom = 2.0 * tp + fp + fn;
+  return denom > 0.0 ? 2.0 * tp / denom : 0.0;
+}
+
+std::vector<std::size_t> ConfusionMatrix(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& actual, std::size_t num_classes) {
+  P3GM_CHECK(predicted.size() == actual.size());
+  std::vector<std::size_t> cm(num_classes * num_classes, 0);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    P3GM_CHECK(predicted[i] < num_classes && actual[i] < num_classes);
+    ++cm[actual[i] * num_classes + predicted[i]];
+  }
+  return cm;
+}
+
+}  // namespace eval
+}  // namespace p3gm

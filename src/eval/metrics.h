@@ -1,0 +1,41 @@
+#ifndef P3GM_EVAL_METRICS_H_
+#define P3GM_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace p3gm {
+namespace eval {
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) statistic with
+/// midrank tie handling — identical to sklearn.metrics.roc_auc_score.
+/// Labels are 0/1; requires at least one example of each class.
+util::Result<double> Auroc(const std::vector<double>& scores,
+                           const std::vector<std::size_t>& labels);
+
+/// Area under the precision-recall curve computed as average precision
+/// (step-wise interpolation, sklearn.metrics.average_precision_score).
+/// Requires at least one positive example.
+util::Result<double> Auprc(const std::vector<double>& scores,
+                           const std::vector<std::size_t>& labels);
+
+/// Fraction of exact label matches.
+double Accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& actual);
+
+/// Binary F1 score of class 1 (0 when precision + recall is 0).
+double F1Score(const std::vector<std::size_t>& predicted,
+               const std::vector<std::size_t>& actual);
+
+/// num_classes x num_classes confusion counts; entry (i, j) counts
+/// examples of actual class i predicted as class j (row-major flat).
+std::vector<std::size_t> ConfusionMatrix(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& actual, std::size_t num_classes);
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_METRICS_H_

@@ -1,0 +1,47 @@
+#ifndef P3GM_EVAL_PROTOCOL_H_
+#define P3GM_EVAL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace eval {
+
+/// One classifier's scores under the synthetic-data protocol.
+struct ClassifierScore {
+  std::string classifier;
+  double auroc = 0.0;
+  double auprc = 0.0;
+};
+
+/// Scores of the full roster plus their averages — one cell of the
+/// paper's Table V / VI.
+struct ProtocolResult {
+  std::vector<ClassifierScore> per_classifier;
+  double mean_auroc = 0.0;
+  double mean_auprc = 0.0;
+};
+
+/// The evaluation protocol of Jordon et al. that the paper adopts
+/// (Section VI): train the four classifiers (LogisticRegression,
+/// AdaBoost, GBM, XGBoost) on `train` — which is synthetic data in the
+/// private settings, or real data for the "original" column — and score
+/// AUROC / AUPRC on the real `test` set.
+///
+/// `fast` trims boosting rounds for the sweep benches (Fig. 4) where the
+/// full roster would dominate runtime.
+util::Result<ProtocolResult> EvaluateSyntheticData(const data::Dataset& train,
+                                                   const data::Dataset& test,
+                                                   bool fast = false,
+                                                   std::uint64_t seed = 101);
+
+/// Pretty-prints one ProtocolResult as an aligned table block.
+std::string FormatProtocolResult(const ProtocolResult& result);
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_PROTOCOL_H_

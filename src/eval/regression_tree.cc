@@ -1,0 +1,153 @@
+#include "eval/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace p3gm {
+namespace eval {
+
+namespace {
+
+double LeafWeight(double g, double h, double lambda) {
+  return -g / (h + lambda + 1e-12);
+}
+
+double ScoreHalf(double g, double h, double lambda) {
+  return g * g / (h + lambda + 1e-12);
+}
+
+}  // namespace
+
+util::Status RegressionTree::Fit(const linalg::Matrix& x,
+                                 const std::vector<double>& grad,
+                                 const std::vector<double>& hess,
+                                 const TreeOptions& options, util::Rng* rng) {
+  if (x.rows() == 0 || grad.size() != x.rows() || hess.size() != x.rows()) {
+    return util::Status::InvalidArgument(
+        "RegressionTree: empty data or grad/hess size mismatch");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, grad, hess, &indices, 0, options, rng);
+  return util::Status::OK();
+}
+
+std::size_t RegressionTree::Build(const linalg::Matrix& x,
+                                  const std::vector<double>& grad,
+                                  const std::vector<double>& hess,
+                                  std::vector<std::size_t>* indices,
+                                  std::size_t depth,
+                                  const TreeOptions& options, util::Rng* rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+
+  double g_total = 0.0, h_total = 0.0;
+  for (std::size_t i : *indices) {
+    g_total += grad[i];
+    h_total += hess[i];
+  }
+  nodes_[node_id].value = LeafWeight(g_total, h_total, options.lambda);
+
+  if (depth >= options.max_depth ||
+      indices->size() < options.min_samples_split ||
+      indices->size() < 2 * options.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Candidate feature subset.
+  const std::size_t d = x.cols();
+  std::size_t n_features = options.max_features;
+  if (n_features == TreeOptions::kSqrt) {
+    n_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(std::sqrt(d))));
+  } else if (n_features == 0 || n_features > d) {
+    n_features = d;
+  }
+  std::vector<std::size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (n_features < d) {
+    rng->Shuffle(&features);
+    features.resize(n_features);
+  }
+
+  // Exact greedy split search.
+  const double parent_score = ScoreHalf(g_total, h_total, options.lambda);
+  double best_gain = options.min_gain;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<std::size_t> sorted = *indices;
+
+  for (std::size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x(a, f) < x(b, f); });
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      g_left += grad[sorted[k]];
+      h_left += hess[sorted[k]];
+      // Only split between distinct values.
+      if (x(sorted[k], f) == x(sorted[k + 1], f)) continue;
+      const std::size_t n_left = k + 1;
+      const std::size_t n_right = sorted.size() - n_left;
+      if (n_left < options.min_samples_leaf ||
+          n_right < options.min_samples_leaf) {
+        continue;
+      }
+      const double gain =
+          0.5 * (ScoreHalf(g_left, h_left, options.lambda) +
+                 ScoreHalf(g_total - g_left, h_total - h_left,
+                           options.lambda) -
+                 parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (x(sorted[k], f) + x(sorted[k + 1], f));
+      }
+    }
+  }
+
+  if (best_gain <= options.min_gain) return node_id;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : *indices) {
+    (x(i, best_feature) <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  indices->clear();
+  indices->shrink_to_fit();
+  const std::size_t left_id =
+      Build(x, grad, hess, &left_idx, depth + 1, options, rng);
+  const std::size_t right_id =
+      Build(x, grad, hess, &right_idx, depth + 1, options, rng);
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double RegressionTree::PredictRow(const double* row) const {
+  P3GM_CHECK(!nodes_.empty());
+  std::size_t id = 0;
+  while (!nodes_[id].is_leaf) {
+    id = (row[nodes_[id].feature] <= nodes_[id].threshold) ? nodes_[id].left
+                                                           : nodes_[id].right;
+  }
+  return nodes_[id].value;
+}
+
+std::vector<double> RegressionTree::Predict(const linalg::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = PredictRow(x.row_data(i));
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace p3gm

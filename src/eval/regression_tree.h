@@ -1,0 +1,77 @@
+#ifndef P3GM_EVAL_REGRESSION_TREE_H_
+#define P3GM_EVAL_REGRESSION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace eval {
+
+/// Growth limits and regularization of one regression tree. The defaults
+/// for the GBM preset mirror the paper's sklearn settings
+/// (max_depth=8, min_samples_leaf=50, min_samples_split=200,
+/// max_features="sqrt").
+struct TreeOptions {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 50;
+  std::size_t min_samples_split = 200;
+  /// Number of candidate features per split; 0 means all, kSqrt means
+  /// round(sqrt(d)).
+  std::size_t max_features = 0;
+  /// L2 regularization on leaf weights (XGBoost's lambda).
+  double lambda = 0.0;
+  /// Minimum gain to accept a split (XGBoost's gamma).
+  double min_gain = 1e-12;
+
+  static constexpr std::size_t kSqrt = static_cast<std::size_t>(-1);
+};
+
+/// CART-style regression tree fitted to per-example gradients and
+/// hessians with Newton leaf weights w = -G / (H + lambda) and split gain
+///   1/2 [ G_L^2/(H_L+l) + G_R^2/(H_R+l) - G^2/(H+l) ].
+/// With hessian = 1 this reduces to least-squares fitting of the negative
+/// gradient (classic GBM); with logistic hessians it is XGBoost's exact
+/// greedy algorithm.
+class RegressionTree {
+ public:
+  /// Builds the tree. `grad` and `hess` have one entry per row of `x`.
+  util::Status Fit(const linalg::Matrix& x, const std::vector<double>& grad,
+                   const std::vector<double>& hess, const TreeOptions& options,
+                   util::Rng* rng);
+
+  /// Leaf weight for one feature row.
+  double PredictRow(const double* row) const;
+
+  /// Leaf weights for all rows of `x`.
+  std::vector<double> Predict(const linalg::Matrix& x) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  // Leaf weight.
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  std::size_t Build(const linalg::Matrix& x, const std::vector<double>& grad,
+                    const std::vector<double>& hess,
+                    std::vector<std::size_t>* indices, std::size_t depth,
+                    const TreeOptions& options, util::Rng* rng);
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace eval
+}  // namespace p3gm
+
+#endif  // P3GM_EVAL_REGRESSION_TREE_H_

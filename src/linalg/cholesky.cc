@@ -1,0 +1,71 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace p3gm {
+namespace linalg {
+
+util::Result<Matrix> Cholesky(const Matrix& a, double jitter) {
+  if (a.rows() != a.cols()) {
+    return util::Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return util::Status::NumericError(
+          "Cholesky: matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSolve(const Matrix& l,
+                                 const std::vector<double>& b) {
+  P3GM_CHECK(l.rows() == l.cols() && l.rows() == b.size());
+  const std::size_t n = b.size();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* row = l.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) s -= row[k] * y[k];
+    y[i] = s / row[i];
+  }
+  return y;
+}
+
+std::vector<double> BackwardSolveTrans(const Matrix& l,
+                                       const std::vector<double>& y) {
+  P3GM_CHECK(l.rows() == l.cols() && l.rows() == y.size());
+  const std::size_t n = y.size();
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  return BackwardSolveTrans(l, ForwardSolve(l, b));
+}
+
+double CholeskyLogDet(const Matrix& l) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) s += std::log(l(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace linalg
+}  // namespace p3gm

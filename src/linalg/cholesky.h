@@ -1,0 +1,38 @@
+#ifndef P3GM_LINALG_CHOLESKY_H_
+#define P3GM_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace linalg {
+
+/// Computes the lower-triangular Cholesky factor L with A = L L^T.
+/// `a` must be symmetric; returns NumericError if a non-positive pivot is
+/// encountered (A not positive definite beyond `jitter`).
+///
+/// `jitter` is added to the diagonal before factorization, the standard
+/// regularization for near-singular covariance estimates from EM.
+util::Result<Matrix> Cholesky(const Matrix& a, double jitter = 0.0);
+
+/// Solves L y = b for lower-triangular L by forward substitution.
+std::vector<double> ForwardSolve(const Matrix& l,
+                                 const std::vector<double>& b);
+
+/// Solves L^T x = y for lower-triangular L by backward substitution.
+std::vector<double> BackwardSolveTrans(const Matrix& l,
+                                       const std::vector<double>& y);
+
+/// Solves A x = b given the Cholesky factor L of A.
+std::vector<double> CholeskySolve(const Matrix& l,
+                                  const std::vector<double>& b);
+
+/// log(det(A)) given the Cholesky factor L of A (= 2 * sum log L_ii).
+double CholeskyLogDet(const Matrix& l);
+
+}  // namespace linalg
+}  // namespace p3gm
+
+#endif  // P3GM_LINALG_CHOLESKY_H_

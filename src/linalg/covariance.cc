@@ -1,0 +1,34 @@
+#include "linalg/covariance.h"
+
+#include "linalg/ops.h"
+
+namespace p3gm {
+namespace linalg {
+
+void CenterRows(const std::vector<double>& mean, Matrix* x) {
+  P3GM_CHECK(mean.size() == x->cols());
+  for (std::size_t i = 0; i < x->rows(); ++i) {
+    double* row = x->row_data(i);
+    for (std::size_t j = 0; j < mean.size(); ++j) row[j] -= mean[j];
+  }
+}
+
+Matrix ScatterWithMean(const Matrix& x, const std::vector<double>& mean) {
+  Matrix centered = x;
+  CenterRows(mean, &centered);
+  return Syrk(centered);
+}
+
+Matrix CovarianceWithMean(const Matrix& x, const std::vector<double>& mean) {
+  P3GM_CHECK(x.rows() > 0);
+  Matrix s = ScatterWithMean(x, mean);
+  s *= 1.0 / static_cast<double>(x.rows());
+  return s;
+}
+
+Matrix Covariance(const Matrix& x) {
+  return CovarianceWithMean(x, ColMeans(x));
+}
+
+}  // namespace linalg
+}  // namespace p3gm

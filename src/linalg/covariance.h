@@ -1,0 +1,28 @@
+#ifndef P3GM_LINALG_COVARIANCE_H_
+#define P3GM_LINALG_COVARIANCE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace p3gm {
+namespace linalg {
+
+/// Returns the (d x d) sample covariance of the (n x d) data matrix `x`
+/// around the given `mean` (length d), normalized by n (not n-1) to match
+/// the scatter-matrix convention the DP-PCA sensitivity analysis uses.
+Matrix CovarianceWithMean(const Matrix& x, const std::vector<double>& mean);
+
+/// Covariance around the empirical column means, normalized by n.
+Matrix Covariance(const Matrix& x);
+
+/// Unnormalized scatter matrix X_c^T X_c around `mean`.
+Matrix ScatterWithMean(const Matrix& x, const std::vector<double>& mean);
+
+/// Subtracts `mean` from every row of `x` in place.
+void CenterRows(const std::vector<double>& mean, Matrix* x);
+
+}  // namespace linalg
+}  // namespace p3gm
+
+#endif  // P3GM_LINALG_COVARIANCE_H_

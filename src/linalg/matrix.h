@@ -1,0 +1,147 @@
+#ifndef P3GM_LINALG_MATRIX_H_
+#define P3GM_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p3gm {
+namespace linalg {
+
+/// Dense row-major matrix of doubles. This is the single numeric container
+/// shared by the linear-algebra kernels, the neural-network layers and the
+/// statistical models. Datasets are stored as (n_samples x n_features)
+/// matrices.
+///
+/// Element access is bounds-checked in debug builds only; the kernels in
+/// ops.h operate on the raw buffer.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Constructs from nested initializer lists; all rows must have equal
+  /// length. Intended for tests and small literals.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix from a row-major flat buffer. Fails if
+  /// `flat.size() != rows * cols`.
+  static util::Result<Matrix> FromFlat(std::size_t rows, std::size_t cols,
+                                       std::vector<double> flat);
+
+  /// Builds a matrix from a vector of equally sized rows. Fails on ragged
+  /// input.
+  static util::Result<Matrix> FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(std::size_t n);
+
+  /// Diagonal matrix from `diag`.
+  static Matrix Diagonal(const std::vector<double>& diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Raw pointer to the start of row `r`.
+  double* row_data(std::size_t r) {
+    P3GM_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row_data(std::size_t r) const {
+    P3GM_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    P3GM_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    P3GM_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Copies row `r` out into a vector.
+  std::vector<double> Row(std::size_t r) const;
+
+  /// Copies column `c` out into a vector.
+  std::vector<double> Col(std::size_t c) const;
+
+  /// Overwrites row `r` with `values` (must match cols()).
+  void SetRow(std::size_t r, const std::vector<double>& values);
+
+  /// Returns a new matrix containing the rows listed in `indices`
+  /// (duplicates allowed, order preserved).
+  Matrix SelectRows(const std::vector<std::size_t>& indices) const;
+
+  /// Returns the submatrix of the first `k` columns (k <= cols()).
+  Matrix FirstCols(std::size_t k) const;
+
+  /// Horizontal concatenation [*this | other]; row counts must match.
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Vertical concatenation; column counts must match.
+  Matrix ConcatRows(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Resizes destructively (contents unspecified afterwards).
+  void Resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  // Element-wise arithmetic. Shapes must match for the matrix forms.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Exact element-wise equality (tests only).
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Largest absolute element.
+  double MaxAbs() const;
+
+  /// Multi-line human-readable rendering (small matrices / debugging).
+  std::string ToString(int digits = 4) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace linalg
+}  // namespace p3gm
+
+#endif  // P3GM_LINALG_MATRIX_H_

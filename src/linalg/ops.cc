@@ -1,0 +1,186 @@
+#include "linalg/ops.h"
+
+#include <cmath>
+
+namespace p3gm {
+namespace linalg {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  P3GM_CHECK(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.row_data(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
+  P3GM_CHECK(a.rows() == b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.row_data(p);
+    const double* brow = b.row_data(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.row_data(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
+  P3GM_CHECK(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.row_data(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  P3GM_CHECK(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> MatVecTransA(const Matrix& a,
+                                 const std::vector<double>& x) {
+  P3GM_CHECK(a.rows() == x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    const double xv = x[i];
+    if (xv == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xv * arow[j];
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  P3GM_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredNorm2(const std::vector<double>& a) { return Dot(a, a); }
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y) {
+  P3GM_CHECK(x.size() == y->size());
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+Matrix Outer(const std::vector<double>& a, const std::vector<double>& b) {
+  Matrix m(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double* row = m.row_data(i);
+    for (std::size_t j = 0; j < b.size(); ++j) row[j] = a[i] * b[j];
+  }
+  return m;
+}
+
+void AddRowVector(const std::vector<double>& v, Matrix* m) {
+  P3GM_CHECK(v.size() == m->cols());
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* row = m->row_data(i);
+    for (std::size_t j = 0; j < v.size(); ++j) row[j] += v[j];
+  }
+}
+
+std::vector<double> ColMeans(const Matrix& m) {
+  std::vector<double> mean(m.cols(), 0.0);
+  if (m.rows() == 0) return mean;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) mean[j] += row[j];
+  }
+  const double inv = 1.0 / static_cast<double>(m.rows());
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+std::vector<double> RowSquaredNorms(const Matrix& m) {
+  std::vector<double> out(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) s += row[j] * row[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+void ScaleRows(const std::vector<double>& s, Matrix* m) {
+  P3GM_CHECK(s.size() == m->rows());
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* row = m->row_data(i);
+    for (std::size_t j = 0; j < m->cols(); ++j) row[j] *= s[i];
+  }
+}
+
+Matrix Syrk(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix c(n, n);
+  for (std::size_t p = 0; p < a.rows(); ++p) {
+    const double* row = a.row_data(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double av = row[i];
+      if (av == 0.0) continue;
+      double* crow = c.row_data(i);
+      for (std::size_t j = i; j < n; ++j) crow[j] += av * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) c(j, i) = c(i, j);
+  }
+  return c;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  P3GM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ra = a.row_data(i);
+    const double* rb = b.row_data(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::fabs(ra[j] - rb[j]));
+    }
+  }
+  return m;
+}
+
+}  // namespace linalg
+}  // namespace p3gm

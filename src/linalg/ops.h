@@ -1,0 +1,70 @@
+#ifndef P3GM_LINALG_OPS_H_
+#define P3GM_LINALG_OPS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace p3gm {
+namespace linalg {
+
+/// Dense kernels shared by the NN layers and the statistical models. All
+/// shape mismatches are programming errors and abort via P3GM_CHECK; these
+/// functions sit on hot paths and deliberately do not return Status.
+
+/// C = A * B, with A (m x k) and B (k x n). Cache-friendly i-k-j order.
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B, with A (k x m) and B (k x n). Avoids materializing A^T.
+Matrix MatmulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T, with A (m x k) and B (n x k). Avoids materializing B^T.
+Matrix MatmulTransB(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+/// y = A^T * x.
+std::vector<double> MatVecTransA(const Matrix& a,
+                                 const std::vector<double>& x);
+
+/// Inner product <a, b>.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm of `a`.
+double Norm2(const std::vector<double>& a);
+
+/// Squared Euclidean norm of `a`.
+double SquaredNorm2(const std::vector<double>& a);
+
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// x *= alpha.
+void Scale(double alpha, std::vector<double>* x);
+
+/// Rank-1 matrix a * b^T.
+Matrix Outer(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Adds the row vector `v` to every row of `m` in place.
+void AddRowVector(const std::vector<double>& v, Matrix* m);
+
+/// Column means of `m` (length cols()).
+std::vector<double> ColMeans(const Matrix& m);
+
+/// Per-row squared L2 norms of `m` (length rows()).
+std::vector<double> RowSquaredNorms(const Matrix& m);
+
+/// Scales each row i of `m` by s[i] in place.
+void ScaleRows(const std::vector<double>& s, Matrix* m);
+
+/// Symmetric rank-k: returns A^T A (cols x cols), exploiting symmetry.
+Matrix Syrk(const Matrix& a);
+
+/// Max absolute difference between equally shaped matrices.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace linalg
+}  // namespace p3gm
+
+#endif  // P3GM_LINALG_OPS_H_

@@ -1,0 +1,106 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace p3gm {
+namespace nn {
+
+double SigmoidScalar(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double SoftplusScalar(double x) {
+  // log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
+  return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+}
+
+linalg::Matrix Relu::Forward(const linalg::Matrix& x, bool train) {
+  (void)train;
+  cached_input_ = x;
+  linalg::Matrix y = x;
+  double* data = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (data[i] < 0.0) data[i] = 0.0;
+  }
+  return y;
+}
+
+linalg::Matrix Relu::Backward(const linalg::Matrix& grad_out,
+                              bool accumulate) {
+  (void)accumulate;
+  P3GM_CHECK(grad_out.rows() == cached_input_.rows() &&
+             grad_out.cols() == cached_input_.cols());
+  linalg::Matrix g = grad_out;
+  const double* x = cached_input_.data();
+  double* gd = g.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0) gd[i] = 0.0;
+  }
+  return g;
+}
+
+linalg::Matrix Sigmoid::Forward(const linalg::Matrix& x, bool train) {
+  (void)train;
+  linalg::Matrix y = x;
+  double* data = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) data[i] = SigmoidScalar(data[i]);
+  cached_output_ = y;
+  return y;
+}
+
+linalg::Matrix Sigmoid::Backward(const linalg::Matrix& grad_out,
+                                 bool accumulate) {
+  (void)accumulate;
+  linalg::Matrix g = grad_out;
+  const double* y = cached_output_.data();
+  double* gd = g.data();
+  for (std::size_t i = 0; i < g.size(); ++i) gd[i] *= y[i] * (1.0 - y[i]);
+  return g;
+}
+
+linalg::Matrix Tanh::Forward(const linalg::Matrix& x, bool train) {
+  (void)train;
+  linalg::Matrix y = x;
+  double* data = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) data[i] = std::tanh(data[i]);
+  cached_output_ = y;
+  return y;
+}
+
+linalg::Matrix Tanh::Backward(const linalg::Matrix& grad_out,
+                              bool accumulate) {
+  (void)accumulate;
+  linalg::Matrix g = grad_out;
+  const double* y = cached_output_.data();
+  double* gd = g.data();
+  for (std::size_t i = 0; i < g.size(); ++i) gd[i] *= 1.0 - y[i] * y[i];
+  return g;
+}
+
+linalg::Matrix Softplus::Forward(const linalg::Matrix& x, bool train) {
+  (void)train;
+  cached_input_ = x;
+  linalg::Matrix y = x;
+  double* data = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) data[i] = SoftplusScalar(data[i]);
+  return y;
+}
+
+linalg::Matrix Softplus::Backward(const linalg::Matrix& grad_out,
+                                  bool accumulate) {
+  (void)accumulate;
+  linalg::Matrix g = grad_out;
+  const double* x = cached_input_.data();
+  double* gd = g.data();
+  // d softplus / dx = sigmoid(x).
+  for (std::size_t i = 0; i < g.size(); ++i) gd[i] *= SigmoidScalar(x[i]);
+  return g;
+}
+
+}  // namespace nn
+}  // namespace p3gm

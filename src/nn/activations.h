@@ -1,0 +1,69 @@
+#ifndef P3GM_NN_ACTIVATIONS_H_
+#define P3GM_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace p3gm {
+namespace nn {
+
+/// Element-wise max(0, x).
+class Relu : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  linalg::Matrix cached_input_;
+};
+
+/// Element-wise logistic sigmoid 1 / (1 + exp(-x)).
+class Sigmoid : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  linalg::Matrix cached_output_;
+};
+
+/// Element-wise tanh.
+class Tanh : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::string name() const override { return "tanh"; }
+
+ private:
+  linalg::Matrix cached_output_;
+};
+
+/// Element-wise softplus log(1 + exp(x)); smooth positive map used for
+/// variance heads.
+class Softplus : public Layer {
+ public:
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::string name() const override { return "softplus"; }
+
+ private:
+  linalg::Matrix cached_input_;
+};
+
+/// Numerically stable scalar sigmoid, shared with the loss functions.
+double SigmoidScalar(double x);
+
+/// Numerically stable scalar softplus log(1 + exp(x)).
+double SoftplusScalar(double x);
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_ACTIVATIONS_H_

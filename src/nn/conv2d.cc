@@ -1,0 +1,190 @@
+#include "nn/conv2d.h"
+
+#include "linalg/ops.h"
+#include "nn/init.h"
+
+namespace p3gm {
+namespace nn {
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels, std::size_t height,
+               std::size_t width, std::size_t out_channels, std::size_t kernel,
+               std::size_t padding, util::Rng* rng)
+    : name_(std::move(name)),
+      in_c_(in_channels),
+      h_(height),
+      w_(width),
+      out_c_(out_channels),
+      k_(kernel),
+      pad_(padding),
+      out_h_(height + 2 * padding - kernel + 1),
+      out_w_(width + 2 * padding - kernel + 1),
+      weight_(name_ + ".weight", in_channels * kernel * kernel, out_channels),
+      bias_(name_ + ".bias", 1, out_channels) {
+  P3GM_CHECK(kernel >= 1 && height + 2 * padding >= kernel &&
+             width + 2 * padding >= kernel);
+  HeNormal(in_channels * kernel * kernel, &weight_.value, rng);
+}
+
+void Conv2d::Im2Col(const double* image, linalg::Matrix* col) const {
+  // col is (out_h*out_w) x (in_c*k*k).
+  for (std::size_t oh = 0; oh < out_h_; ++oh) {
+    for (std::size_t ow = 0; ow < out_w_; ++ow) {
+      double* dst = col->row_data(oh * out_w_ + ow);
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < in_c_; ++c) {
+        const double* plane = image + c * h_ * w_;
+        for (std::size_t ki = 0; ki < k_; ++ki) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh + ki) -
+              static_cast<std::ptrdiff_t>(pad_);
+          for (std::size_t kj = 0; kj < k_; ++kj, ++idx) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow + kj) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (ih < 0 || iw < 0 || ih >= static_cast<std::ptrdiff_t>(h_) ||
+                iw >= static_cast<std::ptrdiff_t>(w_)) {
+              dst[idx] = 0.0;
+            } else {
+              dst[idx] = plane[static_cast<std::size_t>(ih) * w_ +
+                               static_cast<std::size_t>(iw)];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+linalg::Matrix Conv2d::Forward(const linalg::Matrix& x, bool train) {
+  (void)train;
+  P3GM_CHECK(x.cols() == in_c_ * h_ * w_);
+  cached_input_ = x;
+  const std::size_t patch = out_h_ * out_w_;
+  linalg::Matrix out(x.rows(), out_c_ * patch);
+  linalg::Matrix col(patch, in_c_ * k_ * k_);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    Im2Col(x.row_data(b), &col);
+    const linalg::Matrix y = linalg::Matmul(col, weight_.value);  // P x out_c
+    double* orow = out.row_data(b);
+    const double* brow = bias_.value.row_data(0);
+    for (std::size_t c = 0; c < out_c_; ++c) {
+      for (std::size_t p = 0; p < patch; ++p) {
+        orow[c * patch + p] = y(p, c) + brow[c];
+      }
+    }
+  }
+  return out;
+}
+
+linalg::Matrix Conv2d::Backward(const linalg::Matrix& grad_out,
+                                bool accumulate) {
+  P3GM_CHECK(accumulate &&
+             "Conv2d has no per-example gradient path (non-private use only)");
+  const std::size_t patch = out_h_ * out_w_;
+  P3GM_CHECK(grad_out.rows() == cached_input_.rows() &&
+             grad_out.cols() == out_c_ * patch);
+  linalg::Matrix grad_in(cached_input_.rows(), in_c_ * h_ * w_);
+  linalg::Matrix col(patch, in_c_ * k_ * k_);
+  linalg::Matrix dy(patch, out_c_);
+  for (std::size_t b = 0; b < cached_input_.rows(); ++b) {
+    const double* grow = grad_out.row_data(b);
+    for (std::size_t c = 0; c < out_c_; ++c) {
+      for (std::size_t p = 0; p < patch; ++p) dy(p, c) = grow[c * patch + p];
+    }
+    Im2Col(cached_input_.row_data(b), &col);
+    weight_.grad += linalg::MatmulTransA(col, dy);
+    double* gb = bias_.grad.row_data(0);
+    for (std::size_t c = 0; c < out_c_; ++c) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < patch; ++p) s += dy(p, c);
+      gb[c] += s;
+    }
+    // dcol = dy W^T, scattered back (col2im).
+    const linalg::Matrix dcol = linalg::MatmulTransB(dy, weight_.value);
+    double* gin = grad_in.row_data(b);
+    for (std::size_t oh = 0; oh < out_h_; ++oh) {
+      for (std::size_t ow = 0; ow < out_w_; ++ow) {
+        const double* src = dcol.row_data(oh * out_w_ + ow);
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < in_c_; ++c) {
+          double* plane = gin + c * h_ * w_;
+          for (std::size_t ki = 0; ki < k_; ++ki) {
+            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + ki) -
+                                      static_cast<std::ptrdiff_t>(pad_);
+            for (std::size_t kj = 0; kj < k_; ++kj, ++idx) {
+              const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow + kj) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (ih < 0 || iw < 0 ||
+                  ih >= static_cast<std::ptrdiff_t>(h_) ||
+                  iw >= static_cast<std::ptrdiff_t>(w_)) {
+                continue;
+              }
+              plane[static_cast<std::size_t>(ih) * w_ +
+                    static_cast<std::size_t>(iw)] += src[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+MaxPool2d::MaxPool2d(std::size_t channels, std::size_t height,
+                     std::size_t width)
+    : c_(channels), h_(height), w_(width), out_h_(height / 2),
+      out_w_(width / 2) {
+  P3GM_CHECK(out_h_ >= 1 && out_w_ >= 1);
+}
+
+linalg::Matrix MaxPool2d::Forward(const linalg::Matrix& x, bool train) {
+  (void)train;
+  P3GM_CHECK(x.cols() == c_ * h_ * w_);
+  const std::size_t patch = out_h_ * out_w_;
+  linalg::Matrix out(x.rows(), c_ * patch);
+  argmax_.assign(x.rows(), std::vector<std::size_t>(c_ * patch, 0));
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const double* in = x.row_data(b);
+    double* orow = out.row_data(b);
+    for (std::size_t c = 0; c < c_; ++c) {
+      const double* plane = in + c * h_ * w_;
+      for (std::size_t oh = 0; oh < out_h_; ++oh) {
+        for (std::size_t ow = 0; ow < out_w_; ++ow) {
+          std::size_t best_idx = (2 * oh) * w_ + 2 * ow;
+          double best = plane[best_idx];
+          for (std::size_t di = 0; di < 2; ++di) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              const std::size_t idx = (2 * oh + di) * w_ + (2 * ow + dj);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t o = c * patch + oh * out_w_ + ow;
+          orow[o] = best;
+          argmax_[b][o] = c * h_ * w_ + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+linalg::Matrix MaxPool2d::Backward(const linalg::Matrix& grad_out,
+                                   bool accumulate) {
+  (void)accumulate;
+  P3GM_CHECK(grad_out.rows() == argmax_.size());
+  linalg::Matrix grad_in(grad_out.rows(), c_ * h_ * w_);
+  for (std::size_t b = 0; b < grad_out.rows(); ++b) {
+    const double* grow = grad_out.row_data(b);
+    double* gin = grad_in.row_data(b);
+    for (std::size_t o = 0; o < grad_out.cols(); ++o) {
+      gin[argmax_[b][o]] += grow[o];
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace nn
+}  // namespace p3gm

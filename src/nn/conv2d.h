@@ -1,0 +1,74 @@
+#ifndef P3GM_NN_CONV2D_H_
+#define P3GM_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace nn {
+
+/// 2-D convolution (stride 1) over channel-major flattened images. Each
+/// input row is an image stored as [c][h][w] of length
+/// in_channels * height * width; each output row is
+/// out_channels * out_h * out_w with out_h = height + 2*pad - kh + 1.
+///
+/// Implemented with im2col + matmul. Used by the image classifier of the
+/// Table VII experiment (the paper's CNN has one conv layer with 28 (3,3)
+/// kernels). The per-example DP gradient path is not implemented because
+/// only non-private downstream classifiers use convolutions.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, std::size_t in_channels, std::size_t height,
+         std::size_t width, std::size_t out_channels, std::size_t kernel,
+         std::size_t padding, util::Rng* rng);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  bool SupportsPerExampleGrads() const override { return false; }
+  std::string name() const override { return name_; }
+
+  std::size_t out_height() const { return out_h_; }
+  std::size_t out_width() const { return out_w_; }
+  std::size_t out_channels() const { return out_c_; }
+
+ private:
+  // Fills `col` (P x K) with the patches of one image row.
+  void Im2Col(const double* image, linalg::Matrix* col) const;
+
+  std::string name_;
+  std::size_t in_c_, h_, w_, out_c_, k_, pad_;
+  std::size_t out_h_, out_w_;
+  Parameter weight_;  // (in_c * k * k) x out_c
+  Parameter bias_;    // 1 x out_c
+  linalg::Matrix cached_input_;  // B x (in_c*h*w)
+};
+
+/// 2x2 max pooling with stride 2 over channel-major flattened images.
+/// Odd trailing rows/columns are dropped (floor semantics).
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t height, std::size_t width);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::string name() const override { return "maxpool2d"; }
+
+  std::size_t out_height() const { return out_h_; }
+  std::size_t out_width() const { return out_w_; }
+
+ private:
+  std::size_t c_, h_, w_, out_h_, out_w_;
+  /// argmax index (into the input row) per output element, per example.
+  std::vector<std::vector<std::size_t>> argmax_;
+};
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_CONV2D_H_

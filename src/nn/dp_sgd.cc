@@ -1,0 +1,81 @@
+#include "nn/dp_sgd.h"
+
+#include <cmath>
+
+#include "dp/mechanisms.h"
+
+namespace p3gm {
+namespace nn {
+
+DpSgdStep::DpSgdStep(const DpSgdOptions& options, util::Rng* rng)
+    : options_(options), rng_(rng) {
+  P3GM_CHECK(options.clip_norm > 0.0);
+  P3GM_CHECK(options.noise_multiplier >= 0.0);
+}
+
+util::Status DpSgdStep::CollectSquaredNorms(const std::vector<Layer*>& stacks,
+                                            std::size_t batch_size) {
+  if (sq_norms_.size() != batch_size) sq_norms_.assign(batch_size, 0.0);
+  for (Layer* stack : stacks) {
+    if (!stack->SupportsPerExampleGrads() && !stack->Parameters().empty()) {
+      return util::Status::Unimplemented(
+          "DP-SGD: layer '" + stack->name() +
+          "' has parameters but no per-example gradient path");
+    }
+    stack->AddPerExampleSquaredGradNorms(&sq_norms_);
+  }
+  scales_ready_ = false;
+  return util::Status::OK();
+}
+
+void DpSgdStep::AddExternalSquaredNorms(const std::vector<double>& sq_norms) {
+  if (sq_norms_.empty()) sq_norms_.assign(sq_norms.size(), 0.0);
+  P3GM_CHECK(sq_norms.size() == sq_norms_.size());
+  for (std::size_t i = 0; i < sq_norms.size(); ++i) {
+    sq_norms_[i] += sq_norms[i];
+  }
+  scales_ready_ = false;
+}
+
+const std::vector<double>& DpSgdStep::clip_scales() {
+  if (!scales_ready_) {
+    scales_.resize(sq_norms_.size());
+    for (std::size_t i = 0; i < sq_norms_.size(); ++i) {
+      scales_[i] =
+          dp::ClipFactor(options_.clip_norm, std::sqrt(sq_norms_[i]));
+    }
+    scales_ready_ = true;
+  }
+  return scales_;
+}
+
+void DpSgdStep::ApplyClippedAccumulation(const std::vector<Layer*>& stacks) {
+  const std::vector<double>& scales = clip_scales();
+  for (Layer* stack : stacks) stack->AccumulateClippedGrads(scales);
+}
+
+void DpSgdStep::AddNoiseAndAverage(const std::vector<Parameter*>& params,
+                                   std::size_t batch_size) {
+  const std::size_t lot =
+      options_.lot_size > 0 ? options_.lot_size : batch_size;
+  P3GM_CHECK(lot > 0);
+  const double stddev = options_.noise_multiplier * options_.clip_norm;
+  const double inv_lot = 1.0 / static_cast<double>(lot);
+  for (Parameter* p : params) {
+    double* grad = p->grad.data();
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      if (stddev > 0.0) grad[i] += rng_->Normal(0.0, stddev);
+      grad[i] *= inv_lot;
+    }
+  }
+}
+
+double DpSgdStep::MeanClipScale() const {
+  if (scales_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : scales_) s += v;
+  return s / static_cast<double>(scales_.size());
+}
+
+}  // namespace nn
+}  // namespace p3gm

@@ -1,0 +1,80 @@
+#ifndef P3GM_NN_DP_SGD_H_
+#define P3GM_NN_DP_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/parameter.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace nn {
+
+/// Knobs of one DP-SGD training run (Abadi et al. 2016; paper Algorithm 1
+/// lines 6-11).
+struct DpSgdOptions {
+  /// Gradient L2 clipping bound C.
+  double clip_norm = 1.0;
+  /// Noise multiplier sigma_s; the per-coordinate noise stddev is
+  /// sigma_s * C.
+  double noise_multiplier = 1.0;
+  /// Expected lot size B used for averaging. 0 means "use the actual
+  /// batch size of each step".
+  std::size_t lot_size = 0;
+};
+
+/// Orchestrates the privatized gradient of one DP-SGD step. Usage per
+/// batch, after Forward and Backward(grad, /*accumulate=*/false) over all
+/// layer stacks that own parameters:
+///
+///   DpSgdStep step(options, rng);
+///   step.CollectSquaredNorms(stacks, batch_size);   // Goodfellow trick
+///   step.ApplyClippedAccumulation(stacks);          // sum_i c_i g_i
+///   step.AddNoiseAndAverage(params, batch_size);    // + N(0, s^2 C^2), /B
+///
+/// Parameter::grad then holds the privatized averaged gradient and any
+/// Optimizer can consume it.
+class DpSgdStep {
+ public:
+  DpSgdStep(const DpSgdOptions& options, util::Rng* rng);
+
+  /// Accumulates per-example squared gradient norms across `stacks` (each
+  /// stack is typically a Sequential or single Linear that took part in
+  /// the backward pass). Fails if any stack has parameters but no
+  /// per-example path.
+  util::Status CollectSquaredNorms(const std::vector<Layer*>& stacks,
+                                   std::size_t batch_size);
+
+  /// Adds externally computed per-example squared-norm contributions
+  /// (for gradients handled outside the Layer interface).
+  void AddExternalSquaredNorms(const std::vector<double>& sq_norms);
+
+  /// Per-example clip factors min(1, C / ||g_i||), valid after
+  /// CollectSquaredNorms.
+  const std::vector<double>& clip_scales();
+
+  /// Has every stack accumulate its clipped gradient sum.
+  void ApplyClippedAccumulation(const std::vector<Layer*>& stacks);
+
+  /// Adds N(0, (sigma C)^2) to every gradient coordinate and divides by
+  /// the lot size (options.lot_size, or `batch_size` if 0).
+  void AddNoiseAndAverage(const std::vector<Parameter*>& params,
+                          std::size_t batch_size);
+
+  /// Mean of the clip factors of this step — a useful diagnostic (values
+  /// near 0 mean C is too small, near 1 mean clipping is inactive).
+  double MeanClipScale() const;
+
+ private:
+  DpSgdOptions options_;
+  util::Rng* rng_;
+  std::vector<double> sq_norms_;
+  std::vector<double> scales_;
+  bool scales_ready_ = false;
+};
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_DP_SGD_H_

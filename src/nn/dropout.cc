@@ -1,0 +1,39 @@
+#include "nn/dropout.h"
+
+namespace p3gm {
+namespace nn {
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  P3GM_CHECK(rate >= 0.0 && rate < 1.0);
+}
+
+linalg::Matrix Dropout::Forward(const linalg::Matrix& x, bool train) {
+  last_train_ = train;
+  if (!train || rate_ == 0.0) return x;
+  const double keep = 1.0 - rate_;
+  mask_ = linalg::Matrix(x.rows(), x.cols());
+  linalg::Matrix y = x;
+  double* md = mask_.data();
+  double* yd = y.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    md[i] = rng_.Bernoulli(keep) ? 1.0 / keep : 0.0;
+    yd[i] *= md[i];
+  }
+  return y;
+}
+
+linalg::Matrix Dropout::Backward(const linalg::Matrix& grad_out,
+                                 bool accumulate) {
+  (void)accumulate;
+  if (!last_train_ || rate_ == 0.0) return grad_out;
+  P3GM_CHECK(grad_out.rows() == mask_.rows() &&
+             grad_out.cols() == mask_.cols());
+  linalg::Matrix g = grad_out;
+  const double* md = mask_.data();
+  double* gd = g.data();
+  for (std::size_t i = 0; i < g.size(); ++i) gd[i] *= md[i];
+  return g;
+}
+
+}  // namespace nn
+}  // namespace p3gm

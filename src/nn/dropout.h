@@ -1,0 +1,35 @@
+#ifndef P3GM_NN_DROPOUT_H_
+#define P3GM_NN_DROPOUT_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace nn {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate); identity at
+/// eval time. Used by the CNN classifier's fully connected head.
+class Dropout : public Layer {
+ public:
+  /// `rate` in [0, 1). `seed` fixes the mask stream.
+  Dropout(double rate, std::uint64_t seed);
+
+  linalg::Matrix Forward(const linalg::Matrix& x, bool train) override;
+  linalg::Matrix Backward(const linalg::Matrix& grad_out,
+                          bool accumulate) override;
+  std::string name() const override { return "dropout"; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  linalg::Matrix mask_;  // Scaled keep mask of the last train Forward.
+  bool last_train_ = false;
+};
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_DROPOUT_H_

@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace p3gm {
+namespace nn {
+
+void XavierUniform(std::size_t fan_in, std::size_t fan_out, linalg::Matrix* w,
+                   util::Rng* rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  double* data = w->data();
+  for (std::size_t i = 0; i < w->size(); ++i) data[i] = rng->Uniform(-a, a);
+}
+
+void HeNormal(std::size_t fan_in, linalg::Matrix* w, util::Rng* rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  double* data = w->data();
+  for (std::size_t i = 0; i < w->size(); ++i) data[i] = rng->Normal(0.0, stddev);
+}
+
+}  // namespace nn
+}  // namespace p3gm

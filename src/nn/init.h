@@ -1,0 +1,24 @@
+#ifndef P3GM_NN_INIT_H_
+#define P3GM_NN_INIT_H_
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace nn {
+
+/// Weight initializers. `fan_in`/`fan_out` are the effective fan values
+/// (for Conv2d: kernel_h * kernel_w * channels).
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// The right default for sigmoid/tanh nets (the VAE decoder output head).
+void XavierUniform(std::size_t fan_in, std::size_t fan_out, linalg::Matrix* w,
+                   util::Rng* rng);
+
+/// He/Kaiming normal: N(0, 2 / fan_in). The right default for ReLU nets.
+void HeNormal(std::size_t fan_in, linalg::Matrix* w, util::Rng* rng);
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_INIT_H_

@@ -1,0 +1,58 @@
+#ifndef P3GM_NN_LOSSES_H_
+#define P3GM_NN_LOSSES_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace p3gm {
+namespace nn {
+
+/// Loss value plus the gradient with respect to the network output. All
+/// losses are *per-example sums over features, averaged over the batch*,
+/// except where a per-example breakdown is requested (DP-SGD needs
+/// per-example gradients unaveraged; see the `mean` flags below).
+struct LossResult {
+  double value = 0.0;
+  /// dL/d(input of the loss), same shape as the prediction.
+  linalg::Matrix grad;
+  /// Per-example loss values (length = batch size).
+  std::vector<double> per_example;
+};
+
+/// Mean squared error 1/B sum_i ||pred_i - target_i||^2. When `mean` is
+/// false the 1/B averaging is skipped (grads are per-example sums).
+LossResult MseLoss(const linalg::Matrix& pred, const linalg::Matrix& target,
+                   bool mean = true);
+
+/// Bernoulli negative log-likelihood with logits input:
+/// sum_j [softplus(l_j) - t_j * l_j], numerically stable for any logit.
+/// This is the reconstruction term of the VAE/P3GM ELBO for binary-ish
+/// features (targets in [0, 1]).
+LossResult BceWithLogitsLoss(const linalg::Matrix& logits,
+                             const linalg::Matrix& target, bool mean = true);
+
+/// Softmax cross-entropy with integer class labels.
+LossResult SoftmaxCrossEntropy(const linalg::Matrix& logits,
+                               const std::vector<std::size_t>& labels,
+                               bool mean = true);
+
+/// Row-wise softmax probabilities of `logits`.
+linalg::Matrix Softmax(const linalg::Matrix& logits);
+
+/// Analytic KL(N(mu_i, diag(exp(logvar_i))) || N(0, I)) per batch row,
+/// with gradients. The standard VAE regularizer.
+/// value = 1/B sum_i -0.5 sum_j (1 + logvar - mu^2 - exp(logvar)).
+struct KlResult {
+  double value = 0.0;
+  linalg::Matrix grad_mu;
+  linalg::Matrix grad_logvar;
+  std::vector<double> per_example;
+};
+KlResult StandardNormalKl(const linalg::Matrix& mu,
+                          const linalg::Matrix& logvar, bool mean = true);
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_LOSSES_H_

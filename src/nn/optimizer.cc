@@ -1,0 +1,64 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace nn {
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  if (velocity_.empty() && momentum_ != 0.0) {
+    for (Parameter* p : params) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Parameter* p = params[k];
+    double* value = p->value.data();
+    const double* grad = p->grad.data();
+    if (momentum_ == 0.0) {
+      for (std::size_t i = 0; i < p->size(); ++i) {
+        value[i] -= lr_ * grad[i];
+      }
+    } else {
+      P3GM_CHECK(k < velocity_.size() &&
+                 velocity_[k].size() == p->size());
+      double* vel = velocity_[k].data();
+      for (std::size_t i = 0; i < p->size(); ++i) {
+        vel[i] = momentum_ * vel[i] + grad[i];
+        value[i] -= lr_ * vel[i];
+      }
+    }
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  if (m_.empty()) {
+    for (Parameter* p : params) {
+      m_.emplace_back(p->value.rows(), p->value.cols());
+      v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Parameter* p = params[k];
+    P3GM_CHECK(k < m_.size() && m_[k].size() == p->size());
+    double* value = p->value.data();
+    const double* grad = p->grad.data();
+    double* m = m_[k].data();
+    double* v = v_[k].data();
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace p3gm

@@ -1,0 +1,63 @@
+#ifndef P3GM_NN_OPTIMIZER_H_
+#define P3GM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace p3gm {
+namespace nn {
+
+/// Base optimizer interface. Call Step with the same parameter list in the
+/// same order every time — per-parameter state (momentum, Adam moments) is
+/// keyed positionally and allocated lazily on the first step.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's accumulated `grad`, then
+  /// leaves the gradients untouched (callers zero them).
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+};
+
+/// SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<linalg::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction. The paper trains every
+/// model with learning rate 1e-3 (Table IV), which is Adam's default.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<linalg::Matrix> m_;
+  std::vector<linalg::Matrix> v_;
+};
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_OPTIMIZER_H_

@@ -1,0 +1,34 @@
+#ifndef P3GM_NN_PARAMETER_H_
+#define P3GM_NN_PARAMETER_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace p3gm {
+namespace nn {
+
+/// A trainable tensor together with its accumulated gradient. Layers own
+/// their parameters; optimizers mutate `value` in place through the
+/// pointers returned by Layer::Parameters().
+struct Parameter {
+  /// Human-readable identifier, e.g. "linear1.weight".
+  std::string name;
+  linalg::Matrix value;
+  /// Accumulated gradient of the current step, same shape as `value`.
+  linalg::Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, std::size_t rows, std::size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  std::size_t size() const { return value.size(); }
+
+  /// Resets the accumulated gradient to zero.
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+}  // namespace nn
+}  // namespace p3gm
+
+#endif  // P3GM_NN_PARAMETER_H_

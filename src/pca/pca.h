@@ -1,0 +1,86 @@
+#ifndef P3GM_PCA_PCA_H_
+#define P3GM_PCA_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace pca {
+
+/// A fitted linear dimensionality reduction f(x) = (x - mean) * components
+/// with components (d x d') holding the leading eigenvectors of the data
+/// covariance in its columns. This is P3GM's encoder-mean map
+/// mu_phi(x) = f(x) and its approximate inverse g is Reconstruct().
+class PcaModel {
+ public:
+  PcaModel() = default;
+  PcaModel(std::vector<double> mean, linalg::Matrix components,
+           std::vector<double> explained_variance)
+      : mean_(std::move(mean)),
+        components_(std::move(components)),
+        explained_variance_(std::move(explained_variance)) {}
+
+  std::size_t input_dim() const { return mean_.size(); }
+  std::size_t output_dim() const { return components_.cols(); }
+
+  /// Column j is the j-th principal direction (unit norm).
+  const linalg::Matrix& components() const { return components_; }
+  const std::vector<double>& mean() const { return mean_; }
+  /// Eigenvalues associated with each kept component, descending.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+  /// Projects rows of `x` (n x d) to the reduced space (n x d').
+  linalg::Matrix Transform(const linalg::Matrix& x) const;
+
+  /// Projects a single vector.
+  std::vector<double> TransformRow(const std::vector<double>& x) const;
+
+  /// Maps reduced rows (n x d') back to the input space (n x d):
+  /// g(z) = z * components^T + mean, the least-squares reconstruction.
+  linalg::Matrix Reconstruct(const linalg::Matrix& z) const;
+
+  /// Mean squared reconstruction error (1/n) sum ||x - g(f(x))||^2 —
+  /// the paper's Eq. (5) objective evaluated on `x`.
+  double ReconstructionError(const linalg::Matrix& x) const;
+
+ private:
+  std::vector<double> mean_;
+  linalg::Matrix components_;  // d x d'
+  std::vector<double> explained_variance_;
+};
+
+/// Exact (non-private) PCA keeping `num_components` directions. Fails if
+/// num_components exceeds the data dimension or data is empty.
+util::Result<PcaModel> FitPca(const linalg::Matrix& x,
+                              std::size_t num_components);
+
+struct DpPcaOptions {
+  std::size_t num_components = 10;
+  /// Pure-DP budget epsilon_p of the Wishart mechanism.
+  double epsilon = 0.1;
+  /// The mechanism's sensitivity analysis assumes rows with L2 norm <= 1;
+  /// when true (default) rows are clipped to the unit ball first.
+  bool clip_rows = true;
+};
+
+/// Differentially private PCA via the Wishart mechanism (Jiang et al.,
+/// AAAI 2016; paper Section II-D): the covariance A built from unit-norm
+/// rows is released as A + W with W ~ Wishart_d(d+1, C_w), where C_w has
+/// all eigenvalues 3/(2 n epsilon). Eigenvectors of the noisy matrix give
+/// an (epsilon, 0)-DP projection.
+///
+/// As in the paper (footnote 2), the column mean used for centering is
+/// treated as publicly available.
+util::Result<PcaModel> FitDpPca(const linalg::Matrix& x,
+                                const DpPcaOptions& options, util::Rng* rng);
+
+}  // namespace pca
+}  // namespace p3gm
+
+#endif  // P3GM_PCA_PCA_H_

@@ -1,0 +1,78 @@
+#include "stats/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p3gm {
+namespace stats {
+
+util::Result<Discretizer> Discretizer::Fit(const linalg::Matrix& x,
+                                           std::size_t bins) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return util::Status::InvalidArgument("Discretizer: empty data");
+  }
+  if (bins == 0) {
+    return util::Status::InvalidArgument("Discretizer: bins must be >= 1");
+  }
+  Discretizer d;
+  d.bins_ = bins;
+  d.lo_.assign(x.cols(), 0.0);
+  d.hi_.assign(x.cols(), 0.0);
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    double lo = x(0, j), hi = x(0, j);
+    for (std::size_t i = 1; i < x.rows(); ++i) {
+      lo = std::min(lo, x(i, j));
+      hi = std::max(hi, x(i, j));
+    }
+    d.lo_[j] = lo;
+    d.hi_[j] = hi;
+  }
+  return d;
+}
+
+std::size_t Discretizer::Encode(std::size_t col, double v) const {
+  P3GM_CHECK(col < lo_.size());
+  const double lo = lo_[col], hi = hi_[col];
+  if (hi <= lo) return 0;
+  const double t = (v - lo) / (hi - lo);
+  const auto bin = static_cast<long>(std::floor(t * static_cast<double>(bins_)));
+  return static_cast<std::size_t>(
+      std::clamp<long>(bin, 0, static_cast<long>(bins_) - 1));
+}
+
+std::vector<std::vector<int>> Discretizer::Transform(
+    const linalg::Matrix& x) const {
+  std::vector<std::vector<int>> codes(x.rows(),
+                                      std::vector<int>(x.cols(), 0));
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      codes[i][j] = static_cast<int>(Encode(j, x(i, j)));
+    }
+  }
+  return codes;
+}
+
+double Discretizer::Decode(std::size_t col, std::size_t bin,
+                           util::Rng* rng) const {
+  P3GM_CHECK(col < lo_.size() && bin < bins_);
+  const double lo = lo_[col], hi = hi_[col];
+  if (hi <= lo) return lo;
+  const double width = (hi - lo) / static_cast<double>(bins_);
+  return lo + (static_cast<double>(bin) + rng->Uniform()) * width;
+}
+
+linalg::Matrix Discretizer::InverseTransform(
+    const std::vector<std::vector<int>>& codes, util::Rng* rng) const {
+  if (codes.empty()) return linalg::Matrix();
+  linalg::Matrix out(codes.size(), codes[0].size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    P3GM_CHECK(codes[i].size() == out.cols());
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) = Decode(j, static_cast<std::size_t>(codes[i][j]), rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace p3gm

@@ -1,0 +1,50 @@
+#ifndef P3GM_STATS_DISCRETIZER_H_
+#define P3GM_STATS_DISCRETIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+
+/// Equal-width per-column discretizer mapping continuous features to bin
+/// indices. PrivBayes operates on categorical data, so continuous inputs
+/// are discretized through this class and decoded back by sampling
+/// uniformly inside the chosen bin.
+class Discretizer {
+ public:
+  /// Learns per-column [min, max] ranges from `x` and fixes `bins` equal
+  /// width bins per column. Degenerate (constant) columns get one bin.
+  static util::Result<Discretizer> Fit(const linalg::Matrix& x,
+                                       std::size_t bins);
+
+  /// Bin index of value `v` in column `col`, clamped to the fitted range.
+  std::size_t Encode(std::size_t col, double v) const;
+
+  /// Encodes every element; output has the same shape with integer codes.
+  std::vector<std::vector<int>> Transform(const linalg::Matrix& x) const;
+
+  /// Decodes a bin index to a uniform sample inside the bin.
+  double Decode(std::size_t col, std::size_t bin, util::Rng* rng) const;
+
+  /// Decodes a full codes table back to continuous values.
+  linalg::Matrix InverseTransform(const std::vector<std::vector<int>>& codes,
+                                  util::Rng* rng) const;
+
+  std::size_t bins() const { return bins_; }
+  std::size_t num_columns() const { return lo_.size(); }
+
+ private:
+  std::size_t bins_ = 0;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace stats
+}  // namespace p3gm
+
+#endif  // P3GM_STATS_DISCRETIZER_H_

@@ -1,0 +1,121 @@
+#include "stats/dp_em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+#include "linalg/ops.h"
+
+namespace p3gm {
+namespace stats {
+
+util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
+                                    const DpEmOptions& options,
+                                    util::Rng* rng) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t kk = options.num_components;
+  if (n == 0 || d == 0) {
+    return util::Status::InvalidArgument("FitGmmDpEm: empty data");
+  }
+  if (kk == 0 || kk > n) {
+    return util::Status::InvalidArgument(
+        "FitGmmDpEm: num_components must be in [1, n]");
+  }
+  if (options.noise_multiplier < 0.0) {
+    return util::Status::InvalidArgument(
+        "FitGmmDpEm: noise multiplier must be non-negative");
+  }
+
+  // Clip every row to the unit L2 ball so each record contributes at most
+  // 1 to every released sufficient statistic (paper footnote 1).
+  DpEmResult result;
+  result.clip_norm = 1.0;
+  linalg::Matrix clipped = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row = clipped.Row(i);
+    dp::ClipL2(result.clip_norm, &row);
+    clipped.SetRow(i, row);
+  }
+
+  // Data-independent initialization (a data-dependent one would leak):
+  // means scattered inside the unit ball, unit variances, uniform weights.
+  util::Rng init_rng(options.seed);
+  linalg::Matrix means(kk, d);
+  for (std::size_t k = 0; k < kk; ++k) {
+    for (std::size_t j = 0; j < d; ++j) {
+      means(k, j) = init_rng.Normal(0.0, 0.3);
+    }
+  }
+  linalg::Matrix variances(kk, d, 0.5);
+  std::vector<double> weights(kk, 1.0 / static_cast<double>(kk));
+  P3GM_ASSIGN_OR_RETURN(
+      GaussianMixture model,
+      GaussianMixture::Create(weights, means, variances));
+
+  const double sigma = options.noise_multiplier;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (std::size_t iter = 0; iter < options.iters; ++iter) {
+    // E-step: responsibilities under the current (already private) model.
+    // M-step sufficient statistics, each with per-record sensitivity <= 1:
+    //   nk[k]  = sum_i r_ik                      (the weight release)
+    //   s1[k]  = sum_i r_ik x_i                  (K mean releases)
+    //   s2[k]  = sum_i r_ik x_i^2 (elementwise)  (K covariance releases)
+    std::vector<double> nk(kk, 0.0);
+    linalg::Matrix s1(kk, d);
+    linalg::Matrix s2(kk, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::vector<double> xi = clipped.Row(i);
+      const std::vector<double> r = model.Responsibilities(xi);
+      for (std::size_t k = 0; k < kk; ++k) {
+        if (r[k] == 0.0) continue;
+        nk[k] += r[k];
+        double* s1k = s1.row_data(k);
+        double* s2k = s2.row_data(k);
+        for (std::size_t j = 0; j < d; ++j) {
+          s1k[j] += r[k] * xi[j];
+          s2k[j] += r[k] * xi[j] * xi[j];
+        }
+      }
+    }
+
+    // Gaussian mechanism on the 2K+1 statistics (sensitivity 1 each).
+    if (sigma > 0.0) {
+      dp::GaussianMechanism(1.0, sigma, &nk, rng);
+      dp::GaussianMechanism(1.0, sigma, &s1, rng);
+      dp::GaussianMechanism(1.0, sigma, &s2, rng);
+    }
+
+    // Re-derive parameters from the noisy statistics.
+    linalg::Matrix new_means(kk, d);
+    linalg::Matrix new_vars(kk, d);
+    std::vector<double> new_weights(kk);
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double denom = std::max(nk[k], 1.0);  // Guard tiny/negative nk.
+      new_weights[k] =
+          std::max(nk[k] * inv_n, options.min_weight);
+      const double* s1k = s1.row_data(k);
+      const double* s2k = s2.row_data(k);
+      double* mk = new_means.row_data(k);
+      double* vk = new_vars.row_data(k);
+      for (std::size_t j = 0; j < d; ++j) {
+        mk[j] = s1k[j] / denom;
+        const double ex2 = s2k[j] / denom;
+        vk[j] = std::max(ex2 - mk[j] * mk[j], options.min_variance);
+      }
+      // Keep means inside the (clipped) data domain for stability.
+      std::vector<double> mrow(mk, mk + d);
+      dp::ClipL2(result.clip_norm, &mrow);
+      for (std::size_t j = 0; j < d; ++j) mk[j] = mrow[j];
+    }
+    P3GM_ASSIGN_OR_RETURN(
+        model, GaussianMixture::Create(new_weights, new_means, new_vars));
+  }
+
+  result.mixture = std::move(model);
+  return result;
+}
+
+}  // namespace stats
+}  // namespace p3gm

@@ -1,0 +1,56 @@
+#ifndef P3GM_STATS_DP_EM_H_
+#define P3GM_STATS_DP_EM_H_
+
+#include "stats/gmm.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+
+/// Options for differentially private EM (Park et al., AISTATS 2017),
+/// paper Section II-D. Each of the `iters` iterations perturbs the M-step
+/// parameters — the K means, the K (diagonal) covariances and the weight
+/// vector, i.e. 2K+1 Gaussian releases — with noise scaled by
+/// `noise_multiplier` (sigma_e). The paper's Eq. (3) bounds the resulting
+/// per-iteration moments: see dp::DpEmRdp.
+struct DpEmOptions {
+  std::size_t num_components = 3;
+  /// Fixed iteration count Te (privacy is accounted per iteration, so the
+  /// count must be fixed in advance — no data-dependent early stopping).
+  std::size_t iters = 20;
+  /// Noise multiplier sigma_e of the M-step Gaussian mechanism.
+  double noise_multiplier = 100.0;
+  /// Variance floor after noising.
+  double min_variance = 1e-4;
+  /// Weight floor after noising (renormalized afterwards).
+  double min_weight = 1e-3;
+  std::uint64_t seed = 29;
+};
+
+/// Result of a DP-EM run: the private mixture plus the exact L2 clipping
+/// bound that was applied to rows of the input so that every released
+/// statistic has sensitivity <= 1 (the paper's footnote 1).
+struct DpEmResult {
+  GaussianMixture mixture;
+  /// Rows of the input were clipped to this L2 norm before fitting.
+  double clip_norm = 1.0;
+};
+
+/// Fits a diagonal-covariance GMM with differentially private EM.
+///
+/// Sensitivity handling: input rows are L2-clipped to norm 1
+/// (pre-processing, no privacy cost by post-processing of the clipping
+/// constant), under which one record changes each released mean /
+/// covariance row by at most O(1/n_k); we follow the paper and Park et al.
+/// in scaling noise to sensitivity 1 before the 1/n_k normalization.
+///
+/// Fails on empty data or num_components > n.
+util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
+                                    const DpEmOptions& options,
+                                    util::Rng* rng);
+
+}  // namespace stats
+}  // namespace p3gm
+
+#endif  // P3GM_STATS_DP_EM_H_

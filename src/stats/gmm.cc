@@ -1,0 +1,286 @@
+#include "stats/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/ops.h"
+#include "stats/kmeans.h"
+
+namespace p3gm {
+namespace stats {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454836;
+
+double LogSumExp(const std::vector<double>& v) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double t : v) mx = std::max(mx, t);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double t : v) s += std::exp(t - mx);
+  return mx + std::log(s);
+}
+
+// log N(x; mu, diag(var)) for one component row.
+double DiagGaussianLogPdf(const std::vector<double>& x, const double* mu,
+                          const double* var) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double d = x[j] - mu[j];
+    s += std::log(var[j]) + d * d / var[j];
+  }
+  return -0.5 * (static_cast<double>(x.size()) * kLog2Pi + s);
+}
+
+}  // namespace
+
+util::Result<GaussianMixture> GaussianMixture::Create(
+    std::vector<double> weights, linalg::Matrix means,
+    linalg::Matrix variances) {
+  if (weights.empty() || means.rows() != weights.size() ||
+      variances.rows() != weights.size() ||
+      variances.cols() != means.cols()) {
+    return util::Status::InvalidArgument(
+        "GaussianMixture: inconsistent parameter shapes");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return util::Status::InvalidArgument(
+          "GaussianMixture: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return util::Status::InvalidArgument(
+        "GaussianMixture: weights sum to zero");
+  }
+  for (double& w : weights) w /= total;
+  for (std::size_t i = 0; i < variances.size(); ++i) {
+    if (variances.data()[i] <= 0.0) {
+      return util::Status::InvalidArgument(
+          "GaussianMixture: non-positive variance");
+    }
+  }
+  GaussianMixture g;
+  g.weights_ = std::move(weights);
+  g.means_ = std::move(means);
+  g.variances_ = std::move(variances);
+  return g;
+}
+
+std::vector<double> GaussianMixture::ComponentLogJoint(
+    const std::vector<double>& x) const {
+  P3GM_CHECK(x.size() == dim());
+  std::vector<double> out(num_components());
+  for (std::size_t k = 0; k < num_components(); ++k) {
+    out[k] = std::log(std::max(weights_[k], 1e-300)) +
+             DiagGaussianLogPdf(x, means_.row_data(k), variances_.row_data(k));
+  }
+  return out;
+}
+
+double GaussianMixture::LogPdf(const std::vector<double>& x) const {
+  return LogSumExp(ComponentLogJoint(x));
+}
+
+std::vector<double> GaussianMixture::Responsibilities(
+    const std::vector<double>& x) const {
+  std::vector<double> lj = ComponentLogJoint(x);
+  const double lse = LogSumExp(lj);
+  for (double& v : lj) v = std::exp(v - lse);
+  return lj;
+}
+
+std::vector<double> GaussianMixture::Sample(util::Rng* rng) const {
+  const std::size_t k = rng->Categorical(weights_);
+  std::vector<double> x(dim());
+  const double* mu = means_.row_data(k);
+  const double* var = variances_.row_data(k);
+  for (std::size_t j = 0; j < dim(); ++j) {
+    x[j] = rng->Normal(mu[j], std::sqrt(var[j]));
+  }
+  return x;
+}
+
+linalg::Matrix GaussianMixture::SampleN(std::size_t n, util::Rng* rng) const {
+  linalg::Matrix out(n, dim());
+  for (std::size_t i = 0; i < n; ++i) out.SetRow(i, Sample(rng));
+  return out;
+}
+
+double GaussianMixture::MeanLogLikelihood(const linalg::Matrix& x) const {
+  P3GM_CHECK(x.rows() > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) total += LogPdf(x.Row(i));
+  return total / static_cast<double>(x.rows());
+}
+
+namespace {
+
+// One EM run from a k-means initialization. `final_ll` receives the mean
+// log-likelihood of the returned model on `x`.
+util::Result<GaussianMixture> FitGmmOnce(const linalg::Matrix& x,
+                                         const EmOptions& options,
+                                         std::uint64_t seed,
+                                         double* final_ll) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t kk = options.num_components;
+
+  // k-means partition supplies means, per-cluster variances, weights.
+  KMeansOptions km_opts;
+  km_opts.num_clusters = kk;
+  km_opts.max_iters = 15;
+  km_opts.seed = seed;
+  P3GM_ASSIGN_OR_RETURN(KMeansResult km, KMeans(x, km_opts));
+
+  linalg::Matrix means = km.centroids;
+  linalg::Matrix variances(kk, d);
+  std::vector<double> weights(kk, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = km.assignment[i];
+    weights[k] += 1.0;
+    const double* xi = x.row_data(i);
+    const double* mk = means.row_data(k);
+    double* vk = variances.row_data(k);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = xi[j] - mk[j];
+      vk[j] += diff * diff;
+    }
+  }
+  for (std::size_t k = 0; k < kk; ++k) {
+    const double denom = std::max(weights[k], 1.0);
+    double* vk = variances.row_data(k);
+    for (std::size_t j = 0; j < d; ++j) {
+      vk[j] = std::max(vk[j] / denom, options.min_variance);
+    }
+    weights[k] = std::max(weights[k] / static_cast<double>(n), 1e-6);
+  }
+
+  P3GM_ASSIGN_OR_RETURN(
+      GaussianMixture model,
+      GaussianMixture::Create(weights, means, variances));
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  linalg::Matrix resp(n, kk);
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> lj = model.ComponentLogJoint(x.Row(i));
+      const double lse = LogSumExp(lj);
+      ll += lse;
+      for (std::size_t k = 0; k < kk; ++k) {
+        resp(i, k) = std::exp(lj[k] - lse);
+      }
+    }
+    ll /= static_cast<double>(n);
+
+    // M-step.
+    linalg::Matrix new_means(kk, d);
+    linalg::Matrix new_vars(kk, d);
+    std::vector<double> nk(kk, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < kk; ++k) nk[k] += resp(i, k);
+    }
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double denom = std::max(nk[k], 1e-12);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = resp(i, k);
+        if (r == 0.0) continue;
+        const double* xi = x.row_data(i);
+        double* mk = new_means.row_data(k);
+        for (std::size_t j = 0; j < d; ++j) mk[j] += r * xi[j];
+      }
+      double* mk = new_means.row_data(k);
+      for (std::size_t j = 0; j < d; ++j) mk[j] /= denom;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = resp(i, k);
+        if (r == 0.0) continue;
+        const double* xi = x.row_data(i);
+        double* vk = new_vars.row_data(k);
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = xi[j] - mk[j];
+          vk[j] += r * diff * diff;
+        }
+      }
+      double* vk = new_vars.row_data(k);
+      for (std::size_t j = 0; j < d; ++j) {
+        vk[j] = std::max(vk[j] / denom, options.min_variance);
+      }
+      weights[k] = nk[k] / static_cast<double>(n);
+    }
+    P3GM_ASSIGN_OR_RETURN(
+        model, GaussianMixture::Create(weights, new_means, new_vars));
+
+    if (ll - prev_ll < options.tol && iter > 0) break;
+    prev_ll = ll;
+  }
+  *final_ll = model.MeanLogLikelihood(x);
+  return model;
+}
+
+}  // namespace
+
+util::Result<GaussianMixture> FitGmm(const linalg::Matrix& x,
+                                     const EmOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t kk = options.num_components;
+  if (n == 0 || x.cols() == 0) {
+    return util::Status::InvalidArgument("FitGmm: empty data");
+  }
+  if (kk == 0 || kk > n) {
+    return util::Status::InvalidArgument(
+        "FitGmm: num_components must be in [1, n]");
+  }
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  util::Rng seed_rng(options.seed);
+  GaussianMixture best;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < restarts; ++r) {
+    double ll = 0.0;
+    P3GM_ASSIGN_OR_RETURN(GaussianMixture model,
+                          FitGmmOnce(x, options, seed_rng.NextU64(), &ll));
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = std::move(model);
+    }
+  }
+  return best;
+}
+
+double DiagGaussianKl(const std::vector<double>& mu_a,
+                      const std::vector<double>& var_a,
+                      const std::vector<double>& mu_b,
+                      const std::vector<double>& var_b) {
+  P3GM_CHECK(mu_a.size() == var_a.size() && mu_a.size() == mu_b.size() &&
+             mu_a.size() == var_b.size());
+  double kl = 0.0;
+  for (std::size_t j = 0; j < mu_a.size(); ++j) {
+    const double diff = mu_a[j] - mu_b[j];
+    kl += std::log(var_b[j] / var_a[j]) + (var_a[j] + diff * diff) / var_b[j] -
+          1.0;
+  }
+  return 0.5 * kl;
+}
+
+double GaussianToMixtureKl(const std::vector<double>& mu,
+                           const std::vector<double>& var,
+                           const GaussianMixture& mixture) {
+  // Hershey–Olsen variational approximation with a single-component
+  // "mixture" on the left: D ≈ -log sum_b pi_b exp(-KL(N || N_b)).
+  std::vector<double> terms(mixture.num_components());
+  for (std::size_t b = 0; b < mixture.num_components(); ++b) {
+    std::vector<double> mu_b = mixture.means().Row(b);
+    std::vector<double> var_b = mixture.variances().Row(b);
+    terms[b] = std::log(std::max(mixture.weights()[b], 1e-300)) -
+               DiagGaussianKl(mu, var, mu_b, var_b);
+  }
+  return -LogSumExp(terms);
+}
+
+}  // namespace stats
+}  // namespace p3gm

@@ -1,0 +1,100 @@
+#ifndef P3GM_STATS_GMM_H_
+#define P3GM_STATS_GMM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+
+/// Mixture of axis-aligned (diagonal-covariance) Gaussians. This is the
+/// latent prior r_lambda(z) of P3GM: fitted with (DP-)EM over the
+/// PCA-reduced data, sampled from during data synthesis, and differenced
+/// against the encoder posterior in the decoding-phase KL term.
+class GaussianMixture {
+ public:
+  GaussianMixture() = default;
+
+  /// Constructs a mixture with the given parameters. `means` and
+  /// `variances` are (K x d); `weights` has length K, sums to 1, and all
+  /// variances must be positive.
+  static util::Result<GaussianMixture> Create(std::vector<double> weights,
+                                              linalg::Matrix means,
+                                              linalg::Matrix variances);
+
+  std::size_t num_components() const { return weights_.size(); }
+  std::size_t dim() const { return means_.cols(); }
+
+  const std::vector<double>& weights() const { return weights_; }
+  const linalg::Matrix& means() const { return means_; }
+  const linalg::Matrix& variances() const { return variances_; }
+
+  /// log r(x) of the mixture density at `x` (log-sum-exp over components).
+  double LogPdf(const std::vector<double>& x) const;
+
+  /// Per-component log N(x; mu_k, diag(var_k)) + log pi_k (length K).
+  std::vector<double> ComponentLogJoint(const std::vector<double>& x) const;
+
+  /// Posterior responsibilities p(k | x) (length K).
+  std::vector<double> Responsibilities(const std::vector<double>& x) const;
+
+  /// Draws one sample: component k ~ pi, then x ~ N(mu_k, diag(var_k)).
+  std::vector<double> Sample(util::Rng* rng) const;
+
+  /// Draws `n` samples as rows of a matrix.
+  linalg::Matrix SampleN(std::size_t n, util::Rng* rng) const;
+
+  /// Mean log-likelihood of the rows of `x` under the mixture.
+  double MeanLogLikelihood(const linalg::Matrix& x) const;
+
+ private:
+  std::vector<double> weights_;
+  linalg::Matrix means_;      // K x d
+  linalg::Matrix variances_;  // K x d, diagonal covariances
+};
+
+/// Options for the (non-private) EM fitter.
+struct EmOptions {
+  std::size_t num_components = 3;
+  std::size_t max_iters = 50;
+  /// Stop when the mean log-likelihood improves by less than this.
+  double tol = 1e-5;
+  /// Lower bound applied to every variance (numerical floor).
+  double min_variance = 1e-6;
+  /// Independent k-means-seeded restarts; the run with the best final
+  /// log-likelihood wins. Guards against the symmetric stationary point
+  /// EM falls into from poor initializations.
+  std::size_t restarts = 3;
+  std::uint64_t seed = 13;
+};
+
+/// Fits a diagonal-covariance GMM by expectation-maximization,
+/// initialized from a k-means partition (means = centroids, variances =
+/// within-cluster variances, weights = cluster fractions) with
+/// `restarts` independent attempts. Fails on empty data or
+/// num_components > n.
+util::Result<GaussianMixture> FitGmm(const linalg::Matrix& x,
+                                     const EmOptions& options);
+
+/// KL(N(mu_a, diag(var_a)) || N(mu_b, diag(var_b))) between diagonal
+/// Gaussians, in closed form.
+double DiagGaussianKl(const std::vector<double>& mu_a,
+                      const std::vector<double>& var_a,
+                      const std::vector<double>& mu_b,
+                      const std::vector<double>& var_b);
+
+/// Variational upper-bound approximation of KL(N(mu, diag(var)) || MoG)
+/// (Hershey & Olsen 2007), the analytic form P3GM uses for the second ELBO
+/// term: -log sum_b pi_b exp(-KL(N || N_b)).
+double GaussianToMixtureKl(const std::vector<double>& mu,
+                           const std::vector<double>& var,
+                           const GaussianMixture& mixture);
+
+}  // namespace stats
+}  // namespace p3gm
+
+#endif  // P3GM_STATS_GMM_H_

@@ -1,0 +1,191 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/mechanisms.h"
+#include "linalg/ops.h"
+
+namespace p3gm {
+namespace stats {
+
+namespace {
+
+// Index of the centroid nearest to row i, plus the squared distance.
+std::pair<std::size_t, double> Nearest(const linalg::Matrix& x, std::size_t i,
+                                       const linalg::Matrix& centroids) {
+  const double* xi = x.row_data(i);
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < centroids.rows(); ++k) {
+    const double* ck = centroids.row_data(k);
+    double dist = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double diff = xi[j] - ck[j];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = k;
+    }
+  }
+  return {best, best_dist};
+}
+
+}  // namespace
+
+util::Result<KMeansResult> KMeans(const linalg::Matrix& x,
+                                  const KMeansOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t kk = options.num_clusters;
+  if (n == 0 || d == 0) {
+    return util::Status::InvalidArgument("KMeans: empty data");
+  }
+  if (kk == 0 || kk > n) {
+    return util::Status::InvalidArgument(
+        "KMeans: num_clusters must be in [1, n]");
+  }
+
+  util::Rng rng(options.seed);
+
+  // k-means++ seeding.
+  linalg::Matrix centroids(kk, d);
+  centroids.SetRow(0, x.Row(static_cast<std::size_t>(rng.UniformInt(n))));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < kk; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* xi = x.row_data(i);
+      const double* prev = centroids.row_data(c - 1);
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = xi[j] - prev[j];
+        dist += diff * diff;
+      }
+      min_dist[i] = std::min(min_dist[i], dist);
+    }
+    double total = 0.0;
+    for (double v : min_dist) total += v;
+    std::size_t pick;
+    if (total > 0.0) {
+      double r = rng.Uniform() * total;
+      pick = 0;
+      while (pick + 1 < n && (r -= min_dist[pick]) >= 0.0) ++pick;
+    } else {
+      pick = static_cast<std::size_t>(rng.UniformInt(n));
+    }
+    centroids.SetRow(c, x.Row(pick));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [best, dist] = Nearest(x, i, centroids);
+      if (best != result.assignment[i]) {
+        changed = true;
+        result.assignment[i] = best;
+      }
+      result.inertia += dist;
+    }
+    if (!changed && iter > 0) break;
+
+    linalg::Matrix sums(kk, d);
+    std::vector<double> counts(kk, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = result.assignment[i];
+      counts[k] += 1.0;
+      const double* xi = x.row_data(i);
+      double* sk = sums.row_data(k);
+      for (std::size_t j = 0; j < d; ++j) sk[j] += xi[j];
+    }
+    for (std::size_t k = 0; k < kk; ++k) {
+      if (counts[k] == 0.0) continue;  // Keep empty clusters in place.
+      double* ck = centroids.row_data(k);
+      const double* sk = sums.row_data(k);
+      for (std::size_t j = 0; j < d; ++j) ck[j] = sk[j] / counts[k];
+    }
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+util::Result<KMeansResult> DpKMeans(const linalg::Matrix& x,
+                                    const DpKMeansOptions& options,
+                                    util::Rng* rng) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t kk = options.num_clusters;
+  if (n == 0 || d == 0) {
+    return util::Status::InvalidArgument("DpKMeans: empty data");
+  }
+  if (kk == 0 || kk > n) {
+    return util::Status::InvalidArgument(
+        "DpKMeans: num_clusters must be in [1, n]");
+  }
+  if (options.noise_multiplier < 0.0) {
+    return util::Status::InvalidArgument(
+        "DpKMeans: noise multiplier must be non-negative");
+  }
+
+  // Clip rows to the unit ball so per-record sensitivity of sums is 1.
+  linalg::Matrix clipped = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row = clipped.Row(i);
+    dp::ClipL2(1.0, &row);
+    clipped.SetRow(i, row);
+  }
+
+  // Data-independent initialization inside the unit ball.
+  util::Rng init_rng(options.seed);
+  linalg::Matrix centroids(kk, d);
+  for (std::size_t k = 0; k < kk; ++k) {
+    for (std::size_t j = 0; j < d; ++j) {
+      centroids(k, j) = init_rng.Normal(0.0, 0.3);
+    }
+  }
+
+  for (std::size_t iter = 0; iter < options.iters; ++iter) {
+    linalg::Matrix sums(kk, d);
+    std::vector<double> counts(kk, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [best, dist] = Nearest(clipped, i, centroids);
+      (void)dist;
+      counts[best] += 1.0;
+      const double* xi = clipped.row_data(i);
+      double* sk = sums.row_data(best);
+      for (std::size_t j = 0; j < d; ++j) sk[j] += xi[j];
+    }
+    if (options.noise_multiplier > 0.0) {
+      dp::GaussianMechanism(1.0, options.noise_multiplier, &sums, rng);
+      dp::GaussianMechanism(1.0, options.noise_multiplier, &counts, rng);
+    }
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double denom = std::max(counts[k], 1.0);
+      double* ck = centroids.row_data(k);
+      const double* sk = sums.row_data(k);
+      for (std::size_t j = 0; j < d; ++j) ck[j] = sk[j] / denom;
+      std::vector<double> crow(ck, ck + d);
+      dp::ClipL2(1.0, &crow);
+      for (std::size_t j = 0; j < d; ++j) ck[j] = crow[j];
+    }
+  }
+
+  // Final assignment against private centroids (post-processing).
+  KMeansResult result;
+  result.centroids = std::move(centroids);
+  result.assignment.assign(n, 0);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [best, dist] = Nearest(clipped, i, result.centroids);
+    result.assignment[i] = best;
+    result.inertia += dist;
+  }
+  return result;
+}
+
+}  // namespace stats
+}  // namespace p3gm

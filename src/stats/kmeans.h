@@ -1,0 +1,58 @@
+#ifndef P3GM_STATS_KMEANS_H_
+#define P3GM_STATS_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+
+/// Output of a (DP-)k-means run.
+struct KMeansResult {
+  /// (k x d) centroid matrix.
+  linalg::Matrix centroids;
+  /// Cluster index of each input row.
+  std::vector<std::size_t> assignment;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+};
+
+struct KMeansOptions {
+  std::size_t num_clusters = 10;
+  std::size_t max_iters = 25;
+  std::uint64_t seed = 17;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Fails on empty data or
+/// num_clusters > n.
+util::Result<KMeansResult> KMeans(const linalg::Matrix& x,
+                                  const KMeansOptions& options);
+
+/// Options for differentially private k-means (the partitioning step of
+/// DP-GM, Acs et al. 2018). Each iteration releases per-cluster noisy
+/// sums and noisy counts via the Gaussian mechanism; rows are pre-clipped
+/// to the unit L2 ball so both releases have sensitivity 1.
+struct DpKMeansOptions {
+  std::size_t num_clusters = 10;
+  /// Fixed iteration count (accounted per iteration).
+  std::size_t iters = 10;
+  /// Gaussian noise multiplier per released statistic.
+  double noise_multiplier = 4.0;
+  std::uint64_t seed = 19;
+};
+
+/// Differentially private Lloyd iterations with data-independent
+/// initialization. The final assignment is computed against the private
+/// centroids (post-processing, no extra privacy cost).
+util::Result<KMeansResult> DpKMeans(const linalg::Matrix& x,
+                                    const DpKMeansOptions& options,
+                                    util::Rng* rng);
+
+}  // namespace stats
+}  // namespace p3gm
+
+#endif  // P3GM_STATS_KMEANS_H_

@@ -1,0 +1,87 @@
+#include "stats/mutual_information.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace stats {
+
+std::size_t EncodeTuple(const std::vector<int>& codes,
+                        const std::vector<std::size_t>& cardinalities) {
+  P3GM_CHECK(codes.size() == cardinalities.size());
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    P3GM_DCHECK(codes[i] >= 0 &&
+                static_cast<std::size_t>(codes[i]) < cardinalities[i]);
+    idx = idx * cardinalities[i] + static_cast<std::size_t>(codes[i]);
+  }
+  return idx;
+}
+
+std::vector<double> JointDistribution(const std::vector<int>& a,
+                                      const std::vector<int>& b,
+                                      std::size_t card_a,
+                                      std::size_t card_b) {
+  P3GM_CHECK(a.size() == b.size() && !a.empty());
+  std::vector<double> joint(card_a * card_b, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ia = static_cast<std::size_t>(a[i]);
+    const auto ib = static_cast<std::size_t>(b[i]);
+    P3GM_DCHECK(ia < card_a && ib < card_b);
+    joint[ia * card_b + ib] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(a.size());
+  for (double& v : joint) v *= inv;
+  return joint;
+}
+
+double MutualInformation(const std::vector<int>& a, const std::vector<int>& b,
+                         std::size_t card_a, std::size_t card_b) {
+  const std::vector<double> joint = JointDistribution(a, b, card_a, card_b);
+  std::vector<double> pa(card_a, 0.0), pb(card_b, 0.0);
+  for (std::size_t i = 0; i < card_a; ++i) {
+    for (std::size_t j = 0; j < card_b; ++j) {
+      pa[i] += joint[i * card_b + j];
+      pb[j] += joint[i * card_b + j];
+    }
+  }
+  double mi = 0.0;
+  for (std::size_t i = 0; i < card_a; ++i) {
+    for (std::size_t j = 0; j < card_b; ++j) {
+      const double p = joint[i * card_b + j];
+      if (p <= 0.0 || pa[i] <= 0.0 || pb[j] <= 0.0) continue;
+      mi += p * std::log(p / (pa[i] * pb[j]));
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+double MutualInformationWithParents(
+    const std::vector<std::vector<int>>& columns,
+    const std::vector<std::size_t>& cardinalities, std::size_t x,
+    const std::vector<std::size_t>& parents) {
+  P3GM_CHECK(x < columns.size());
+  if (parents.empty()) return 0.0;
+  const std::size_t n = columns[x].size();
+  std::size_t parent_card = 1;
+  std::vector<std::size_t> parent_cards;
+  for (std::size_t p : parents) {
+    P3GM_CHECK(p < columns.size());
+    parent_card *= cardinalities[p];
+    parent_cards.push_back(cardinalities[p]);
+  }
+  std::vector<int> parent_codes(n);
+  std::vector<int> tuple(parents.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < parents.size(); ++t) {
+      tuple[t] = columns[parents[t]][i];
+    }
+    parent_codes[i] = static_cast<int>(EncodeTuple(tuple, parent_cards));
+  }
+  return MutualInformation(columns[x], parent_codes, cardinalities[x],
+                           parent_card);
+}
+
+}  // namespace stats
+}  // namespace p3gm

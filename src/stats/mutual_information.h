@@ -1,0 +1,41 @@
+#ifndef P3GM_STATS_MUTUAL_INFORMATION_H_
+#define P3GM_STATS_MUTUAL_INFORMATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace p3gm {
+namespace stats {
+
+/// Helpers for contingency tables over integer-coded categorical columns.
+/// Used by the PrivBayes baseline to score candidate parent sets.
+
+/// Encodes a tuple of categorical codes into one flat index, given the
+/// cardinality of each position. The empty tuple encodes to 0.
+std::size_t EncodeTuple(const std::vector<int>& codes,
+                        const std::vector<std::size_t>& cardinalities);
+
+/// Joint distribution of (a, b) estimated from paired code columns
+/// (lengths must match). Returns a flattened card_a x card_b probability
+/// table.
+std::vector<double> JointDistribution(const std::vector<int>& a,
+                                      const std::vector<int>& b,
+                                      std::size_t card_a, std::size_t card_b);
+
+/// Empirical mutual information I(A; B) in nats between two code columns.
+double MutualInformation(const std::vector<int>& a, const std::vector<int>& b,
+                         std::size_t card_a, std::size_t card_b);
+
+/// Mutual information I(X; Parents) where the parent set is a tuple of
+/// columns. `columns[i]` is the full code column for attribute i;
+/// `cardinalities[i]` its domain size. The parent tuple is flattened via
+/// EncodeTuple.
+double MutualInformationWithParents(
+    const std::vector<std::vector<int>>& columns,
+    const std::vector<std::size_t>& cardinalities, std::size_t x,
+    const std::vector<std::size_t>& parents);
+
+}  // namespace stats
+}  // namespace p3gm
+
+#endif  // P3GM_STATS_MUTUAL_INFORMATION_H_

@@ -1,0 +1,36 @@
+#ifndef P3GM_UTIL_CHECK_H_
+#define P3GM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant check for numeric kernels where returning a Status
+/// would be prohibitive (inner loops) and violation indicates a programming
+/// error rather than bad user input. Aborts with file/line context.
+#define P3GM_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "P3GM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define P3GM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "P3GM_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only check, compiled out in NDEBUG builds. Use on per-element hot
+/// paths.
+#ifdef NDEBUG
+#define P3GM_DCHECK(cond) ((void)0)
+#else
+#define P3GM_DCHECK(cond) P3GM_CHECK(cond)
+#endif
+
+#endif  // P3GM_UTIL_CHECK_H_

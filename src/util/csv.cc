@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace p3gm {
+namespace util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open CSV file for writing: " + path);
+  }
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!status_.ok()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_) status_ = Status::IoError("CSV write failed");
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    text.emplace_back(buf);
+  }
+  WriteRow(text);
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace util
+}  // namespace p3gm

@@ -1,0 +1,48 @@
+#ifndef P3GM_UTIL_CSV_H_
+#define P3GM_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace p3gm {
+namespace util {
+
+/// Minimal CSV writer used by the bench harness to persist table/figure
+/// series next to the printed output. Quotes fields containing commas or
+/// quotes per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file. Check
+  /// `status()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// Non-OK if the file could not be opened or a write failed.
+  const Status& status() const { return status_; }
+
+  /// Writes one row of string cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Writes one row of numeric cells formatted with up to 6 significant
+  /// digits.
+  void WriteNumericRow(const std::vector<double>& cells);
+
+  /// Writes a header row followed by flushing.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  /// Flushes and closes the underlying stream.
+  void Close();
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+}  // namespace util
+}  // namespace p3gm
+
+#endif  // P3GM_UTIL_CSV_H_

@@ -1,0 +1,47 @@
+#ifndef P3GM_UTIL_LOGGING_H_
+#define P3GM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace p3gm {
+namespace util {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Not synchronized: set once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line ("[LEVEL] message") to stderr if `level`
+/// passes the process-wide filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Stream-style logger used via the P3GM_LOG macro. Emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace util
+}  // namespace p3gm
+
+#define P3GM_LOG(level) \
+  ::p3gm::util::LogStream(::p3gm::util::LogLevel::k##level)
+
+#endif  // P3GM_UTIL_LOGGING_H_

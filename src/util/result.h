@@ -1,0 +1,81 @@
+#ifndef P3GM_UTIL_RESULT_H_
+#define P3GM_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace p3gm {
+namespace util {
+
+/// Either a value of type `T` or a non-OK `Status`, modelled after
+/// `arrow::Result<T>`. Used as the return type of fallible factories so
+/// callers never observe partially constructed objects.
+///
+/// Typical use:
+/// \code
+///   Result<Matrix> r = Matrix::FromRows(rows);
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; the result must be OK.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Convenience accessors mirroring ValueOrDie.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace p3gm
+
+/// Unwraps a Result into `lhs`, propagating errors (Arrow's ASSIGN_OR_RAISE).
+#define P3GM_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto P3GM_CONCAT_(_res_, __LINE__) = (rexpr);       \
+  if (!P3GM_CONCAT_(_res_, __LINE__).ok())            \
+    return P3GM_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(P3GM_CONCAT_(_res_, __LINE__)).ValueOrDie()
+#define P3GM_CONCAT_(a, b) P3GM_CONCAT_IMPL_(a, b)
+#define P3GM_CONCAT_IMPL_(a, b) a##b
+
+#endif  // P3GM_UTIL_RESULT_H_

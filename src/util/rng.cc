@@ -1,0 +1,175 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  // xoshiro256++ step.
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  P3GM_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  P3GM_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  std::uint64_t r;
+  do {
+    r = NextU64();
+  } while (r < threshold);
+  return r % n;
+}
+
+double Rng::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  P3GM_DCHECK(stddev >= 0.0);
+  return mean + stddev * Normal();
+}
+
+double Rng::Laplace(double scale) {
+  P3GM_CHECK(scale > 0.0);
+  // Inverse CDF: sample u in (-1/2, 1/2), x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  // Guard against |u| == 0.5 which would take log(0).
+  if (u >= 0.5) u = std::nextafter(0.5, 0.0);
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double Rng::Exponential(double rate) {
+  P3GM_CHECK(rate > 0.0);
+  double u = Uniform();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return -std::log(u) / rate;
+}
+
+double Rng::Gamma(double shape, double scale) {
+  P3GM_CHECK(shape > 0.0);
+  P3GM_CHECK(scale > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double u = std::max(Uniform(), std::numeric_limits<double>::min());
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = std::max(Uniform(), std::numeric_limits<double>::min());
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double Rng::ChiSquared(double df) {
+  P3GM_CHECK(df > 0.0);
+  return Gamma(df / 2.0, 2.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  P3GM_DCHECK(p >= 0.0 && p <= 1.0);
+  return Uniform() < p;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  P3GM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    P3GM_CHECK(w >= 0.0);
+    total += w;
+  }
+  P3GM_CHECK(total > 0.0);
+  double r = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack: last bucket.
+}
+
+std::vector<std::size_t> Rng::Permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  Shuffle(&p);
+  return p;
+}
+
+std::vector<std::size_t> Rng::PoissonSample(std::size_t n, double q) {
+  P3GM_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Bernoulli(q)) out.push_back(i);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace util
+}  // namespace p3gm

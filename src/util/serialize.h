@@ -1,0 +1,70 @@
+#ifndef P3GM_UTIL_SERIALIZE_H_
+#define P3GM_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p3gm {
+namespace util {
+
+/// Minimal binary serialization used to persist released generative
+/// models (the paper's Fig. 1 artifact: a decoder plus a latent prior).
+/// Fixed little-endian layout with a magic/version header; all sizes are
+/// u64, all floats are IEEE doubles.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Check status().
+  BinaryWriter(const std::string& path, std::uint32_t magic,
+               std::uint32_t version);
+
+  const Status& status() const { return status_; }
+
+  void WriteU64(std::uint64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteDoubles(const std::vector<double>& v);
+  /// Shape-prefixed row-major matrix payload.
+  void WriteMatrix(std::size_t rows, std::size_t cols, const double* data);
+
+  /// Flushes and closes; returns the final status.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, std::size_t bytes);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Reader counterpart; validates magic/version on construction.
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, std::uint32_t expected_magic,
+               std::uint32_t expected_version);
+
+  const Status& status() const { return status_; }
+
+  Result<std::uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubles();
+  /// Reads a matrix payload; fills rows/cols and the flat buffer.
+  Status ReadMatrix(std::size_t* rows, std::size_t* cols,
+                    std::vector<double>* flat);
+
+ private:
+  Status ReadRaw(void* data, std::size_t bytes);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace util
+}  // namespace p3gm
+
+#endif  // P3GM_UTIL_SERIALIZE_H_

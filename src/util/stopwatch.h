@@ -1,0 +1,33 @@
+#ifndef P3GM_UTIL_STOPWATCH_H_
+#define P3GM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace p3gm {
+namespace util {
+
+/// Wall-clock stopwatch for coarse timing of training phases and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace p3gm
+
+#endif  // P3GM_UTIL_STOPWATCH_H_

@@ -1,0 +1,32 @@
+#ifndef P3GM_UTIL_STRING_UTILS_H_
+#define P3GM_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <vector>
+
+namespace p3gm {
+namespace util {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `text` on every occurrence of `sep` (single char). Keeps empty
+/// fields, so "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 4);
+
+/// Left-pads (positive width) or right-pads (negative width) `s` with
+/// spaces to the given absolute width; used by the table printers.
+std::string Pad(const std::string& s, int width);
+
+}  // namespace util
+}  // namespace p3gm
+
+#endif  // P3GM_UTIL_STRING_UTILS_H_

@@ -1,0 +1,209 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "baselines/dp_gm.h"
+#include "baselines/privbayes.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace baselines {
+namespace {
+
+// --------------------------------------------------------------- DP-GM
+
+DpGmOptions SmallDpGm() {
+  DpGmOptions opt;
+  opt.num_clusters = 3;
+  opt.kmeans_iters = 2;
+  opt.vae.hidden = 16;
+  opt.vae.latent_dim = 2;
+  opt.vae.epochs = 3;
+  opt.vae.batch_size = 20;
+  opt.vae.sgd_sigma = 2.0;
+  return opt;
+}
+
+TEST(DpGmTest, ValidatesInput) {
+  DpGmSynthesizer synth(SmallDpGm());
+  EXPECT_FALSE(synth.Fit(data::Dataset{}).ok());
+  util::Rng rng(3);
+  EXPECT_FALSE(synth.Generate(10, &rng).ok());  // Generate before Fit.
+}
+
+TEST(DpGmTest, FitAndGenerateShapes) {
+  data::Dataset train = data::MakeAdultLike(300, 5);
+  DpGmSynthesizer synth(SmallDpGm());
+  ASSERT_TRUE(synth.Fit(train).ok());
+  util::Rng rng(7);
+  auto gen = synth.Generate(120, &rng);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->size(), 120u);
+  EXPECT_EQ(gen->dim(), train.dim());
+  EXPECT_EQ(synth.name(), "DP-GM");
+}
+
+TEST(DpGmTest, EpsilonAccountingPositiveAndMonotone) {
+  data::Dataset train = data::MakeAdultLike(300, 9);
+  DpGmOptions opt = SmallDpGm();
+  DpGmSynthesizer a(opt);
+  ASSERT_TRUE(a.Fit(train).ok());
+  const double eps_a = a.ComputeEpsilon(1e-5).epsilon;
+  EXPECT_GT(eps_a, 0.0);
+  opt.vae.sgd_sigma = 8.0;  // More noise, less epsilon.
+  DpGmSynthesizer b(opt);
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_LT(b.ComputeEpsilon(1e-5).epsilon, eps_a);
+}
+
+TEST(DpGmTest, CalibrationMeetsTarget) {
+  DpGmOptions opt = SmallDpGm();
+  auto sigma = DpGmSynthesizer::CalibrateSigma(opt, 1000, 2.0, 1e-5);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_GT(*sigma, 0.0);
+}
+
+TEST(DpGmTest, FitTwiceFails) {
+  data::Dataset train = data::MakeAdultLike(200, 11);
+  DpGmSynthesizer synth(SmallDpGm());
+  ASSERT_TRUE(synth.Fit(train).ok());
+  EXPECT_FALSE(synth.Fit(train).ok());
+}
+
+// ------------------------------------------------------------ PrivBayes
+
+PrivBayesOptions SmallPrivBayes() {
+  PrivBayesOptions opt;
+  opt.epsilon = 2.0;
+  opt.degree = 2;
+  opt.bins = 4;
+  opt.parent_window = 4;
+  return opt;
+}
+
+TEST(PrivBayesTest, ValidatesInput) {
+  PrivBayesSynthesizer synth(SmallPrivBayes());
+  EXPECT_FALSE(synth.Fit(data::Dataset{}).ok());
+  PrivBayesOptions bad = SmallPrivBayes();
+  bad.epsilon = 0.0;
+  PrivBayesSynthesizer synth2(bad);
+  EXPECT_FALSE(synth2.Fit(data::MakeAdultLike(200, 3)).ok());
+}
+
+TEST(PrivBayesTest, FitAndGenerateShapes) {
+  data::Dataset train = data::MakeAdultLike(500, 5);
+  PrivBayesSynthesizer synth(SmallPrivBayes());
+  ASSERT_TRUE(synth.Fit(train).ok());
+  util::Rng rng(7);
+  auto gen = synth.Generate(200, &rng);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->size(), 200u);
+  EXPECT_EQ(gen->dim(), train.dim());
+  // Features decoded into the training range [0, 1].
+  for (std::size_t i = 0; i < gen->features.size(); ++i) {
+    EXPECT_GE(gen->features.data()[i], -1e-9);
+    EXPECT_LE(gen->features.data()[i], 1.0 + 1e-9);
+  }
+}
+
+TEST(PrivBayesTest, NetworkCoversAllAttributes) {
+  data::Dataset train = data::MakeAdultLike(400, 9);
+  PrivBayesSynthesizer synth(SmallPrivBayes());
+  ASSERT_TRUE(synth.Fit(train).ok());
+  const auto& order = synth.attribute_order();
+  EXPECT_EQ(order.size(), train.dim() + 1);  // Features + label column.
+  std::set<std::size_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+}
+
+TEST(PrivBayesTest, EpsilonIsTheConfiguredBudget) {
+  PrivBayesSynthesizer synth(SmallPrivBayes());
+  EXPECT_DOUBLE_EQ(synth.ComputeEpsilon(1e-5).epsilon, 2.0);
+}
+
+TEST(PrivBayesTest, HighEpsilonPreservesLabelDependence) {
+  // With a generous budget PrivBayes must reproduce a strong pairwise
+  // dependence: labels generated alongside a feature that determines
+  // them.
+  util::Rng data_rng(11);
+  data::Dataset train;
+  train.name = "synthetic-pair";
+  train.num_classes = 2;
+  train.features = linalg::Matrix(2000, 2);
+  train.labels.resize(2000);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const double v = data_rng.Uniform();
+    train.features(i, 0) = v;
+    train.features(i, 1) = data_rng.Uniform();
+    train.labels[i] = v > 0.5 ? 1 : 0;
+  }
+  PrivBayesOptions opt = SmallPrivBayes();
+  opt.epsilon = 100.0;  // Essentially non-private.
+  opt.bins = 8;
+  PrivBayesSynthesizer synth(opt);
+  ASSERT_TRUE(synth.Fit(train).ok());
+  util::Rng rng(13);
+  auto gen = synth.Generate(2000, &rng);
+  ASSERT_TRUE(gen.ok());
+  // Check the generated dependence: P(label=1 | f0 > 0.5) >> P(label=1 |
+  // f0 <= 0.5).
+  double hi = 0, hi_n = 0, lo = 0, lo_n = 0;
+  for (std::size_t i = 0; i < gen->size(); ++i) {
+    if (gen->features(i, 0) > 0.5) {
+      hi += static_cast<double>(gen->labels[i]);
+      ++hi_n;
+    } else {
+      lo += static_cast<double>(gen->labels[i]);
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi_n, 100.0);
+  ASSERT_GT(lo_n, 100.0);
+  EXPECT_GT(hi / hi_n, lo / lo_n + 0.5);
+}
+
+TEST(PrivBayesTest, LowEpsilonDestroysDependence) {
+  // Same data, tiny budget: the noisy conditionals drown the signal.
+  util::Rng data_rng(17);
+  data::Dataset train;
+  train.num_classes = 2;
+  train.features = linalg::Matrix(500, 2);
+  train.labels.resize(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double v = data_rng.Uniform();
+    train.features(i, 0) = v;
+    train.features(i, 1) = data_rng.Uniform();
+    train.labels[i] = v > 0.5 ? 1 : 0;
+  }
+  PrivBayesOptions opt = SmallPrivBayes();
+  opt.epsilon = 0.01;
+  PrivBayesSynthesizer synth(opt);
+  ASSERT_TRUE(synth.Fit(train).ok());
+  util::Rng rng(19);
+  auto gen = synth.Generate(1000, &rng);
+  ASSERT_TRUE(gen.ok());
+  double hi = 0, hi_n = 1e-9, lo = 0, lo_n = 1e-9;
+  for (std::size_t i = 0; i < gen->size(); ++i) {
+    if (gen->features(i, 0) > 0.5) {
+      hi += static_cast<double>(gen->labels[i]);
+      ++hi_n;
+    } else {
+      lo += static_cast<double>(gen->labels[i]);
+      ++lo_n;
+    }
+  }
+  EXPECT_LT(std::fabs(hi / hi_n - lo / lo_n), 0.45);
+}
+
+TEST(PrivBayesTest, DeterministicGivenSeed) {
+  data::Dataset train = data::MakeAdultLike(300, 21);
+  PrivBayesSynthesizer a(SmallPrivBayes()), b(SmallPrivBayes());
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_EQ(a.attribute_order(), b.attribute_order());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace p3gm

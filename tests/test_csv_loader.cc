@@ -1,0 +1,120 @@
+#include <cmath>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "data/csv_loader.h"
+#include "data/synthetic.h"
+
+namespace p3gm {
+namespace data {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path);
+  f << content;
+  return path;
+}
+
+TEST(CsvLoaderTest, LoadsBasicFile) {
+  const std::string path = WriteTemp("basic.csv",
+                                     "a,b,label\n"
+                                     "0.0,10,0\n"
+                                     "1.0,20,1\n"
+                                     "2.0,30,1\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 3u);
+  EXPECT_EQ(d->dim(), 2u);
+  EXPECT_EQ(d->num_classes, 2u);
+  EXPECT_EQ(d->labels, (std::vector<std::size_t>{0, 1, 1}));
+  // Min-max scaled.
+  EXPECT_DOUBLE_EQ(d->features(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d->features(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d->features(1, 1), 0.5);
+}
+
+TEST(CsvLoaderTest, NoHeaderAndNoScaling) {
+  const std::string path = WriteTemp("raw.csv", "5,1\n7,0\n");
+  CsvLoadOptions opt;
+  opt.has_header = false;
+  opt.scale_features = false;
+  auto d = LoadCsvDataset(path, opt);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->features(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d->features(1, 0), 7.0);
+}
+
+TEST(CsvLoaderTest, CustomLabelColumn) {
+  const std::string path = WriteTemp("labelfirst.csv",
+                                     "label,x\n1,0.5\n0,0.7\n");
+  CsvLoadOptions opt;
+  opt.label_column = 0;
+  auto d = LoadCsvDataset(path, opt);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->labels, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(d->dim(), 1u);
+}
+
+TEST(CsvLoaderTest, RejectsRaggedRows) {
+  const std::string path = WriteTemp("ragged.csv", "a,b\n1,2\n3\n");
+  CsvLoadOptions opt;
+  EXPECT_FALSE(LoadCsvDataset(path, opt).ok());
+}
+
+TEST(CsvLoaderTest, RejectsNonNumericCells) {
+  const std::string path = WriteTemp("alpha.csv", "a,b\n1,2\nx,1\n");
+  EXPECT_FALSE(LoadCsvDataset(path).ok());
+}
+
+TEST(CsvLoaderTest, RejectsNonIntegerLabels) {
+  const std::string path = WriteTemp("fraclabel.csv", "a,b\n1,0.5\n");
+  EXPECT_FALSE(LoadCsvDataset(path).ok());
+}
+
+TEST(CsvLoaderTest, RejectsNegativeLabels) {
+  const std::string path = WriteTemp("neglabel.csv", "a,b\n1,-1\n");
+  EXPECT_FALSE(LoadCsvDataset(path).ok());
+}
+
+TEST(CsvLoaderTest, RejectsMissingFileAndEmptyFile) {
+  EXPECT_FALSE(LoadCsvDataset("/nonexistent_p3gm/x.csv").ok());
+  const std::string path = WriteTemp("empty.csv", "a,b\n");
+  EXPECT_FALSE(LoadCsvDataset(path).ok());
+}
+
+TEST(CsvLoaderTest, HandlesCrlfAndBlankLines) {
+  const std::string path =
+      WriteTemp("crlf.csv", "a,b\r\n1,0\r\n\r\n2,1\r\n");
+  auto d = LoadCsvDataset(path);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST(CsvLoaderTest, SaveLoadRoundTrip) {
+  Dataset original = MakeAdultLike(200, 7);
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(SaveCsvDataset(original, path).ok());
+  CsvLoadOptions opt;
+  opt.scale_features = false;  // Already scaled; avoid double scaling.
+  auto back = LoadCsvDataset(path, opt);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), original.size());
+  EXPECT_EQ(back->dim(), original.dim());
+  EXPECT_EQ(back->labels, original.labels);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < original.features.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(back->features.data()[i] -
+                                  original.features.data()[i]));
+  }
+  EXPECT_LT(max_diff, 1e-8);  // %.9g round trip.
+}
+
+TEST(CsvLoaderTest, SaveRejectsEmpty) {
+  EXPECT_FALSE(SaveCsvDataset(Dataset{}, "/tmp/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace p3gm

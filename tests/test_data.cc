@@ -1,0 +1,227 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "data/dataset.h"
+#include "linalg/ops.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+
+namespace p3gm {
+namespace data {
+namespace {
+
+// ---------------------------------------------------------------- Dataset
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = 2;
+  d.features = linalg::Matrix{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}, {0.7, 0.8}};
+  d.labels = {0, 1, 0, 1};
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_DOUBLE_EQ(d.PositiveRate(), 0.5);
+  EXPECT_EQ(d.ClassCounts(), (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(DatasetTest, FilterByLabel) {
+  Dataset pos = TinyDataset().FilterByLabel(1);
+  EXPECT_EQ(pos.size(), 2u);
+  EXPECT_DOUBLE_EQ(pos.features(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(pos.PositiveRate(), 1.0);
+}
+
+TEST(DatasetTest, HeadClamps) {
+  EXPECT_EQ(TinyDataset().Head(2).size(), 2u);
+  EXPECT_EQ(TinyDataset().Head(100).size(), 4u);
+}
+
+TEST(StratifiedSplitTest, ValidatesInput) {
+  EXPECT_FALSE(StratifiedSplit(Dataset{}, 0.5, 1).ok());
+  EXPECT_FALSE(StratifiedSplit(TinyDataset(), 0.0, 1).ok());
+  EXPECT_FALSE(StratifiedSplit(TinyDataset(), 1.0, 1).ok());
+}
+
+TEST(StratifiedSplitTest, PreservesClassRatio) {
+  Dataset d = MakeAdultLike(2000, 5);
+  auto split = StratifiedSplit(d, 0.25, 7);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(split->train.PositiveRate(), d.PositiveRate(), 0.02);
+  EXPECT_NEAR(split->test.PositiveRate(), d.PositiveRate(), 0.02);
+  EXPECT_EQ(split->train.size() + split->test.size(), d.size());
+}
+
+TEST(StratifiedSplitTest, DisjointCoverage) {
+  Dataset d = TinyDataset();
+  auto split = StratifiedSplit(d, 0.5, 3);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 2u);
+  EXPECT_EQ(split->test.size(), 2u);
+}
+
+TEST(StratifiedResampleTest, MatchesReferenceRatio) {
+  Dataset d = MakeAdultLike(2000, 9);
+  util::Rng rng(11);
+  Dataset r = StratifiedResample(d, 500, &rng);
+  EXPECT_EQ(r.size(), 500u);
+  EXPECT_NEAR(r.PositiveRate(), d.PositiveRate(), 0.03);
+}
+
+// -------------------------------------------------------------- Scaler
+
+TEST(MinMaxScalerTest, MapsToUnitInterval) {
+  linalg::Matrix x = {{-2.0, 10.0}, {2.0, 20.0}, {0.0, 15.0}};
+  auto s = MinMaxScaler::Fit(x);
+  ASSERT_TRUE(s.ok());
+  linalg::Matrix t = s->Transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(t(2, 1), 0.5);
+}
+
+TEST(MinMaxScalerTest, InverseRoundTrip) {
+  linalg::Matrix x = {{-2.0, 10.0}, {2.0, 20.0}};
+  auto s = MinMaxScaler::Fit(x);
+  ASSERT_TRUE(s.ok());
+  linalg::Matrix round = s->InverseTransform(s->Transform(x));
+  EXPECT_LT(linalg::MaxAbsDiff(round, x), 1e-12);
+}
+
+TEST(MinMaxScalerTest, ConstantColumnMapsToZero) {
+  linalg::Matrix x = {{5.0}, {5.0}};
+  auto s = MinMaxScaler::Fit(x);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->Transform(x)(0, 0), 0.0);
+}
+
+// -------------------------------------------------------------- One-hot
+
+TEST(OneHotTest, RoundTrip) {
+  std::vector<std::size_t> labels = {0, 2, 1, 2};
+  linalg::Matrix oh = LabelsToOneHot(labels, 3);
+  EXPECT_DOUBLE_EQ(oh(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(oh(1, 0), 0.0);
+  EXPECT_EQ(OneHotToLabels(oh), labels);
+}
+
+TEST(OneHotTest, ArgmaxDecodesSoftRows) {
+  linalg::Matrix soft = {{0.2, 0.7, 0.1}, {0.6, 0.3, 0.1}};
+  EXPECT_EQ(OneHotToLabels(soft), (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(AttachDetachTest, RoundTrip) {
+  Dataset d = TinyDataset();
+  linalg::Matrix joint = AttachLabels(d.features, d.labels, 2);
+  EXPECT_EQ(joint.cols(), 4u);
+  LabeledRows rows = DetachLabels(joint, 2);
+  EXPECT_EQ(rows.labels, d.labels);
+  EXPECT_LT(linalg::MaxAbsDiff(rows.features, d.features), 1e-12);
+}
+
+TEST(ClampTest, ClampsIntoRange) {
+  linalg::Matrix m = {{-1.0, 0.5, 2.0}};
+  Clamp(0.0, 1.0, &m);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 2), 1.0);
+}
+
+// ------------------------------------------------- Synthetic generators
+
+class GeneratorTest
+    : public ::testing::TestWithParam<std::function<Dataset()>> {};
+
+TEST(SyntheticTest, CreditShape) {
+  Dataset d = MakeCreditLike(2000, 3);
+  EXPECT_EQ(d.dim(), 29u);
+  EXPECT_EQ(d.num_classes, 2u);
+  EXPECT_NEAR(d.PositiveRate(), 0.002, 0.002);
+}
+
+TEST(SyntheticTest, CreditCustomPositiveRate) {
+  Dataset d = MakeCreditLike(2000, 3, 0.05);
+  EXPECT_NEAR(d.PositiveRate(), 0.05, 0.005);
+}
+
+TEST(SyntheticTest, CreditPositivesAreSeparable) {
+  // The class-conditional shift must be detectable: positives' mean in
+  // the shifted dimensions differs from negatives'.
+  Dataset d = MakeCreditLike(5000, 7, 0.05);
+  Dataset pos = d.FilterByLabel(1);
+  Dataset neg = d.FilterByLabel(0);
+  double max_gap = 0.0;
+  for (std::size_t j = 0; j < d.dim(); ++j) {
+    double mp = 0, mn = 0;
+    for (std::size_t i = 0; i < pos.size(); ++i) mp += pos.features(i, j);
+    for (std::size_t i = 0; i < neg.size(); ++i) mn += neg.features(i, j);
+    max_gap = std::max(max_gap, std::fabs(mp / pos.size() - mn / neg.size()));
+  }
+  EXPECT_GT(max_gap, 0.1);
+}
+
+TEST(SyntheticTest, AdultShapeAndRate) {
+  Dataset d = MakeAdultLike(3000, 5);
+  EXPECT_EQ(d.dim(), 15u);
+  EXPECT_NEAR(d.PositiveRate(), 0.241, 0.02);
+}
+
+TEST(SyntheticTest, IsoletShapeAndRate) {
+  Dataset d = MakeIsoletLike(800, 5);
+  EXPECT_EQ(d.dim(), 617u);
+  EXPECT_NEAR(d.PositiveRate(), 0.192, 0.05);
+}
+
+TEST(SyntheticTest, EsrShapeAndRate) {
+  Dataset d = MakeEsrLike(1000, 5);
+  EXPECT_EQ(d.dim(), 179u);
+  EXPECT_NEAR(d.PositiveRate(), 0.2, 0.04);
+}
+
+TEST(SyntheticTest, AllFeaturesInUnitInterval) {
+  for (const Dataset& d :
+       {MakeCreditLike(500, 1, 0.01), MakeAdultLike(500, 1),
+        MakeIsoletLike(200, 1), MakeEsrLike(300, 1)}) {
+    for (std::size_t i = 0; i < d.features.size(); ++i) {
+      EXPECT_GE(d.features.data()[i], 0.0) << d.name;
+      EXPECT_LE(d.features.data()[i], 1.0) << d.name;
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  Dataset a = MakeAdultLike(300, 42);
+  Dataset b = MakeAdultLike(300, 42);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.labels, b.labels);
+  Dataset c = MakeAdultLike(300, 43);
+  EXPECT_FALSE(a.features == c.features);
+}
+
+TEST(SyntheticTest, EsrSeizureHasHigherAmplitude) {
+  Dataset d = MakeEsrLike(2000, 9);
+  // The last column is the amplitude summary; seizure class mean must be
+  // clearly higher.
+  const std::size_t amp = d.dim() - 1;
+  double pos = 0, neg = 0;
+  std::size_t np = 0, nn = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.labels[i] == 1) {
+      pos += d.features(i, amp);
+      ++np;
+    } else {
+      neg += d.features(i, amp);
+      ++nn;
+    }
+  }
+  EXPECT_GT(pos / np, neg / nn + 0.1);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace p3gm

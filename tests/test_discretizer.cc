@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/discretizer.h"
+#include "stats/mutual_information.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+namespace {
+
+TEST(DiscretizerTest, ValidatesInput) {
+  EXPECT_FALSE(Discretizer::Fit(linalg::Matrix(), 4).ok());
+  EXPECT_FALSE(Discretizer::Fit(linalg::Matrix(2, 2, 0.0), 0).ok());
+}
+
+TEST(DiscretizerTest, EncodesRangeEndpoints) {
+  linalg::Matrix x = {{0.0}, {1.0}};
+  auto d = Discretizer::Fit(x, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Encode(0, 0.0), 0u);
+  EXPECT_EQ(d->Encode(0, 0.24), 0u);
+  EXPECT_EQ(d->Encode(0, 0.26), 1u);
+  EXPECT_EQ(d->Encode(0, 1.0), 3u);  // Max clamps to last bin.
+  EXPECT_EQ(d->Encode(0, 5.0), 3u);  // Out of range clamps.
+  EXPECT_EQ(d->Encode(0, -5.0), 0u);
+}
+
+TEST(DiscretizerTest, ConstantColumnIsSingleBin) {
+  linalg::Matrix x = {{3.0}, {3.0}};
+  auto d = Discretizer::Fit(x, 8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Encode(0, 3.0), 0u);
+  util::Rng rng(3);
+  EXPECT_DOUBLE_EQ(d->Decode(0, 0, &rng), 3.0);
+}
+
+TEST(DiscretizerTest, DecodeFallsInsideBin) {
+  linalg::Matrix x = {{0.0}, {8.0}};
+  auto d = Discretizer::Fit(x, 8);
+  ASSERT_TRUE(d.ok());
+  util::Rng rng(5);
+  for (std::size_t bin = 0; bin < 8; ++bin) {
+    for (int t = 0; t < 20; ++t) {
+      const double v = d->Decode(0, bin, &rng);
+      EXPECT_GE(v, static_cast<double>(bin));
+      EXPECT_LT(v, static_cast<double>(bin) + 1.0);
+    }
+  }
+}
+
+TEST(DiscretizerTest, TransformInverseRoundTripPreservesBins) {
+  util::Rng rng(7);
+  linalg::Matrix x(100, 3);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Uniform();
+  auto d = Discretizer::Fit(x, 6);
+  ASSERT_TRUE(d.ok());
+  auto codes = d->Transform(x);
+  util::Rng rng2(11);
+  linalg::Matrix decoded = d->InverseTransform(codes, &rng2);
+  auto codes2 = d->Transform(decoded);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(codes[i], codes2[i]);
+  }
+}
+
+// --------------------------------------------------- Mutual information
+
+TEST(MutualInformationTest, EncodeTuple) {
+  EXPECT_EQ(EncodeTuple({}, {}), 0u);
+  EXPECT_EQ(EncodeTuple({1, 2}, {3, 4}), 1u * 4 + 2);
+  EXPECT_EQ(EncodeTuple({2, 3}, {3, 4}), 2u * 4 + 3);
+}
+
+TEST(MutualInformationTest, IndependentColumnsNearZero) {
+  util::Rng rng(13);
+  std::vector<int> a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int>(rng.UniformInt(4));
+    b[i] = static_cast<int>(rng.UniformInt(4));
+  }
+  EXPECT_LT(MutualInformation(a, b, 4, 4), 0.01);
+}
+
+TEST(MutualInformationTest, IdenticalColumnsEqualEntropy) {
+  util::Rng rng(17);
+  std::vector<int> a(5000);
+  for (int& v : a) v = static_cast<int>(rng.UniformInt(4));
+  // I(A; A) = H(A) = log 4 for uniform.
+  EXPECT_NEAR(MutualInformation(a, a, 4, 4), std::log(4.0), 0.01);
+}
+
+TEST(MutualInformationTest, DeterministicFunctionFullInfo) {
+  std::vector<int> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(i % 3);
+    b.push_back((i % 3 + 1) % 3);  // Bijective map of a.
+  }
+  EXPECT_NEAR(MutualInformation(a, b, 3, 3), std::log(3.0), 1e-5);
+}
+
+TEST(MutualInformationTest, NonNegative) {
+  util::Rng rng(19);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<int> a(200), b(200);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<int>(rng.UniformInt(3));
+      b[i] = rng.Bernoulli(0.3) ? a[i] : static_cast<int>(rng.UniformInt(3));
+    }
+    EXPECT_GE(MutualInformation(a, b, 3, 3), 0.0);
+  }
+}
+
+TEST(MutualInformationTest, ParentsIncreaseInformation) {
+  // x = xor-ish function of two parents; either parent alone gives less
+  // information than both.
+  util::Rng rng(23);
+  const std::size_t n = 4000;
+  std::vector<std::vector<int>> cols(3, std::vector<int>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    cols[0][i] = static_cast<int>(rng.UniformInt(2));
+    cols[1][i] = static_cast<int>(rng.UniformInt(2));
+    cols[2][i] = cols[0][i] ^ cols[1][i];
+  }
+  std::vector<std::size_t> cards = {2, 2, 2};
+  const double single =
+      MutualInformationWithParents(cols, cards, 2, {0});
+  const double both =
+      MutualInformationWithParents(cols, cards, 2, {0, 1});
+  EXPECT_LT(single, 0.01);
+  EXPECT_NEAR(both, std::log(2.0), 0.01);
+}
+
+TEST(MutualInformationTest, EmptyParentSetIsZero) {
+  std::vector<std::vector<int>> cols = {{0, 1, 0, 1}};
+  EXPECT_DOUBLE_EQ(MutualInformationWithParents(cols, {2}, 0, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace p3gm

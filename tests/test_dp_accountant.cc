@@ -1,0 +1,254 @@
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "dp/accountant.h"
+#include "dp/rdp.h"
+
+namespace p3gm {
+namespace dp {
+namespace {
+
+// ------------------------------------------------------------- RDP forms
+
+TEST(RdpTest, GaussianLinearInAlpha) {
+  EXPECT_DOUBLE_EQ(GaussianRdp(2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianRdp(4.0, 2.0), 0.5);
+}
+
+TEST(RdpTest, SampledGaussianZeroRateIsFree) {
+  EXPECT_DOUBLE_EQ(SampledGaussianRdp(8, 0.0, 1.0), 0.0);
+}
+
+TEST(RdpTest, SampledGaussianFullRateEqualsGaussian) {
+  EXPECT_NEAR(SampledGaussianRdp(8, 1.0, 2.0), GaussianRdp(8.0, 2.0), 1e-12);
+}
+
+TEST(RdpTest, SampledGaussianBelowGaussian) {
+  // Subsampling amplifies privacy: cost must be below the unsampled one.
+  for (std::size_t alpha : {2, 4, 8, 16, 32}) {
+    EXPECT_LT(SampledGaussianRdp(alpha, 0.01, 1.0),
+              GaussianRdp(static_cast<double>(alpha), 1.0));
+  }
+}
+
+class SampledGaussianMonotonic
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SampledGaussianMonotonic, IncreasingInAlpha) {
+  auto [q, sigma] = GetParam();
+  double prev = 0.0;
+  for (std::size_t alpha = 2; alpha <= 64; ++alpha) {
+    const double eps = SampledGaussianRdp(alpha, q, sigma);
+    EXPECT_GE(eps, prev - 1e-12) << "alpha=" << alpha;
+    prev = eps;
+  }
+}
+
+TEST_P(SampledGaussianMonotonic, DecreasingInSigma) {
+  auto [q, sigma] = GetParam();
+  EXPECT_GE(SampledGaussianRdp(16, q, sigma),
+            SampledGaussianRdp(16, q, sigma * 2.0) - 1e-12);
+}
+
+TEST_P(SampledGaussianMonotonic, IncreasingInRate) {
+  auto [q, sigma] = GetParam();
+  if (q <= 0.5) {
+    EXPECT_LE(SampledGaussianRdp(16, q, sigma),
+              SampledGaussianRdp(16, q * 2.0, sigma) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampledGaussianMonotonic,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.1),
+                       ::testing::Values(0.8, 1.5, 4.0)));
+
+TEST(RdpTest, SampledGaussianKnownRegime) {
+  // For small q the leading term is ~ 2 q^2 alpha / sigma^2 (Mironov et
+  // al. 2019, small-q expansion); check the order of magnitude.
+  const double q = 0.001, sigma = 1.0;
+  const double eps = SampledGaussianRdp(4, q, sigma);
+  EXPECT_GT(eps, 0.0);
+  EXPECT_LT(eps, 50.0 * q * q * 4.0 / (sigma * sigma));
+}
+
+TEST(RdpTest, DpEmMatchesEq3) {
+  // eps(alpha) = (2K+1) alpha / (2 sigma_e^2).
+  EXPECT_DOUBLE_EQ(DpEmRdp(2.0, 10.0, 3), 7.0 * 2.0 / 200.0);
+  EXPECT_DOUBLE_EQ(DpEmRdp(10.0, 5.0, 1), 3.0 * 10.0 / 50.0);
+}
+
+TEST(RdpTest, PureDpCappedAtEpsilon) {
+  // Small alpha: quadratic bound; large alpha: the trivial eps cap.
+  EXPECT_DOUBLE_EQ(PureDpRdp(2.0, 0.1), std::min(2.0 * 2.0 * 0.01, 0.1));
+  EXPECT_DOUBLE_EQ(PureDpRdp(1000.0, 0.1), 0.1);
+}
+
+TEST(RdpTest, RdpToDpConversion) {
+  // eps_dp = eps_rdp + log(1/delta)/(alpha-1).
+  EXPECT_NEAR(RdpToDp(11.0, 0.5, 1e-5), 0.5 + std::log(1e5) / 10.0, 1e-12);
+}
+
+TEST(RdpTest, ZcdpConversion) {
+  const double rho = 0.01, delta = 1e-5;
+  EXPECT_NEAR(ZcdpToDp(rho, delta),
+              rho + 2.0 * std::sqrt(rho * std::log(1e5)), 1e-12);
+}
+
+TEST(RdpTest, Eq4FiniteForModerateParams) {
+  const double ma = MomentsAccountantEq4(8, 0.01, 2.0);
+  EXPECT_TRUE(std::isfinite(ma));
+  EXPECT_GT(ma, 0.0);
+}
+
+TEST(RdpTest, Eq4GrowsWithLambda) {
+  double prev = 0.0;
+  for (std::size_t lam = 2; lam <= 16; ++lam) {
+    const double ma = MomentsAccountantEq4(lam, 0.01, 2.0);
+    if (!std::isfinite(ma)) break;
+    EXPECT_GE(ma, prev);
+    prev = ma;
+  }
+}
+
+TEST(RdpTest, DefaultOrdersAreValid) {
+  auto orders = DefaultRdpOrders();
+  EXPECT_GE(orders.size(), 60u);
+  for (double a : orders) EXPECT_GT(a, 1.0);
+}
+
+// ------------------------------------------------------------ Accountant
+
+TEST(AccountantTest, EmptyAccountantCostsOnlyDeltaTerm) {
+  RdpAccountant acc;
+  const auto g = acc.GetEpsilon(1e-5);
+  // min over alpha of log(1/delta)/(alpha-1) is attained at the largest
+  // order in the grid.
+  EXPECT_NEAR(g.epsilon, std::log(1e5) / (acc.orders().back() - 1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(g.best_order, acc.orders().back());
+}
+
+TEST(AccountantTest, CompositionIsAdditiveInRdp) {
+  RdpAccountant a, b;
+  a.AddGaussian(2.0, 10);
+  b.AddGaussian(2.0, 5);
+  b.AddGaussian(2.0, 5);
+  for (std::size_t i = 0; i < a.rdp().size(); ++i) {
+    EXPECT_NEAR(a.rdp()[i], b.rdp()[i], 1e-12);
+  }
+}
+
+TEST(AccountantTest, MoreStepsMoreEpsilon) {
+  RdpAccountant a, b;
+  a.AddSampledGaussian(0.01, 1.5, 100);
+  b.AddSampledGaussian(0.01, 1.5, 200);
+  EXPECT_LT(a.GetEpsilon(1e-5).epsilon, b.GetEpsilon(1e-5).epsilon);
+}
+
+TEST(AccountantTest, SmallerDeltaMoreEpsilon) {
+  RdpAccountant acc;
+  acc.AddSampledGaussian(0.01, 1.5, 100);
+  EXPECT_LT(acc.GetEpsilon(1e-3).epsilon, acc.GetEpsilon(1e-7).epsilon);
+}
+
+TEST(AccountantTest, AbadiRegimeSanity) {
+  // The canonical DP-SGD setting q=0.01, sigma=4, T=10000, delta=1e-5
+  // gives epsilon in the low single digits under RDP accounting.
+  RdpAccountant acc;
+  acc.AddSampledGaussian(0.01, 4.0, 10000);
+  const double eps = acc.GetEpsilon(1e-5).epsilon;
+  EXPECT_GT(eps, 0.5);
+  EXPECT_LT(eps, 3.0);
+}
+
+TEST(AccountantTest, AddRdpValidatesAndAccumulates) {
+  RdpAccountant acc;
+  std::vector<double> costs(acc.orders().size(), 0.25);
+  acc.AddRdp(costs);
+  acc.AddRdp(costs);
+  for (double v : acc.rdp()) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+// --------------------------------------------------- P3GM composition
+
+P3gmPrivacyParams TypicalParams() {
+  P3gmPrivacyParams p;
+  p.pca_epsilon = 0.1;
+  p.em_sigma = 100.0;
+  p.em_iters = 20;
+  p.mog_components = 3;
+  p.sgd_sigma = 2.0;
+  p.sgd_sampling_rate = 0.01;
+  p.sgd_steps = 1000;
+  return p;
+}
+
+TEST(P3gmCompositionTest, RdpBeatsBaseline) {
+  // The paper's Fig. 6 claim: RDP composition yields smaller epsilon than
+  // zCDP + MA sequential composition, across noise scales.
+  for (double sigma : {1.0, 2.0, 4.0, 8.0}) {
+    P3gmPrivacyParams p = TypicalParams();
+    p.sgd_sigma = sigma;
+    const double rdp_eps = ComputeP3gmEpsilonRdp(p, 1e-5).epsilon;
+    const double base_eps = ComputeP3gmEpsilonBaseline(p, 1e-5);
+    EXPECT_LT(rdp_eps, base_eps) << "sigma=" << sigma;
+  }
+}
+
+TEST(P3gmCompositionTest, EpsilonDecreasesInSigma) {
+  P3gmPrivacyParams p = TypicalParams();
+  double prev = std::numeric_limits<double>::infinity();
+  for (double sigma : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    p.sgd_sigma = sigma;
+    const double eps = ComputeP3gmEpsilonRdp(p, 1e-5).epsilon;
+    EXPECT_LT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(P3gmCompositionTest, ComponentsAddUp) {
+  // Dropping a component can only reduce epsilon.
+  P3gmPrivacyParams p = TypicalParams();
+  const double full = ComputeP3gmEpsilonRdp(p, 1e-5).epsilon;
+  P3gmPrivacyParams no_pca = p;
+  no_pca.pca_epsilon = 0.0;
+  EXPECT_LT(ComputeP3gmEpsilonRdp(no_pca, 1e-5).epsilon, full);
+  P3gmPrivacyParams no_em = p;
+  no_em.em_iters = 0;
+  EXPECT_LT(ComputeP3gmEpsilonRdp(no_em, 1e-5).epsilon, full);
+}
+
+TEST(CalibrationTest, HitsTargetEpsilon) {
+  P3gmPrivacyParams p = TypicalParams();
+  auto sigma = CalibrateSgdSigma(p, 1.0, 1e-5);
+  ASSERT_TRUE(sigma.ok());
+  p.sgd_sigma = *sigma;
+  const double eps = ComputeP3gmEpsilonRdp(p, 1e-5).epsilon;
+  EXPECT_LE(eps, 1.0 + 1e-6);
+  EXPECT_GT(eps, 0.95);  // Not over-noised.
+}
+
+TEST(CalibrationTest, UnreachableTargetFails) {
+  P3gmPrivacyParams p = TypicalParams();
+  p.em_sigma = 1.0;  // EM alone blows any epsilon <= 1 budget.
+  EXPECT_FALSE(CalibrateSgdSigma(p, 1.0, 1e-5).ok());
+}
+
+TEST(CalibrationTest, LooseTargetReturnsLowerBound) {
+  P3gmPrivacyParams p = TypicalParams();
+  p.pca_epsilon = 0.0;
+  p.em_iters = 0;
+  p.sgd_steps = 10;
+  auto sigma = CalibrateSgdSigma(p, 100.0, 1e-5, 0.3, 256.0);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_DOUBLE_EQ(*sigma, 0.3);
+}
+
+TEST(CalibrationTest, RejectsNonPositiveTarget) {
+  EXPECT_FALSE(CalibrateSgdSigma(TypicalParams(), 0.0, 1e-5).ok());
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace p3gm

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/dp_em.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+namespace {
+
+// Two separated blobs inside the unit ball (DP-EM clips to norm 1).
+linalg::Matrix UnitBallBlobs(std::size_t n_per, util::Rng* rng) {
+  linalg::Matrix x(2 * n_per, 2);
+  for (std::size_t i = 0; i < n_per; ++i) {
+    x(i, 0) = rng->Normal(-0.5, 0.08);
+    x(i, 1) = rng->Normal(0.0, 0.08);
+    x(n_per + i, 0) = rng->Normal(0.5, 0.08);
+    x(n_per + i, 1) = rng->Normal(0.0, 0.08);
+  }
+  return x;
+}
+
+TEST(DpEmTest, ValidatesInput) {
+  util::Rng rng(3);
+  EXPECT_FALSE(FitGmmDpEm(linalg::Matrix(), {}, &rng).ok());
+  DpEmOptions opt;
+  opt.num_components = 10;
+  EXPECT_FALSE(FitGmmDpEm(linalg::Matrix(4, 2, 0.1), opt, &rng).ok());
+  DpEmOptions bad;
+  bad.noise_multiplier = -1.0;
+  EXPECT_FALSE(FitGmmDpEm(linalg::Matrix(4, 2, 0.1), bad, &rng).ok());
+}
+
+TEST(DpEmTest, NoNoiseRecoversBlobs) {
+  util::Rng data_rng(5), mech_rng(7);
+  linalg::Matrix x = UnitBallBlobs(400, &data_rng);
+  DpEmOptions opt;
+  opt.num_components = 2;
+  opt.iters = 30;
+  opt.noise_multiplier = 0.0;
+  auto result = FitGmmDpEm(x, opt, &mech_rng);
+  ASSERT_TRUE(result.ok());
+  const auto& g = result->mixture;
+  const double m0 = g.means()(0, 0), m1 = g.means()(1, 0);
+  EXPECT_NEAR(std::min(m0, m1), -0.5, 0.1);
+  EXPECT_NEAR(std::max(m0, m1), 0.5, 0.1);
+}
+
+TEST(DpEmTest, ModerateNoiseStillFindsStructure) {
+  util::Rng data_rng(11), mech_rng(13);
+  linalg::Matrix x = UnitBallBlobs(4000, &data_rng);
+  DpEmOptions opt;
+  opt.num_components = 2;
+  opt.iters = 15;
+  opt.noise_multiplier = 2.0;  // Noise ~2 vs cluster mass ~4000.
+  auto result = FitGmmDpEm(x, opt, &mech_rng);
+  ASSERT_TRUE(result.ok());
+  const auto& g = result->mixture;
+  const double m0 = g.means()(0, 0), m1 = g.means()(1, 0);
+  EXPECT_LT(std::min(m0, m1), -0.2);
+  EXPECT_GT(std::max(m0, m1), 0.2);
+}
+
+TEST(DpEmTest, OutputsAreValidMixtures) {
+  util::Rng data_rng(17), mech_rng(19);
+  linalg::Matrix x = UnitBallBlobs(100, &data_rng);
+  DpEmOptions opt;
+  opt.num_components = 3;
+  opt.iters = 10;
+  opt.noise_multiplier = 50.0;  // Heavy noise: output must still be valid.
+  auto result = FitGmmDpEm(x, opt, &mech_rng);
+  ASSERT_TRUE(result.ok());
+  const auto& g = result->mixture;
+  double wsum = 0.0;
+  for (double w : g.weights()) {
+    EXPECT_GT(w, 0.0);
+    wsum += w;
+  }
+  EXPECT_NEAR(wsum, 1.0, 1e-9);
+  for (std::size_t i = 0; i < g.variances().size(); ++i) {
+    EXPECT_GT(g.variances().data()[i], 0.0);
+  }
+  // Means stay in the clipped domain (unit ball).
+  for (std::size_t k = 0; k < g.num_components(); ++k) {
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < g.dim(); ++j) {
+      norm2 += g.means()(k, j) * g.means()(k, j);
+    }
+    EXPECT_LE(std::sqrt(norm2), 1.0 + 1e-9);
+  }
+}
+
+TEST(DpEmTest, ClipNormReported) {
+  util::Rng data_rng(23), mech_rng(29);
+  linalg::Matrix x = UnitBallBlobs(50, &data_rng);
+  auto result = FitGmmDpEm(x, DpEmOptions{}, &mech_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->clip_norm, 1.0);
+}
+
+TEST(DpEmTest, DeterministicGivenSeeds) {
+  util::Rng data_rng(31);
+  linalg::Matrix x = UnitBallBlobs(100, &data_rng);
+  DpEmOptions opt;
+  opt.noise_multiplier = 10.0;
+  util::Rng r1(37), r2(37);
+  auto a = FitGmmDpEm(x, opt, &r1);
+  auto b = FitGmmDpEm(x, opt, &r2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->mixture.means(), b->mixture.means());
+}
+
+TEST(DpEmTest, MoreNoiseDegradesFit) {
+  util::Rng data_rng(41);
+  linalg::Matrix x = UnitBallBlobs(500, &data_rng);
+  DpEmOptions low, high;
+  low.num_components = high.num_components = 2;
+  low.iters = high.iters = 10;
+  low.noise_multiplier = 0.0;
+  high.noise_multiplier = 200.0;
+  util::Rng r1(43), r2(47);
+  auto gl = FitGmmDpEm(x, low, &r1);
+  auto gh = FitGmmDpEm(x, high, &r2);
+  ASSERT_TRUE(gl.ok() && gh.ok());
+  EXPECT_GT(gl->mixture.MeanLogLikelihood(x),
+            gh->mixture.MeanLogLikelihood(x));
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace p3gm

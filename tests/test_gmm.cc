@@ -1,0 +1,214 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454836;
+
+// Two well-separated spherical blobs in 2-D.
+linalg::Matrix TwoBlobs(std::size_t n_per, util::Rng* rng) {
+  linalg::Matrix x(2 * n_per, 2);
+  for (std::size_t i = 0; i < n_per; ++i) {
+    x(i, 0) = rng->Normal(-4.0, 0.5);
+    x(i, 1) = rng->Normal(0.0, 0.5);
+    x(n_per + i, 0) = rng->Normal(4.0, 0.5);
+    x(n_per + i, 1) = rng->Normal(0.0, 0.5);
+  }
+  return x;
+}
+
+TEST(GaussianMixtureTest, CreateValidatesShapes) {
+  EXPECT_FALSE(GaussianMixture::Create({}, linalg::Matrix(), linalg::Matrix())
+                   .ok());
+  EXPECT_FALSE(GaussianMixture::Create({1.0}, linalg::Matrix(2, 3),
+                                       linalg::Matrix(1, 3))
+                   .ok());
+  EXPECT_FALSE(GaussianMixture::Create({-1.0}, linalg::Matrix(1, 2),
+                                       linalg::Matrix(1, 2, 1.0))
+                   .ok());
+  EXPECT_FALSE(GaussianMixture::Create({1.0}, linalg::Matrix(1, 2),
+                                       linalg::Matrix(1, 2, 0.0))
+                   .ok());
+}
+
+TEST(GaussianMixtureTest, WeightsAreNormalized) {
+  auto g = GaussianMixture::Create({2.0, 6.0}, linalg::Matrix(2, 1),
+                                   linalg::Matrix(2, 1, 1.0));
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(g->weights()[1], 0.75, 1e-12);
+}
+
+TEST(GaussianMixtureTest, SingleComponentLogPdfMatchesGaussian) {
+  auto g = GaussianMixture::Create({1.0}, linalg::Matrix(1, 1),
+                                   linalg::Matrix(1, 1, 1.0));
+  ASSERT_TRUE(g.ok());
+  // log N(0; 0, 1) = -0.5 log(2 pi).
+  EXPECT_NEAR(g->LogPdf({0.0}), -0.5 * kLog2Pi, 1e-12);
+  EXPECT_NEAR(g->LogPdf({1.0}), -0.5 * kLog2Pi - 0.5, 1e-12);
+}
+
+TEST(GaussianMixtureTest, ResponsibilitiesSumToOne) {
+  linalg::Matrix means = {{-1.0, 0.0}, {1.0, 0.0}};
+  auto g = GaussianMixture::Create({0.5, 0.5}, means,
+                                   linalg::Matrix(2, 2, 1.0));
+  ASSERT_TRUE(g.ok());
+  auto r = g->Responsibilities({0.3, -0.2});
+  EXPECT_NEAR(r[0] + r[1], 1.0, 1e-12);
+  // Nearer to component 1.
+  EXPECT_GT(r[1], r[0]);
+}
+
+TEST(GaussianMixtureTest, SampleMomentsMatchSingleComponent) {
+  linalg::Matrix means = {{2.0}};
+  linalg::Matrix vars = {{4.0}};
+  auto g = GaussianMixture::Create({1.0}, means, vars);
+  util::Rng rng(5);
+  double s = 0.0, s2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g->Sample(&rng)[0];
+    s += x;
+    s2 += (x - 2.0) * (x - 2.0);
+  }
+  EXPECT_NEAR(s / n, 2.0, 0.05);
+  EXPECT_NEAR(s2 / n, 4.0, 0.1);
+}
+
+TEST(GaussianMixtureTest, SampleMixingRatio) {
+  linalg::Matrix means = {{-10.0}, {10.0}};
+  auto g = GaussianMixture::Create({0.2, 0.8}, means,
+                                   linalg::Matrix(2, 1, 0.1));
+  util::Rng rng(7);
+  int right = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) right += (g->Sample(&rng)[0] > 0);
+  EXPECT_NEAR(right / static_cast<double>(n), 0.8, 0.02);
+}
+
+TEST(FitGmmTest, ValidatesInput) {
+  EXPECT_FALSE(FitGmm(linalg::Matrix(), {}).ok());
+  EmOptions opt;
+  opt.num_components = 5;
+  EXPECT_FALSE(FitGmm(linalg::Matrix(3, 2, 1.0), opt).ok());
+}
+
+TEST(FitGmmTest, RecoversTwoBlobs) {
+  util::Rng rng(11);
+  linalg::Matrix x = TwoBlobs(300, &rng);
+  EmOptions opt;
+  opt.num_components = 2;
+  opt.max_iters = 50;
+  auto g = FitGmm(x, opt);
+  ASSERT_TRUE(g.ok());
+  // One mean near -4, the other near +4 on the first axis.
+  const double m0 = g->means()(0, 0), m1 = g->means()(1, 0);
+  EXPECT_NEAR(std::min(m0, m1), -4.0, 0.3);
+  EXPECT_NEAR(std::max(m0, m1), 4.0, 0.3);
+  EXPECT_NEAR(g->weights()[0], 0.5, 0.05);
+}
+
+TEST(FitGmmTest, LikelihoodImprovesOverSingleComponentOnBimodalData) {
+  util::Rng rng(13);
+  linalg::Matrix x = TwoBlobs(200, &rng);
+  EmOptions one;
+  one.num_components = 1;
+  EmOptions two;
+  two.num_components = 2;
+  auto g1 = FitGmm(x, one);
+  auto g2 = FitGmm(x, two);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_GT(g2->MeanLogLikelihood(x), g1->MeanLogLikelihood(x) + 0.5);
+}
+
+TEST(FitGmmTest, SingleComponentMatchesSampleMoments) {
+  util::Rng rng(17);
+  linalg::Matrix x(500, 2);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.Normal(1.0, 2.0);
+    x(i, 1) = rng.Normal(-1.0, 0.5);
+  }
+  EmOptions opt;
+  opt.num_components = 1;
+  auto g = FitGmm(x, opt);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->means()(0, 0), 1.0, 0.2);
+  EXPECT_NEAR(g->means()(0, 1), -1.0, 0.1);
+  EXPECT_NEAR(g->variances()(0, 0), 4.0, 0.6);
+  EXPECT_NEAR(g->variances()(0, 1), 0.25, 0.05);
+}
+
+TEST(FitGmmTest, DeterministicGivenSeed) {
+  util::Rng rng(19);
+  linalg::Matrix x = TwoBlobs(100, &rng);
+  EmOptions opt;
+  opt.num_components = 2;
+  opt.seed = 42;
+  auto a = FitGmm(x, opt);
+  auto b = FitGmm(x, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->means(), b->means());
+}
+
+// ----------------------------------------------------------- KL helpers
+
+TEST(KlTest, DiagGaussianKlZeroForIdentical) {
+  EXPECT_NEAR(DiagGaussianKl({1, 2}, {0.5, 2.0}, {1, 2}, {0.5, 2.0}), 0.0,
+              1e-12);
+}
+
+TEST(KlTest, DiagGaussianKlKnownValue) {
+  // KL(N(0,1) || N(1,1)) = 0.5.
+  EXPECT_NEAR(DiagGaussianKl({0}, {1}, {1}, {1}), 0.5, 1e-12);
+  // KL(N(0,1) || N(0,4)) = 0.5 (ln 4 + 1/4 - 1).
+  EXPECT_NEAR(DiagGaussianKl({0}, {1}, {0}, {4}),
+              0.5 * (std::log(4.0) + 0.25 - 1.0), 1e-12);
+}
+
+TEST(KlTest, DiagGaussianKlNonNegative) {
+  util::Rng rng(23);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> ma(3), va(3), mb(3), vb(3);
+    for (int j = 0; j < 3; ++j) {
+      ma[j] = rng.Normal();
+      mb[j] = rng.Normal();
+      va[j] = 0.1 + rng.Uniform() * 3;
+      vb[j] = 0.1 + rng.Uniform() * 3;
+    }
+    EXPECT_GE(DiagGaussianKl(ma, va, mb, vb), -1e-12);
+  }
+}
+
+TEST(KlTest, GaussianToMixtureKlReducesToSingleComponent) {
+  linalg::Matrix means = {{1.0, -1.0}};
+  linalg::Matrix vars = {{2.0, 0.5}};
+  auto g = GaussianMixture::Create({1.0}, means, vars);
+  ASSERT_TRUE(g.ok());
+  const std::vector<double> mu = {0.0, 0.0};
+  const std::vector<double> var = {1.0, 1.0};
+  EXPECT_NEAR(GaussianToMixtureKl(mu, var, *g),
+              DiagGaussianKl(mu, var, {1.0, -1.0}, {2.0, 0.5}), 1e-9);
+}
+
+TEST(KlTest, GaussianToMixtureKlSmallNearComponent) {
+  linalg::Matrix means = {{-5.0}, {5.0}};
+  auto g = GaussianMixture::Create({0.5, 0.5}, means,
+                                   linalg::Matrix(2, 1, 1.0));
+  ASSERT_TRUE(g.ok());
+  // Sitting exactly on a component: approximately -log(0.5) = 0.69 (the
+  // mixture weight penalty), far smaller than sitting between them.
+  const double near = GaussianToMixtureKl({5.0}, {1.0}, *g);
+  const double mid = GaussianToMixtureKl({0.0}, {1.0}, *g);
+  EXPECT_LT(near, mid);
+  EXPECT_NEAR(near, std::log(2.0), 0.01);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace p3gm

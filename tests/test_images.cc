@@ -1,0 +1,153 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "data/images.h"
+
+namespace p3gm {
+namespace data {
+namespace {
+
+TEST(ImagesTest, MnistLikeShape) {
+  Dataset d = MakeMnistLike(50, 3);
+  EXPECT_EQ(d.dim(), kImagePixels);
+  EXPECT_EQ(d.num_classes, 10u);
+  EXPECT_EQ(d.size(), 50u);
+}
+
+TEST(ImagesTest, PixelsInUnitInterval) {
+  for (const Dataset& d : {MakeMnistLike(30, 5), MakeFashionLike(30, 5)}) {
+    for (std::size_t i = 0; i < d.features.size(); ++i) {
+      EXPECT_GE(d.features.data()[i], 0.0);
+      EXPECT_LE(d.features.data()[i], 1.0);
+    }
+  }
+}
+
+TEST(ImagesTest, GlyphsHaveInk) {
+  // Every rendered glyph must contain a meaningful amount of bright ink.
+  Dataset d = MakeMnistLike(60, 7);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    double ink = 0.0;
+    for (std::size_t j = 0; j < kImagePixels; ++j) {
+      ink += d.features(i, j);
+    }
+    EXPECT_GT(ink, 10.0) << "image " << i << " label " << d.labels[i];
+    EXPECT_LT(ink, 500.0);
+  }
+}
+
+TEST(ImagesTest, ClassesAreVisuallyDistinct) {
+  // Mean images of different digits must differ substantially — this is
+  // the "ten distinct modes" property Fig. 2 relies on.
+  Dataset d = MakeMnistLike(600, 11);
+  std::vector<std::vector<double>> means(10,
+                                         std::vector<double>(kImagePixels));
+  std::vector<std::size_t> counts(10, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ++counts[d.labels[i]];
+    for (std::size_t j = 0; j < kImagePixels; ++j) {
+      means[d.labels[i]][j] += d.features(i, j);
+    }
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    ASSERT_GT(counts[c], 0u);
+    for (double& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < kImagePixels; ++j) {
+        const double diff = means[a][j] - means[b][j];
+        dist += diff * diff;
+      }
+      EXPECT_GT(std::sqrt(dist), 1.0) << "digits " << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ImagesTest, WithinClassDiversity) {
+  // Jitter must create within-class variation (anti-mode-collapse
+  // reference point): two samples of the same digit are not identical.
+  Dataset d = MakeMnistLike(100, 13);
+  for (std::size_t c = 0; c < 10; ++c) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d.labels[i] == c) idx.push_back(i);
+    }
+    if (idx.size() < 2) continue;
+    double dist = 0.0;
+    for (std::size_t j = 0; j < kImagePixels; ++j) {
+      const double diff = d.features(idx[0], j) - d.features(idx[1], j);
+      dist += diff * diff;
+    }
+    EXPECT_GT(dist, 0.1) << "class " << c;
+  }
+}
+
+TEST(ImagesTest, AsciiImageDimensions) {
+  Dataset d = MakeMnistLike(10, 17);
+  const std::string art = AsciiImage(d.features.row_data(0));
+  EXPECT_EQ(art.size(), kImageSide * (kImageSide + 1));
+  std::size_t newlines = 0;
+  for (char ch : art) newlines += (ch == '\n');
+  EXPECT_EQ(newlines, kImageSide);
+}
+
+TEST(ImagesTest, SavePgmWritesValidHeader) {
+  Dataset d = MakeMnistLike(12, 19);
+  const linalg::Matrix six = d.features.SelectRows({0, 1, 2, 3, 4, 5});
+  const std::string path = ::testing::TempDir() + "/p3gm_grid.pgm";
+  ASSERT_TRUE(SaveImageGridPgm(six, 3, path).ok());
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::size_t w, h, maxv;
+  f >> w >> h >> maxv;
+  EXPECT_EQ(w, 3u * 29 - 1);
+  EXPECT_EQ(h, 2u * 29 - 1);
+  EXPECT_EQ(maxv, 255u);
+}
+
+TEST(ImagesTest, SavePgmValidatesInput) {
+  EXPECT_FALSE(SaveImageGridPgm(linalg::Matrix(2, 10), 2, "/tmp/x.pgm").ok());
+  EXPECT_FALSE(
+      SaveImageGridPgm(linalg::Matrix(2, kImagePixels), 0, "/tmp/x.pgm").ok());
+}
+
+TEST(ImagesTest, FashionClassesDistinct) {
+  Dataset d = MakeFashionLike(400, 23);
+  // Trouser (1) and bag (8) silhouettes must differ.
+  std::vector<double> m1(kImagePixels, 0.0), m8(kImagePixels, 0.0);
+  std::size_t n1 = 0, n8 = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.labels[i] == 1) {
+      ++n1;
+      for (std::size_t j = 0; j < kImagePixels; ++j) m1[j] += d.features(i, j);
+    } else if (d.labels[i] == 8) {
+      ++n8;
+      for (std::size_t j = 0; j < kImagePixels; ++j) m8[j] += d.features(i, j);
+    }
+  }
+  ASSERT_GT(n1, 0u);
+  ASSERT_GT(n8, 0u);
+  double dist = 0.0;
+  for (std::size_t j = 0; j < kImagePixels; ++j) {
+    const double diff = m1[j] / n1 - m8[j] / n8;
+    dist += diff * diff;
+  }
+  EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+TEST(ImagesTest, DeterministicInSeed) {
+  Dataset a = MakeMnistLike(20, 29);
+  Dataset b = MakeMnistLike(20, 29);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace p3gm

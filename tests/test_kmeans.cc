@@ -1,0 +1,141 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "stats/kmeans.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace stats {
+namespace {
+
+linalg::Matrix Blobs(const std::vector<std::pair<double, double>>& centers,
+                     std::size_t n_per, double spread, util::Rng* rng) {
+  linalg::Matrix x(centers.size() * n_per, 2);
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    for (std::size_t i = 0; i < n_per; ++i) {
+      x(c * n_per + i, 0) = rng->Normal(centers[c].first, spread);
+      x(c * n_per + i, 1) = rng->Normal(centers[c].second, spread);
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, ValidatesInput) {
+  EXPECT_FALSE(KMeans(linalg::Matrix(), {}).ok());
+  KMeansOptions opt;
+  opt.num_clusters = 10;
+  EXPECT_FALSE(KMeans(linalg::Matrix(3, 2, 0.0), opt).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  util::Rng rng(3);
+  auto x = Blobs({{-5, -5}, {5, 5}, {-5, 5}}, 100, 0.3, &rng);
+  KMeansOptions opt;
+  opt.num_clusters = 3;
+  auto r = KMeans(x, opt);
+  ASSERT_TRUE(r.ok());
+  // Each centroid should be within 0.5 of one true center.
+  std::vector<std::pair<double, double>> truth = {{-5, -5}, {5, 5}, {-5, 5}};
+  for (std::size_t k = 0; k < 3; ++k) {
+    double best = 1e9;
+    for (auto [cx, cy] : truth) {
+      best = std::min(best, std::hypot(r->centroids(k, 0) - cx,
+                                       r->centroids(k, 1) - cy));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+  // Balanced assignment.
+  std::vector<int> counts(3, 0);
+  for (std::size_t a : r->assignment) ++counts[a];
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  util::Rng rng(5);
+  auto x = Blobs({{-3, 0}, {3, 0}, {0, 4}}, 80, 0.8, &rng);
+  KMeansOptions o1, o3;
+  o1.num_clusters = 1;
+  o3.num_clusters = 3;
+  auto r1 = KMeans(x, o1);
+  auto r3 = KMeans(x, o3);
+  ASSERT_TRUE(r1.ok() && r3.ok());
+  EXPECT_LT(r3->inertia, r1->inertia);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  util::Rng rng(7);
+  auto x = Blobs({{2, -1}}, 200, 1.0, &rng);
+  KMeansOptions opt;
+  opt.num_clusters = 1;
+  auto r = KMeans(x, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->centroids(0, 0), 2.0, 0.2);
+  EXPECT_NEAR(r->centroids(0, 1), -1.0, 0.2);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  util::Rng rng(11);
+  auto x = Blobs({{-2, 0}, {2, 0}}, 50, 0.5, &rng);
+  KMeansOptions opt;
+  opt.num_clusters = 2;
+  opt.seed = 99;
+  auto a = KMeans(x, opt);
+  auto b = KMeans(x, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->centroids, b->centroids);
+}
+
+// --------------------------------------------------------------- DP mode
+
+TEST(DpKMeansTest, ValidatesInput) {
+  util::Rng rng(13);
+  EXPECT_FALSE(DpKMeans(linalg::Matrix(), {}, &rng).ok());
+  DpKMeansOptions bad;
+  bad.noise_multiplier = -2.0;
+  EXPECT_FALSE(DpKMeans(linalg::Matrix(5, 2, 0.1), bad, &rng).ok());
+}
+
+TEST(DpKMeansTest, NoNoiseSeparatesUnitBallBlobs) {
+  util::Rng data_rng(17), mech_rng(19);
+  auto x = Blobs({{-0.6, 0}, {0.6, 0}}, 300, 0.05, &data_rng);
+  DpKMeansOptions opt;
+  opt.num_clusters = 2;
+  opt.iters = 15;
+  opt.noise_multiplier = 0.0;
+  auto r = DpKMeans(x, opt, &mech_rng);
+  ASSERT_TRUE(r.ok());
+  const double c0 = r->centroids(0, 0), c1 = r->centroids(1, 0);
+  EXPECT_LT(std::min(c0, c1), -0.3);
+  EXPECT_GT(std::max(c0, c1), 0.3);
+}
+
+TEST(DpKMeansTest, CentroidsStayInUnitBall) {
+  util::Rng data_rng(23), mech_rng(29);
+  auto x = Blobs({{0.5, 0.5}}, 50, 0.2, &data_rng);
+  DpKMeansOptions opt;
+  opt.num_clusters = 3;
+  opt.noise_multiplier = 30.0;  // Heavy noise.
+  auto r = DpKMeans(x, opt, &mech_rng);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_LE(std::hypot(r->centroids(k, 0), r->centroids(k, 1)),
+              1.0 + 1e-9);
+  }
+}
+
+TEST(DpKMeansTest, AssignmentCoversAllPoints) {
+  util::Rng data_rng(31), mech_rng(37);
+  auto x = Blobs({{-0.5, 0}, {0.5, 0}}, 100, 0.1, &data_rng);
+  DpKMeansOptions opt;
+  opt.num_clusters = 2;
+  opt.noise_multiplier = 2.0;
+  auto r = DpKMeans(x, opt, &mech_rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignment.size(), x.rows());
+  for (std::size_t a : r->assignment) EXPECT_LT(a, 2u);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace p3gm

@@ -1,0 +1,312 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "linalg/cholesky.h"
+#include "linalg/covariance.h"
+#include "linalg/matrix.h"
+#include "linalg/ops.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, util::Rng* rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Normal();
+  return m;
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+}
+
+TEST(MatrixTest, FromFlatValidatesSize) {
+  EXPECT_TRUE(Matrix::FromFlat(2, 2, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(Matrix::FromFlat(2, 2, {1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  EXPECT_TRUE(Matrix::FromRows({{1, 2}, {3, 4}}).ok());
+  EXPECT_FALSE(Matrix::FromRows({{1, 2}, {3}}).ok());
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  Matrix d = Matrix::Diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(MatrixTest, RowColSetRow) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3}));
+  m.SetRow(0, {9, 8});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8);
+}
+
+TEST(MatrixTest, SelectRowsPreservesOrderAndDuplicates) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix s = m.SelectRows({2, 0, 2});
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1);
+  EXPECT_DOUBLE_EQ(s(2, 1), 6);
+}
+
+TEST(MatrixTest, ConcatColsAndRows) {
+  Matrix a = {{1}, {2}};
+  Matrix b = {{3}, {4}};
+  Matrix cc = a.ConcatCols(b);
+  EXPECT_EQ(cc.cols(), 2u);
+  EXPECT_DOUBLE_EQ(cc(1, 1), 4);
+  Matrix cr = a.ConcatRows(b);
+  EXPECT_EQ(cr.rows(), 4u);
+  EXPECT_DOUBLE_EQ(cr(3, 0), 4);
+}
+
+TEST(MatrixTest, ConcatRowsWithEmpty) {
+  Matrix a;
+  Matrix b = {{1, 2}};
+  EXPECT_EQ(a.ConcatRows(b).rows(), 1u);
+  EXPECT_EQ(b.ConcatRows(a).rows(), 1u);
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentityOp) {
+  util::Rng rng(3);
+  Matrix m = RandomMatrix(4, 7, &rng);
+  EXPECT_EQ(m.Transposed().Transposed(), m);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a = {{1, 2}};
+  Matrix b = {{3, 4}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 6);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2);
+  EXPECT_DOUBLE_EQ((a * 2.0)(0, 1), 4);
+}
+
+TEST(MatrixTest, FrobeniusNormAndMaxAbs) {
+  Matrix m = {{3, -4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, FirstCols) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  Matrix f = m.FirstCols(2);
+  EXPECT_EQ(f.cols(), 2u);
+  EXPECT_DOUBLE_EQ(f(1, 1), 5);
+}
+
+TEST(MatrixTest, ToStringRendersShapeAndValues) {
+  Matrix m = {{1.5, -2.0}};
+  const std::string s = m.ToString(2);
+  EXPECT_NE(s.find("1x2"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("-2.00"), std::string::npos);
+}
+
+TEST(MatrixTest, ResizeAndFill) {
+  Matrix m(2, 2, 1.0);
+  m.Resize(3, 1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(2, 0), 0.0);
+  m.Fill(4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+}
+
+// ------------------------------------------------------------------- Ops
+
+TEST(OpsTest, MatmulAgainstHandComputed) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix c = Matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(OpsTest, TransposeVariantsAgreeWithExplicitTranspose) {
+  util::Rng rng(5);
+  Matrix a = RandomMatrix(4, 3, &rng);
+  Matrix b = RandomMatrix(4, 5, &rng);
+  EXPECT_LT(MaxAbsDiff(MatmulTransA(a, b), Matmul(a.Transposed(), b)), 1e-12);
+  Matrix c = RandomMatrix(5, 3, &rng);
+  EXPECT_LT(MaxAbsDiff(MatmulTransB(a, c), Matmul(a, c.Transposed())),
+            1e-12);
+}
+
+TEST(OpsTest, MatVecMatchesMatmul) {
+  util::Rng rng(7);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  std::vector<double> x = {1, -2, 0.5, 3};
+  std::vector<double> y = MatVec(a, x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double expect = 0;
+    for (std::size_t j = 0; j < 4; ++j) expect += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], expect, 1e-12);
+  }
+}
+
+TEST(OpsTest, MatVecTransA) {
+  util::Rng rng(9);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  std::vector<double> x = {1, 2, -1};
+  std::vector<double> y = MatVecTransA(a, x);
+  std::vector<double> expect = MatVec(a.Transposed(), x);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(y[j], expect[j], 1e-12);
+}
+
+TEST(OpsTest, DotNormAxpyScale) {
+  std::vector<double> a = {1, 2, 2};
+  std::vector<double> b = {2, 0, 1};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm2(a), 9.0);
+  Axpy(2.0, b, &a);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  Scale(0.5, &a);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
+}
+
+TEST(OpsTest, OuterProduct) {
+  Matrix o = Outer({1, 2}, {3, 4, 5});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10);
+}
+
+TEST(OpsTest, AddRowVectorBroadcasts) {
+  Matrix m = {{1, 1}, {2, 2}};
+  AddRowVector({10, 20}, &m);
+  EXPECT_DOUBLE_EQ(m(0, 1), 21);
+  EXPECT_DOUBLE_EQ(m(1, 0), 12);
+}
+
+TEST(OpsTest, ColMeans) {
+  Matrix m = {{1, 3}, {3, 5}};
+  auto mu = ColMeans(m);
+  EXPECT_DOUBLE_EQ(mu[0], 2);
+  EXPECT_DOUBLE_EQ(mu[1], 4);
+}
+
+TEST(OpsTest, RowSquaredNorms) {
+  Matrix m = {{3, 4}, {0, 1}};
+  auto n = RowSquaredNorms(m);
+  EXPECT_DOUBLE_EQ(n[0], 25);
+  EXPECT_DOUBLE_EQ(n[1], 1);
+}
+
+TEST(OpsTest, ScaleRows) {
+  Matrix m = {{1, 2}, {3, 4}};
+  ScaleRows({2, 0.5}, &m);
+  EXPECT_DOUBLE_EQ(m(0, 1), 4);
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.5);
+}
+
+TEST(OpsTest, SyrkMatchesExplicit) {
+  util::Rng rng(11);
+  Matrix a = RandomMatrix(6, 4, &rng);
+  EXPECT_LT(MaxAbsDiff(Syrk(a), Matmul(a.Transposed(), a)), 1e-12);
+}
+
+// -------------------------------------------------------------- Cholesky
+
+TEST(CholeskyTest, FactorizesSpdMatrix) {
+  Matrix a = {{4, 2}, {2, 3}};
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Matrix reconstructed = MatmulTransB(*l, *l);
+  EXPECT_LT(MaxAbsDiff(reconstructed, a), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = {{1, 2}, {2, 1}};  // Eigenvalues 3 and -1.
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, JitterRescuesNearSingular) {
+  Matrix a = {{1, 1}, {1, 1}};  // Singular.
+  EXPECT_FALSE(Cholesky(a).ok());
+  EXPECT_TRUE(Cholesky(a, 1e-6).ok());
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  util::Rng rng(13);
+  Matrix b = RandomMatrix(5, 5, &rng);
+  Matrix a = MatmulTransB(b, b);  // SPD.
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) += 1.0;
+  std::vector<double> x_true = {1, -2, 3, 0.5, -1};
+  std::vector<double> rhs = MatVec(a, x_true);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  std::vector<double> x = CholeskySolve(*l, rhs);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CholeskyTest, LogDetMatchesIdentityScaling) {
+  Matrix a = Matrix::Identity(3);
+  a *= 4.0;  // det = 64.
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(CholeskyLogDet(*l), std::log(64.0), 1e-12);
+}
+
+// ------------------------------------------------------------ Covariance
+
+TEST(CovarianceTest, MatchesHandComputed) {
+  Matrix x = {{1, 0}, {-1, 0}, {0, 2}, {0, -2}};
+  Matrix cov = Covariance(x);
+  EXPECT_NEAR(cov(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 0.0, 1e-12);
+}
+
+TEST(CovarianceTest, CenterRowsSubtractsMean) {
+  Matrix x = {{1, 2}, {3, 4}};
+  CenterRows({2, 3}, &x);
+  EXPECT_DOUBLE_EQ(x(0, 0), -1);
+  EXPECT_DOUBLE_EQ(x(1, 1), 1);
+}
+
+TEST(CovarianceTest, PsdProperty) {
+  util::Rng rng(17);
+  Matrix x = RandomMatrix(50, 6, &rng);
+  Matrix cov = Covariance(x);
+  // All diagonal entries non-negative and matrix symmetric.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(cov(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(cov(i, j), cov(j, i), 1e-12);
+    }
+  }
+  // Cholesky with tiny jitter must succeed (PSD).
+  EXPECT_TRUE(Cholesky(cov, 1e-9).ok());
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace p3gm

@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace eval {
+namespace {
+
+// ----------------------------------------------------------------- AUROC
+
+TEST(AurocTest, ValidatesInput) {
+  EXPECT_FALSE(Auroc({}, {}).ok());
+  EXPECT_FALSE(Auroc({0.5}, {1, 0}).ok());
+  EXPECT_FALSE(Auroc({0.5, 0.6}, {1, 1}).ok());  // One class only.
+}
+
+TEST(AurocTest, PerfectSeparationIsOne) {
+  auto a = Auroc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 1.0);
+}
+
+TEST(AurocTest, ReversedSeparationIsZero) {
+  auto a = Auroc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 0.0);
+}
+
+TEST(AurocTest, ConstantScoresGiveHalf) {
+  auto a = Auroc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 0.5);
+}
+
+TEST(AurocTest, KnownHandComputedValue) {
+  // Scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8>0.6), (0.8>0.2),
+  // (0.4<0.6), (0.4>0.2) -> 3/4 = 0.75.
+  auto a = Auroc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 0.75);
+}
+
+TEST(AurocTest, TieBetweenClassesCountsHalf) {
+  // One pos at 0.5, one neg at 0.5 -> AUROC 0.5.
+  auto a = Auroc({0.5, 0.5}, {1, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 0.5);
+}
+
+TEST(AurocTest, InvariantToMonotoneTransform) {
+  util::Rng rng(3);
+  std::vector<double> scores(100);
+  std::vector<std::size_t> labels(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.3);
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+  std::vector<double> transformed(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    transformed[i] = std::exp(3.0 * scores[i]);
+  }
+  EXPECT_NEAR(*Auroc(scores, labels), *Auroc(transformed, labels), 1e-12);
+}
+
+// ----------------------------------------------------------------- AUPRC
+
+TEST(AuprcTest, ValidatesInput) {
+  EXPECT_FALSE(Auprc({}, {}).ok());
+  EXPECT_FALSE(Auprc({0.5, 0.6}, {0, 0}).ok());
+}
+
+TEST(AuprcTest, PerfectSeparationIsOne) {
+  auto a = Auprc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 1.0);
+}
+
+TEST(AuprcTest, RandomScoresApproachBaseRate) {
+  util::Rng rng(5);
+  const std::size_t n = 20000;
+  std::vector<double> scores(n);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.2);
+  }
+  auto a = Auprc(scores, labels);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(*a, 0.2, 0.02);
+}
+
+TEST(AuprcTest, KnownHandComputedValue) {
+  // Descending scores: labels 1, 0, 1, 0.
+  // k=1: R=0.5, P=1 -> +0.5*1. k=3: R=1, P=2/3 -> +0.5*2/3. AP = 0.8333.
+  auto a = Auprc({0.9, 0.8, 0.7, 0.6}, {1, 0, 1, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(*a, 0.5 + 0.5 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(AuprcTest, AllPositivesGiveOne) {
+  // With all-positive among scored items precision is always 1... use
+  // one negative ranked last.
+  auto a = Auprc({0.9, 0.8, 0.1}, {1, 1, 0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(*a, 1.0);
+}
+
+// ------------------------------------------------------------- Accuracy
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {0}), 1.0);
+}
+
+TEST(F1Test, KnownValues) {
+  // TP=1, FP=1, FN=1 -> F1 = 2/4 = 0.5.
+  EXPECT_DOUBLE_EQ(F1Score({1, 1, 0}, {1, 0, 1}), 0.5);
+  // No predicted/actual positives -> 0.
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);
+  // Perfect.
+  EXPECT_DOUBLE_EQ(F1Score({1, 0}, {1, 0}), 1.0);
+}
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  auto cm = ConfusionMatrix({0, 1, 1, 2}, {0, 1, 2, 2}, 3);
+  EXPECT_EQ(cm[0 * 3 + 0], 1u);
+  EXPECT_EQ(cm[1 * 3 + 1], 1u);
+  EXPECT_EQ(cm[2 * 3 + 1], 1u);
+  EXPECT_EQ(cm[2 * 3 + 2], 1u);
+  std::size_t total = 0;
+  for (std::size_t v : cm) total += v;
+  EXPECT_EQ(total, 4u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace p3gm

@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/mixture_kl.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace core {
+namespace {
+
+stats::GaussianMixture MakePrior() {
+  linalg::Matrix means = {{-1.0, 0.0}, {1.0, 0.5}};
+  linalg::Matrix vars = {{0.5, 1.0}, {2.0, 0.3}};
+  auto g = stats::GaussianMixture::Create({0.3, 0.7}, means, vars);
+  P3GM_CHECK(g.ok());
+  return std::move(g).ValueOrDie();
+}
+
+linalg::Matrix RandomMatrix(std::size_t r, std::size_t c, util::Rng* rng) {
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Normal(0.0, 0.7);
+  }
+  return m;
+}
+
+TEST(MixtureKlTest, MatchesScalarHelper) {
+  auto prior = MakePrior();
+  util::Rng rng(3);
+  linalg::Matrix mu = RandomMatrix(5, 2, &rng);
+  linalg::Matrix logvar = RandomMatrix(5, 2, &rng);
+  auto kl = MixturePriorKl(mu, logvar, prior, /*mean=*/false);
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<double> var(2);
+    for (std::size_t j = 0; j < 2; ++j) var[j] = std::exp(logvar(i, j));
+    EXPECT_NEAR(kl.per_example[i],
+                stats::GaussianToMixtureKl(mu.Row(i), var, prior), 1e-9);
+  }
+}
+
+TEST(MixtureKlTest, ValueIsSumOrMeanOfPerExample) {
+  auto prior = MakePrior();
+  util::Rng rng(5);
+  linalg::Matrix mu = RandomMatrix(4, 2, &rng);
+  linalg::Matrix logvar = RandomMatrix(4, 2, &rng);
+  auto sum = MixturePriorKl(mu, logvar, prior, false);
+  auto mean = MixturePriorKl(mu, logvar, prior, true);
+  double total = 0.0;
+  for (double v : sum.per_example) total += v;
+  EXPECT_NEAR(sum.value, total, 1e-9);
+  EXPECT_NEAR(mean.value, total / 4.0, 1e-9);
+}
+
+TEST(MixtureKlTest, GradientMatchesFiniteDifference) {
+  auto prior = MakePrior();
+  util::Rng rng(7);
+  linalg::Matrix mu = RandomMatrix(3, 2, &rng);
+  linalg::Matrix logvar = RandomMatrix(3, 2, &rng);
+  auto kl = MixturePriorKl(mu, logvar, prior, false);
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < logvar.size(); ++k) {
+    linalg::Matrix lp = logvar, lm = logvar;
+    lp.data()[k] += h;
+    lm.data()[k] -= h;
+    const double num = (MixturePriorKl(mu, lp, prior, false).value -
+                        MixturePriorKl(mu, lm, prior, false).value) /
+                       (2 * h);
+    EXPECT_NEAR(kl.grad_logvar.data()[k], num,
+                1e-4 * std::max(1.0, std::fabs(num)));
+  }
+}
+
+TEST(MixtureKlTest, SittingOnComponentIsCheap) {
+  auto prior = MakePrior();
+  // Gaussian matching component 1 exactly: D ≈ -log(0.7).
+  linalg::Matrix mu = {{1.0, 0.5}};
+  linalg::Matrix logvar = {{std::log(2.0), std::log(0.3)}};
+  auto kl = MixturePriorKl(mu, logvar, prior, false);
+  EXPECT_NEAR(kl.per_example[0], -std::log(0.7), 0.05);
+  // Far from both components: much larger.
+  linalg::Matrix far_mu = {{10.0, -10.0}};
+  auto far = MixturePriorKl(far_mu, logvar, prior, false);
+  EXPECT_GT(far.per_example[0], 10.0);
+}
+
+TEST(MixtureKlTest, SingleComponentReducesToClosedForm) {
+  linalg::Matrix means = {{0.0}};
+  linalg::Matrix vars = {{1.0}};
+  auto prior = stats::GaussianMixture::Create({1.0}, means, vars);
+  ASSERT_TRUE(prior.ok());
+  // KL(N(1, 1) || N(0, 1)) = 0.5 and weight term log(1) = 0.
+  linalg::Matrix mu = {{1.0}};
+  linalg::Matrix logvar = {{0.0}};
+  auto kl = MixturePriorKl(mu, logvar, *prior, false);
+  EXPECT_NEAR(kl.per_example[0], 0.5, 1e-9);
+}
+
+TEST(MixtureKlTest, GradientPushesVarianceTowardPrior) {
+  // With mean on a component, optimal variance equals the component's;
+  // the gradient sign must point that way.
+  linalg::Matrix means = {{0.0}};
+  linalg::Matrix vars = {{1.0}};
+  auto prior = stats::GaussianMixture::Create({1.0}, means, vars);
+  ASSERT_TRUE(prior.ok());
+  linalg::Matrix mu = {{0.0}};
+  linalg::Matrix too_small = {{-2.0}};  // var = e^-2 < 1.
+  linalg::Matrix too_big = {{2.0}};     // var = e^2 > 1.
+  EXPECT_LT(MixturePriorKl(mu, too_small, *prior, false)
+                .grad_logvar(0, 0),
+            0.0);
+  EXPECT_GT(MixturePriorKl(mu, too_big, *prior, false).grad_logvar(0, 0),
+            0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p3gm

@@ -1,0 +1,175 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "linalg/ops.h"
+#include "nn/conv2d.h"
+#include "nn/dp_sgd.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace nn {
+namespace {
+
+linalg::Matrix RandomMatrix(std::size_t r, std::size_t c, util::Rng* rng,
+                            double scale = 1.0) {
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Normal(0.0, scale);
+  }
+  return m;
+}
+
+TEST(DpSgdTest, RejectsConvStacks) {
+  util::Rng rng(3);
+  Sequential cnn;
+  cnn.Emplace<Conv2d>("c", 1, 4, 4, 1, 3, 1, &rng);
+  DpSgdOptions opt;
+  DpSgdStep step(opt, &rng);
+  cnn.Forward(RandomMatrix(2, 16, &rng), true);
+  cnn.Backward(RandomMatrix(2, 16, &rng), true);
+  EXPECT_FALSE(step.CollectSquaredNorms({&cnn}, 2).ok());
+}
+
+TEST(DpSgdTest, ClipScalesComputedFromTotalNorm) {
+  util::Rng rng(5);
+  Linear lin("l", 2, 2, &rng);
+  linalg::Matrix x = RandomMatrix(3, 2, &rng, 2.0);
+  linalg::Matrix dy = RandomMatrix(3, 2, &rng, 2.0);
+  lin.Forward(x, true);
+  lin.Backward(dy, false);
+  DpSgdOptions opt;
+  opt.clip_norm = 0.5;
+  DpSgdStep step(opt, &rng);
+  ASSERT_TRUE(step.CollectSquaredNorms({&lin}, 3).ok());
+  std::vector<double> sq(3, 0.0);
+  lin.AddPerExampleSquaredGradNorms(&sq);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double expected =
+        std::min(1.0, opt.clip_norm / std::sqrt(sq[i]));
+    EXPECT_NEAR(step.clip_scales()[i], expected, 1e-12);
+  }
+}
+
+TEST(DpSgdTest, NoNoisePathEqualsClippedAverage) {
+  // With sigma = 0 the privatized gradient must equal the average of
+  // individually clipped per-example gradients.
+  util::Rng rng(7);
+  Linear lin("l", 3, 2, &rng);
+  const linalg::Matrix x = RandomMatrix(4, 3, &rng, 2.0);
+  const linalg::Matrix dy = RandomMatrix(4, 2, &rng, 2.0);
+  lin.Forward(x, true);
+  lin.Backward(dy, false);
+
+  DpSgdOptions opt;
+  opt.clip_norm = 1.0;
+  opt.noise_multiplier = 0.0;
+  opt.lot_size = 4;
+  DpSgdStep step(opt, &rng);
+  ASSERT_TRUE(step.CollectSquaredNorms({&lin}, 4).ok());
+  lin.weight().ZeroGrad();
+  lin.bias().ZeroGrad();
+  step.ApplyClippedAccumulation({&lin});
+  step.AddNoiseAndAverage({&lin.weight(), &lin.bias()}, 4);
+
+  // Reference: each example alone, clipped, then averaged.
+  linalg::Matrix expected_w(3, 2);
+  linalg::Matrix expected_b(1, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Linear single("s", 3, 2, &rng);
+    single.weight().value = lin.weight().value;
+    single.bias().value = lin.bias().value;
+    single.Forward(x.SelectRows({i}), true);
+    single.Backward(dy.SelectRows({i}), true);
+    const double norm = std::sqrt(
+        single.weight().grad.FrobeniusNorm() *
+            single.weight().grad.FrobeniusNorm() +
+        single.bias().grad.FrobeniusNorm() *
+            single.bias().grad.FrobeniusNorm());
+    const double c = std::min(1.0, opt.clip_norm / norm);
+    expected_w += single.weight().grad * c;
+    expected_b += single.bias().grad * c;
+  }
+  expected_w *= 0.25;
+  expected_b *= 0.25;
+  EXPECT_LT(linalg::MaxAbsDiff(lin.weight().grad, expected_w), 1e-9);
+  EXPECT_LT(linalg::MaxAbsDiff(lin.bias().grad, expected_b), 1e-9);
+}
+
+TEST(DpSgdTest, NoiseVarianceMatchesSigmaC) {
+  util::Rng rng(11);
+  DpSgdOptions opt;
+  opt.clip_norm = 2.0;
+  opt.noise_multiplier = 3.0;
+  opt.lot_size = 1;
+  DpSgdStep step(opt, &rng);
+  Parameter p("p", 100, 100);
+  step.AddNoiseAndAverage({&p}, 1);
+  // grad = N(0, (sigma C)^2) / lot = N(0, 36).
+  double s2 = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    s2 += p.grad.data()[i] * p.grad.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(s2 / p.size()), 6.0, 0.15);
+}
+
+TEST(DpSgdTest, LotSizeDividesGradient) {
+  util::Rng rng(13);
+  DpSgdOptions opt;
+  opt.clip_norm = 1.0;
+  opt.noise_multiplier = 0.0;
+  opt.lot_size = 10;
+  DpSgdStep step(opt, &rng);
+  Parameter p("p", 1, 1);
+  p.grad(0, 0) = 5.0;
+  step.AddNoiseAndAverage({&p}, 3);  // lot_size wins over batch size.
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.5);
+}
+
+TEST(DpSgdTest, ExternalNormsParticipateInScales) {
+  util::Rng rng(17);
+  DpSgdOptions opt;
+  opt.clip_norm = 1.0;
+  DpSgdStep step(opt, &rng);
+  step.AddExternalSquaredNorms({4.0, 0.25});
+  EXPECT_NEAR(step.clip_scales()[0], 0.5, 1e-12);   // Norm 2 -> clip.
+  EXPECT_NEAR(step.clip_scales()[1], 1.0, 1e-12);   // Norm 0.5 -> keep.
+}
+
+TEST(DpSgdTest, MeanClipScaleDiagnostic) {
+  util::Rng rng(19);
+  DpSgdOptions opt;
+  opt.clip_norm = 1.0;
+  DpSgdStep step(opt, &rng);
+  step.AddExternalSquaredNorms({4.0, 4.0});
+  (void)step.clip_scales();
+  EXPECT_NEAR(step.MeanClipScale(), 0.5, 1e-12);
+}
+
+TEST(DpSgdTest, MultiStackNormsAccumulate) {
+  util::Rng rng(23);
+  Linear a("a", 2, 2, &rng);
+  Linear b("b", 2, 2, &rng);
+  linalg::Matrix x = RandomMatrix(2, 2, &rng);
+  linalg::Matrix dy = RandomMatrix(2, 2, &rng);
+  a.Forward(x, true);
+  a.Backward(dy, false);
+  b.Forward(x, true);
+  b.Backward(dy, false);
+  DpSgdOptions opt;
+  DpSgdStep step(opt, &rng);
+  ASSERT_TRUE(step.CollectSquaredNorms({&a, &b}, 2).ok());
+  std::vector<double> sq_a(2, 0.0), sq_b(2, 0.0);
+  a.AddPerExampleSquaredGradNorms(&sq_a);
+  b.AddPerExampleSquaredGradNorms(&sq_b);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double total = sq_a[i] + sq_b[i];
+    const double expected = std::min(1.0, 1.0 / std::sqrt(total));
+    EXPECT_NEAR(step.clip_scales()[i], expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace p3gm

@@ -1,0 +1,90 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/optimizer.h"
+
+namespace p3gm {
+namespace nn {
+namespace {
+
+// Minimizes f(x) = (x - 3)^2 with gradient 2(x - 3).
+void RunQuadratic(Optimizer* opt, Parameter* p, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    p->grad(0, 0) = 2.0 * (p->value(0, 0) - 3.0);
+    opt->Step({p});
+  }
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Parameter p("x", 1, 1);
+  Sgd opt(0.1);
+  RunQuadratic(&opt, &p, 200);
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-6);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Parameter p("x", 1, 1);
+  Sgd opt(0.05, 0.9);
+  RunQuadratic(&opt, &p, 400);
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-4);
+}
+
+TEST(SgdTest, SingleStepIsLrTimesGrad) {
+  Parameter p("x", 1, 1);
+  p.value(0, 0) = 1.0;
+  p.grad(0, 0) = 2.0;
+  Sgd opt(0.5);
+  opt.Step({&p});
+  EXPECT_DOUBLE_EQ(p.value(0, 0), 0.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Parameter p("x", 1, 1);
+  Adam opt(0.1);
+  RunQuadratic(&opt, &p, 500);
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-3);
+}
+
+TEST(AdamTest, FirstStepIsApproxLr) {
+  // With bias correction, the first Adam step has magnitude ~lr.
+  Parameter p("x", 1, 1);
+  p.grad(0, 0) = 123.0;  // Any gradient magnitude.
+  Adam opt(0.01);
+  opt.Step({&p});
+  EXPECT_NEAR(p.value(0, 0), -0.01, 1e-6);
+}
+
+TEST(AdamTest, ScaleInvarianceOfUpdates) {
+  // Adam's per-coordinate normalization: scaling all gradients by a
+  // constant leaves the trajectory (approximately) unchanged.
+  Parameter a("a", 1, 1), b("b", 1, 1);
+  Adam oa(0.05), ob(0.05);
+  for (int i = 0; i < 50; ++i) {
+    a.grad(0, 0) = 2.0 * (a.value(0, 0) - 3.0);
+    b.grad(0, 0) = 20.0 * (b.value(0, 0) - 3.0);
+    oa.Step({&a});
+    ob.Step({&b});
+  }
+  EXPECT_NEAR(a.value(0, 0), b.value(0, 0), 1e-6);
+}
+
+TEST(OptimizerTest, MultipleParamsUpdatedIndependently) {
+  Parameter p("p", 2, 2), q("q", 1, 3);
+  p.grad.Fill(1.0);
+  q.grad.Fill(-1.0);
+  Sgd opt(1.0);
+  opt.Step({&p, &q});
+  EXPECT_DOUBLE_EQ(p.value(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(q.value(0, 2), 1.0);
+}
+
+TEST(OptimizerTest, ZeroGradResetsAccumulation) {
+  Parameter p("p", 1, 1);
+  p.grad(0, 0) = 5.0;
+  p.ZeroGrad();
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace p3gm

@@ -1,0 +1,243 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/pgm.h"
+#include "core/synthesizer.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace core {
+namespace {
+
+linalg::Matrix BimodalData(std::size_t n, util::Rng* rng) {
+  linalg::Matrix x(n, 6);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool mode = rng->Bernoulli(0.5);
+    for (std::size_t j = 0; j < 6; ++j) {
+      const double base = mode ? (j < 3 ? 0.9 : 0.1) : (j < 3 ? 0.1 : 0.9);
+      x(i, j) = std::clamp(base + rng->Normal(0.0, 0.05), 0.0, 1.0);
+    }
+  }
+  return x;
+}
+
+PgmOptions SmallOptions() {
+  PgmOptions opt;
+  opt.hidden = 32;
+  opt.latent_dim = 2;
+  opt.mog_components = 2;
+  opt.epochs = 60;
+  opt.batch_size = 50;
+  opt.seed = 3;
+  return opt;
+}
+
+TEST(PgmTest, ValidatesInput) {
+  Pgm pgm(SmallOptions());
+  EXPECT_FALSE(pgm.Fit(linalg::Matrix()).ok());
+  PgmOptions bad = SmallOptions();
+  bad.latent_dim = 100;
+  Pgm pgm2(bad);
+  EXPECT_FALSE(pgm2.Fit(linalg::Matrix(50, 6, 0.5)).ok());
+}
+
+TEST(PgmTest, FitTwiceFails) {
+  util::Rng rng(5);
+  Pgm pgm(SmallOptions());
+  ASSERT_TRUE(pgm.Fit(BimodalData(100, &rng)).ok());
+  EXPECT_FALSE(pgm.Fit(BimodalData(100, &rng)).ok());
+}
+
+TEST(PgmTest, PriorHasRequestedComponents) {
+  util::Rng rng(7);
+  Pgm pgm(SmallOptions());
+  ASSERT_TRUE(pgm.Fit(BimodalData(300, &rng)).ok());
+  EXPECT_EQ(pgm.prior().num_components(), 2u);
+  EXPECT_EQ(pgm.prior().dim(), 2u);
+}
+
+TEST(PgmTest, ReconstructionLossDecreases) {
+  util::Rng rng(9);
+  linalg::Matrix x = BimodalData(300, &rng);
+  Pgm pgm(SmallOptions());
+  std::vector<double> losses;
+  ASSERT_TRUE(pgm.Fit(x, [&](const TrainProgress& p) {
+                 losses.push_back(p.recon_loss);
+               }).ok());
+  EXPECT_LT(losses.back(), 0.7 * losses.front());
+}
+
+TEST(PgmTest, SamplesCoverBothModes) {
+  util::Rng rng(11);
+  linalg::Matrix x = BimodalData(400, &rng);
+  Pgm pgm(SmallOptions());
+  ASSERT_TRUE(pgm.Fit(x).ok());
+  util::Rng srng(13);
+  linalg::Matrix samples = pgm.Sample(400, &srng);
+  std::size_t high = 0, low = 0;
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    if (samples(i, 0) > 0.6) ++high;
+    if (samples(i, 0) < 0.4) ++low;
+  }
+  EXPECT_GT(high, 40u);
+  EXPECT_GT(low, 40u);
+}
+
+TEST(PgmTest, NoPcaUsesFullDimension) {
+  util::Rng rng(17);
+  PgmOptions opt = SmallOptions();
+  opt.use_pca = false;
+  opt.epochs = 3;
+  Pgm pgm(opt);
+  ASSERT_TRUE(pgm.Fit(BimodalData(100, &rng)).ok());
+  EXPECT_EQ(pgm.prior().dim(), 6u);  // Latent = data dimension.
+}
+
+TEST(PgmTest, EncodeMeanMatchesPriorDomain) {
+  util::Rng rng(19);
+  linalg::Matrix x = BimodalData(100, &rng);
+  Pgm pgm(SmallOptions());
+  ASSERT_TRUE(pgm.Fit(x).ok());
+  linalg::Matrix z = pgm.EncodeMean(x);
+  EXPECT_EQ(z.cols(), pgm.prior().dim());
+}
+
+TEST(PgmTest, DpModeClipsEncodedRows) {
+  util::Rng rng(23);
+  linalg::Matrix x = BimodalData(200, &rng);
+  PgmOptions opt = SmallOptions();
+  opt.differentially_private = true;
+  opt.sgd_sigma = 2.0;
+  opt.epochs = 2;
+  Pgm pgm(opt);
+  ASSERT_TRUE(pgm.Fit(x).ok());
+  linalg::Matrix z = pgm.EncodeMean(x);
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < z.cols(); ++j) norm2 += z(i, j) * z(i, j);
+    EXPECT_LE(std::sqrt(norm2), 1.0 + 1e-9);
+  }
+}
+
+TEST(PgmTest, FreezeVarianceTrainsDecoderOnly) {
+  util::Rng rng(29);
+  linalg::Matrix x = BimodalData(200, &rng);
+  PgmOptions opt = SmallOptions();
+  opt.freeze_variance = true;
+  opt.epochs = 10;
+  Pgm pgm(opt);
+  std::vector<double> kls;
+  ASSERT_TRUE(pgm.Fit(x, [&](const TrainProgress& p) {
+                 kls.push_back(p.kl_loss);
+               }).ok());
+  // With frozen variance the KL term is not computed (constant wrt the
+  // trained parameters), reported as zero.
+  for (double v : kls) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PgmTest, PrivacyParamsReflectRun) {
+  util::Rng rng(31);
+  linalg::Matrix x = BimodalData(200, &rng);
+  PgmOptions opt = SmallOptions();
+  opt.differentially_private = true;
+  opt.sgd_sigma = 3.0;
+  opt.epochs = 4;
+  Pgm pgm(opt);
+  ASSERT_TRUE(pgm.Fit(x).ok());
+  const auto params = pgm.PrivacyParams();
+  EXPECT_DOUBLE_EQ(params.pca_epsilon, opt.pca_epsilon);
+  EXPECT_EQ(params.em_iters, opt.em_iters);
+  EXPECT_EQ(params.sgd_steps, 4u * (200 / 50));
+  EXPECT_NEAR(params.sgd_sampling_rate, 50.0 / 200.0, 1e-12);
+}
+
+TEST(PgmTest, EpsilonZeroWhenNonPrivate) {
+  util::Rng rng(37);
+  Pgm pgm(SmallOptions());
+  ASSERT_TRUE(pgm.Fit(BimodalData(100, &rng)).ok());
+  EXPECT_DOUBLE_EQ(pgm.ComputeEpsilon(1e-5).epsilon, 0.0);
+}
+
+TEST(PgmTest, EpsilonPositiveAndDecreasingInSigma) {
+  util::Rng rng(41);
+  linalg::Matrix x = BimodalData(200, &rng);
+  double prev = 1e18;
+  for (double sigma : {2.0, 8.0}) {
+    PgmOptions opt = SmallOptions();
+    opt.differentially_private = true;
+    opt.sgd_sigma = sigma;
+    opt.epochs = 3;
+    Pgm pgm(opt);
+    ASSERT_TRUE(pgm.Fit(x).ok());
+    const double eps = pgm.ComputeEpsilon(1e-5).epsilon;
+    EXPECT_GT(eps, 0.0);
+    EXPECT_LT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(PgmTest, CalibrationMeetsTarget) {
+  PgmOptions opt = SmallOptions();
+  opt.differentially_private = true;
+  opt.epochs = 10;
+  auto sigma = Pgm::CalibrateSigma(opt, 1000, 1.0, 1e-5);
+  ASSERT_TRUE(sigma.ok());
+  opt.sgd_sigma = *sigma;
+  util::Rng rng(43);
+  linalg::Matrix x = BimodalData(1000, &rng);
+  Pgm pgm(opt);
+  ASSERT_TRUE(pgm.Fit(x).ok());
+  EXPECT_LE(pgm.ComputeEpsilon(1e-5).epsilon, 1.0 + 1e-6);
+}
+
+// ------------------------------------------------------------ Synthesizer
+
+TEST(PgmSynthesizerTest, RoundTripLabeledData) {
+  data::Dataset train = data::MakeAdultLike(400, 7);
+  PgmOptions opt = SmallOptions();
+  opt.latent_dim = 4;
+  opt.epochs = 8;
+  PgmSynthesizer synth(opt);
+  ASSERT_TRUE(synth.Fit(train).ok());
+  util::Rng rng(11);
+  auto gen = synth.Generate(200, &rng);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->size(), 200u);
+  EXPECT_EQ(gen->dim(), train.dim());
+  EXPECT_EQ(gen->num_classes, train.num_classes);
+}
+
+TEST(PgmSynthesizerTest, GenerateBeforeFitFails) {
+  PgmSynthesizer synth(SmallOptions());
+  util::Rng rng(13);
+  EXPECT_FALSE(synth.Generate(10, &rng).ok());
+}
+
+TEST(PgmSynthesizerTest, NamesReflectVariant) {
+  PgmOptions opt;
+  EXPECT_EQ(PgmSynthesizer(opt).name(), "PGM");
+  opt.differentially_private = true;
+  EXPECT_EQ(PgmSynthesizer(opt).name(), "P3GM");
+  opt.freeze_variance = true;
+  EXPECT_EQ(PgmSynthesizer(opt).name(), "P3GM(AE)");
+}
+
+TEST(GenerateWithLabelRatioTest, MatchesReference) {
+  data::Dataset train = data::MakeAdultLike(500, 17);
+  PgmOptions opt = SmallOptions();
+  opt.latent_dim = 4;
+  opt.epochs = 8;
+  PgmSynthesizer synth(opt);
+  ASSERT_TRUE(synth.Fit(train).ok());
+  util::Rng rng(19);
+  auto gen = GenerateWithLabelRatio(&synth, 400, train, &rng);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->size(), 400u);
+  EXPECT_NEAR(gen->PositiveRate(), train.PositiveRate(), 0.05);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p3gm

@@ -1,0 +1,340 @@
+// Cross-module property tests: randomized invariants swept over seeds
+// with TEST_P, complementing the example-based unit tests.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "data/transforms.h"
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "eval/metrics.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+#include "nn/losses.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng_{GetParam()};
+};
+
+linalg::Matrix RandomSpd(std::size_t n, util::Rng* rng) {
+  linalg::Matrix b(n + 2, n);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng->Normal();
+  linalg::Matrix a = linalg::MatmulTransA(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.1;
+  return a;
+}
+
+// ------------------------------------------------------------- linalg
+
+using LinalgProperty = SeededTest;
+
+TEST_P(LinalgProperty, CholeskyReconstructsSpd) {
+  linalg::Matrix a = RandomSpd(6, &rng_);
+  auto l = linalg::Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_LT(linalg::MaxAbsDiff(linalg::MatmulTransB(*l, *l), a), 1e-9);
+}
+
+TEST_P(LinalgProperty, SpdEigenvaluesPositive) {
+  linalg::Matrix a = RandomSpd(7, &rng_);
+  auto e = linalg::EigenSym(a);
+  ASSERT_TRUE(e.ok());
+  for (double v : e->values) EXPECT_GT(v, 0.0);
+}
+
+TEST_P(LinalgProperty, LogDetAgreesBetweenCholeskyAndEigen) {
+  linalg::Matrix a = RandomSpd(5, &rng_);
+  auto l = linalg::Cholesky(a);
+  auto e = linalg::EigenSym(a);
+  ASSERT_TRUE(l.ok() && e.ok());
+  double eig_logdet = 0.0;
+  for (double v : e->values) eig_logdet += std::log(v);
+  EXPECT_NEAR(linalg::CholeskyLogDet(*l), eig_logdet, 1e-8);
+}
+
+TEST_P(LinalgProperty, MatmulAssociativity) {
+  auto random = [&](std::size_t r, std::size_t c) {
+    linalg::Matrix m(r, c);
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng_.Normal();
+    return m;
+  };
+  linalg::Matrix a = random(3, 4), b = random(4, 5), c = random(5, 2);
+  EXPECT_LT(linalg::MaxAbsDiff(
+                linalg::Matmul(linalg::Matmul(a, b), c),
+                linalg::Matmul(a, linalg::Matmul(b, c))),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinalgProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ----------------------------------------------------------------- dp
+
+using DpProperty = SeededTest;
+
+TEST_P(DpProperty, ClippedVectorsNeverExceedBound) {
+  const double c = 0.1 + rng_.Uniform() * 5.0;
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> v(1 + rng_.UniformInt(20));
+    for (double& x : v) x = rng_.Normal(0.0, 4.0);
+    dp::ClipL2(c, &v);
+    EXPECT_LE(linalg::Norm2(v), c * (1.0 + 1e-12));
+  }
+}
+
+TEST_P(DpProperty, CompositionOrderIrrelevant) {
+  dp::RdpAccountant a, b;
+  a.AddSampledGaussian(0.02, 1.5, 100);
+  a.AddDpEm(50.0, 3, 10);
+  a.AddPureDp(0.1);
+  b.AddPureDp(0.1);
+  b.AddDpEm(50.0, 3, 10);
+  b.AddSampledGaussian(0.02, 1.5, 100);
+  EXPECT_NEAR(a.GetEpsilon(1e-5).epsilon, b.GetEpsilon(1e-5).epsilon,
+              1e-12);
+}
+
+TEST_P(DpProperty, AddingMechanismsNeverReducesEpsilon) {
+  dp::RdpAccountant acc;
+  double prev = acc.GetEpsilon(1e-5).epsilon;
+  for (int t = 0; t < 5; ++t) {
+    acc.AddSampledGaussian(0.01 + 0.01 * rng_.Uniform(),
+                           1.0 + rng_.Uniform(), 10);
+    const double eps = acc.GetEpsilon(1e-5).epsilon;
+    EXPECT_GE(eps, prev - 1e-12);
+    prev = eps;
+  }
+}
+
+TEST_P(DpProperty, CalibrationInverseConsistency) {
+  dp::P3gmPrivacyParams params;
+  params.pca_epsilon = 0.05;
+  params.em_sigma = 120.0;
+  params.em_iters = 20;
+  params.sgd_sampling_rate = 0.005 + 0.02 * rng_.Uniform();
+  params.sgd_steps = 200 + rng_.UniformInt(2000);
+  const double target = 0.8 + rng_.Uniform() * 2.0;
+  auto sigma = dp::CalibrateSgdSigma(params, target, 1e-5);
+  ASSERT_TRUE(sigma.ok());
+  params.sgd_sigma = *sigma;
+  const double achieved = dp::ComputeP3gmEpsilonRdp(params, 1e-5).epsilon;
+  EXPECT_LE(achieved, target * (1.0 + 1e-6));
+  EXPECT_GE(achieved, 0.9 * target);  // Not grossly over-noised.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpProperty,
+                         ::testing::Values(21, 22, 23, 25));
+
+// ---------------------------------------------------------------- stats
+
+using GmmProperty = SeededTest;
+
+TEST_P(GmmProperty, SampleMomentsMatchRandomMixture) {
+  const std::size_t k = 1 + rng_.UniformInt(3);
+  linalg::Matrix means(k, 2), vars(k, 2);
+  std::vector<double> weights(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    weights[c] = 0.2 + rng_.Uniform();
+    for (std::size_t j = 0; j < 2; ++j) {
+      means(c, j) = rng_.Normal(0.0, 2.0);
+      vars(c, j) = 0.2 + rng_.Uniform();
+    }
+  }
+  auto g = stats::GaussianMixture::Create(weights, means, vars);
+  ASSERT_TRUE(g.ok());
+  const int n = 40000;
+  util::Rng srng(GetParam() ^ 0xabc);
+  double mean0 = 0.0;
+  for (int i = 0; i < n; ++i) mean0 += g->Sample(&srng)[0];
+  mean0 /= n;
+  double expected = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    expected += g->weights()[c] * means(c, 0);
+  }
+  EXPECT_NEAR(mean0, expected, 0.05);
+}
+
+TEST_P(GmmProperty, LogPdfIntegratesToOneByMonteCarlo) {
+  // E_{x~g}[1] trivially 1; instead check E_{x~g}[exp(-logpdf)] over a
+  // box via importance identity is stable and finite.
+  linalg::Matrix means = {{0.0}};
+  linalg::Matrix vars = {{1.0 + rng_.Uniform()}};
+  auto g = stats::GaussianMixture::Create({1.0}, means, vars);
+  ASSERT_TRUE(g.ok());
+  // Riemann sum of pdf over [-10, 10].
+  double total = 0.0;
+  const int steps = 4000;
+  for (int i = 0; i < steps; ++i) {
+    const double x = -10.0 + 20.0 * i / steps;
+    total += std::exp(g->LogPdf({x})) * (20.0 / steps);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST_P(GmmProperty, ResponsibilitiesAreDistribution) {
+  linalg::Matrix means = {{-1.0, 0.0}, {1.0, 1.0}, {0.0, -1.0}};
+  auto g = stats::GaussianMixture::Create({0.3, 0.3, 0.4}, means,
+                                          linalg::Matrix(3, 2, 0.7));
+  ASSERT_TRUE(g.ok());
+  for (int t = 0; t < 30; ++t) {
+    std::vector<double> x = {rng_.Normal(), rng_.Normal()};
+    auto r = g->Responsibilities(x);
+    double total = 0.0;
+    for (double v : r) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GmmProperty, ::testing::Values(31, 32, 33));
+
+// ---------------------------------------------------------------- eval
+
+using MetricProperty = SeededTest;
+
+TEST_P(MetricProperty, AurocOfNegatedScoresIsComplement) {
+  const std::size_t n = 200;
+  std::vector<double> scores(n);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng_.Normal();
+    labels[i] = rng_.Bernoulli(0.4);
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+  std::vector<double> negated(n);
+  for (std::size_t i = 0; i < n; ++i) negated[i] = -scores[i];
+  EXPECT_NEAR(*eval::Auroc(scores, labels) + *eval::Auroc(negated, labels),
+              1.0, 1e-10);
+}
+
+TEST_P(MetricProperty, MetricsBoundedInUnitInterval) {
+  const std::size_t n = 100;
+  std::vector<double> scores(n);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng_.Uniform();
+    labels[i] = rng_.Bernoulli(0.2);
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+  const double auroc = *eval::Auroc(scores, labels);
+  const double auprc = *eval::Auprc(scores, labels);
+  EXPECT_GE(auroc, 0.0);
+  EXPECT_LE(auroc, 1.0);
+  EXPECT_GE(auprc, 0.0);
+  EXPECT_LE(auprc, 1.0);
+}
+
+TEST_P(MetricProperty, AuprcAtLeastBaseRateForInformativeScores) {
+  // Scores equal to the label (perfect information) give AP = 1, far
+  // above the base rate; random scores approach the base rate. Either
+  // way AP of label-correlated scores >= AP of anti-correlated ones.
+  const std::size_t n = 500;
+  std::vector<double> good(n), bad(n);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = rng_.Bernoulli(0.3);
+    const double noise = rng_.Normal(0.0, 0.4);
+    good[i] = static_cast<double>(labels[i]) + noise;
+    bad[i] = -static_cast<double>(labels[i]) + noise;
+  }
+  labels[0] = 1;
+  EXPECT_GT(*eval::Auprc(good, labels), *eval::Auprc(bad, labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty,
+                         ::testing::Values(41, 42, 43, 44));
+
+// ------------------------------------------------------------------ nn
+
+using LossProperty = SeededTest;
+
+TEST_P(LossProperty, SoftmaxCrossEntropyNonNegative) {
+  linalg::Matrix logits(8, 5);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = rng_.Normal(0.0, 3.0);
+  }
+  std::vector<std::size_t> labels(8);
+  for (auto& l : labels) l = rng_.UniformInt(5);
+  EXPECT_GE(nn::SoftmaxCrossEntropy(logits, labels).value, 0.0);
+}
+
+TEST_P(LossProperty, BceLowerBoundedByEntropyOfTargets) {
+  // BCE(logits, t) >= H(t) element-wise, with equality at
+  // sigmoid(logit) = t. Check the minimized value at the optimum.
+  linalg::Matrix target(1, 6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    target(0, j) = 0.05 + 0.9 * rng_.Uniform();
+  }
+  linalg::Matrix optimal(1, 6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    const double t = target(0, j);
+    optimal(0, j) = std::log(t / (1.0 - t));
+  }
+  const double at_optimum = nn::BceWithLogitsLoss(optimal, target).value;
+  linalg::Matrix other = optimal;
+  other(0, 0) += 1.0;
+  EXPECT_LE(at_optimum, nn::BceWithLogitsLoss(other, target).value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossProperty, ::testing::Values(51, 52, 53));
+
+// ---------------------------------------------------------------- data
+
+using TransformProperty = SeededTest;
+
+TEST_P(TransformProperty, MinMaxTransformAlwaysInUnitInterval) {
+  linalg::Matrix x(40, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = rng_.Normal(0.0, 10.0);
+  }
+  auto s = data::MinMaxScaler::Fit(x);
+  ASSERT_TRUE(s.ok());
+  linalg::Matrix t = s->Transform(x);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.data()[i], -1e-12);
+    EXPECT_LE(t.data()[i], 1.0 + 1e-12);
+  }
+}
+
+TEST_P(TransformProperty, OneHotRowsSumToOne) {
+  std::vector<std::size_t> labels(30);
+  for (auto& l : labels) l = rng_.UniformInt(4);
+  linalg::Matrix oh = data::LabelsToOneHot(labels, 4);
+  for (std::size_t i = 0; i < oh.rows(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) total += oh(i, j);
+    EXPECT_DOUBLE_EQ(total, 1.0);
+  }
+}
+
+TEST_P(TransformProperty, AttachDetachIsIdentityOnHardLabels) {
+  linalg::Matrix features(20, 3);
+  std::vector<std::size_t> labels(20);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    features.data()[i] = rng_.Uniform();
+  }
+  for (auto& l : labels) l = rng_.UniformInt(3);
+  auto joint = data::AttachLabels(features, labels, 3);
+  auto rows = data::DetachLabels(joint, 3);
+  EXPECT_EQ(rows.labels, labels);
+  EXPECT_LT(linalg::MaxAbsDiff(rows.features, features), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty,
+                         ::testing::Values(61, 62, 63));
+
+}  // namespace
+}  // namespace p3gm

@@ -1,0 +1,163 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "core/vae.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace core {
+namespace {
+
+// Bimodal binary-ish data in [0,1]^4: two prototype rows plus noise.
+linalg::Matrix BimodalData(std::size_t n, util::Rng* rng) {
+  linalg::Matrix x(n, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool mode = rng->Bernoulli(0.5);
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double base = mode ? (j < 2 ? 0.9 : 0.1) : (j < 2 ? 0.1 : 0.9);
+      x(i, j) = std::clamp(base + rng->Normal(0.0, 0.05), 0.0, 1.0);
+    }
+  }
+  return x;
+}
+
+VaeOptions SmallOptions() {
+  VaeOptions opt;
+  opt.hidden = 32;
+  opt.latent_dim = 2;
+  opt.epochs = 30;
+  opt.batch_size = 50;
+  opt.seed = 3;
+  return opt;
+}
+
+TEST(VaeTest, ValidatesInput) {
+  Vae vae(SmallOptions());
+  EXPECT_FALSE(vae.Fit(linalg::Matrix()).ok());
+  VaeOptions bad = SmallOptions();
+  bad.batch_size = 0;
+  Vae vae2(bad);
+  EXPECT_FALSE(vae2.Fit(linalg::Matrix(10, 2, 0.5)).ok());
+}
+
+TEST(VaeTest, FitTwiceFails) {
+  util::Rng rng(5);
+  Vae vae(SmallOptions());
+  ASSERT_TRUE(vae.Fit(BimodalData(100, &rng)).ok());
+  EXPECT_FALSE(vae.Fit(BimodalData(100, &rng)).ok());
+}
+
+TEST(VaeTest, ReconstructionLossDecreases) {
+  util::Rng rng(7);
+  linalg::Matrix x = BimodalData(300, &rng);
+  Vae vae(SmallOptions());
+  std::vector<double> losses;
+  ASSERT_TRUE(vae.Fit(x, [&](const TrainProgress& p) {
+                 losses.push_back(p.recon_loss);
+               }).ok());
+  ASSERT_GE(losses.size(), 10u);
+  EXPECT_LT(losses.back(), 0.7 * losses.front());
+}
+
+TEST(VaeTest, SamplesMatchDataModes) {
+  util::Rng rng(9);
+  linalg::Matrix x = BimodalData(400, &rng);
+  Vae vae(SmallOptions());
+  ASSERT_TRUE(vae.Fit(x).ok());
+  util::Rng srng(11);
+  linalg::Matrix samples = vae.Sample(500, &srng);
+  EXPECT_EQ(samples.cols(), 4u);
+  // Outputs are probabilities in (0, 1).
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_GT(samples.data()[i], 0.0);
+    EXPECT_LT(samples.data()[i], 1.0);
+  }
+  // Both modes are generated: feature 0 high in some rows, low in others
+  // (no mode collapse on this trivially bimodal data).
+  std::size_t high = 0, low = 0;
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    if (samples(i, 0) > 0.6) ++high;
+    if (samples(i, 0) < 0.4) ++low;
+  }
+  EXPECT_GT(high, 50u);
+  EXPECT_GT(low, 50u);
+}
+
+TEST(VaeTest, NonPrivateEpsilonIsZero) {
+  util::Rng rng(13);
+  Vae vae(SmallOptions());
+  ASSERT_TRUE(vae.Fit(BimodalData(100, &rng)).ok());
+  EXPECT_DOUBLE_EQ(vae.ComputeEpsilon(1e-5).epsilon, 0.0);
+}
+
+TEST(VaeTest, DpModeTrainsAndAccountsEpsilon) {
+  util::Rng rng(17);
+  linalg::Matrix x = BimodalData(300, &rng);
+  VaeOptions opt = SmallOptions();
+  opt.epochs = 5;
+  opt.differentially_private = true;
+  opt.sgd_sigma = 2.0;
+  Vae vae(opt);
+  ASSERT_TRUE(vae.Fit(x).ok());
+  const auto g = vae.ComputeEpsilon(1e-5);
+  EXPECT_GT(g.epsilon, 0.0);
+  EXPECT_LT(g.epsilon, 50.0);
+  // More noise => smaller epsilon for the same schedule.
+  VaeOptions opt2 = opt;
+  opt2.sgd_sigma = 8.0;
+  Vae vae2(opt2);
+  ASSERT_TRUE(vae2.Fit(x).ok());
+  EXPECT_LT(vae2.ComputeEpsilon(1e-5).epsilon, g.epsilon);
+}
+
+TEST(VaeTest, DpTrainingStillLearns) {
+  util::Rng rng(19);
+  linalg::Matrix x = BimodalData(500, &rng);
+  VaeOptions opt = SmallOptions();
+  opt.epochs = 20;
+  opt.differentially_private = true;
+  opt.sgd_sigma = 1.0;  // Mild noise.
+  Vae vae(opt);
+  std::vector<double> losses;
+  ASSERT_TRUE(vae.Fit(x, [&](const TrainProgress& p) {
+                 losses.push_back(p.recon_loss);
+               }).ok());
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(VaeTest, TraceRecordsEveryStep) {
+  util::Rng rng(23);
+  linalg::Matrix x = BimodalData(200, &rng);
+  VaeOptions opt = SmallOptions();
+  opt.epochs = 4;
+  opt.batch_size = 50;
+  Vae vae(opt);
+  ASSERT_TRUE(vae.Fit(x).ok());
+  EXPECT_EQ(vae.trace().recon_loss.size(), 4u * (200 / 50));
+}
+
+TEST(VaeTest, DeterministicGivenSeed) {
+  util::Rng rng(29);
+  linalg::Matrix x = BimodalData(150, &rng);
+  VaeOptions opt = SmallOptions();
+  opt.epochs = 3;
+  Vae a(opt), b(opt);
+  ASSERT_TRUE(a.Fit(x).ok());
+  ASSERT_TRUE(b.Fit(x).ok());
+  util::Rng s1(31), s2(31);
+  EXPECT_EQ(a.Sample(10, &s1), b.Sample(10, &s2));
+}
+
+TEST(VaeTest, EncodeMeanShapes) {
+  util::Rng rng(37);
+  linalg::Matrix x = BimodalData(100, &rng);
+  Vae vae(SmallOptions());
+  ASSERT_TRUE(vae.Fit(x).ok());
+  linalg::Matrix z = vae.EncodeMean(x);
+  EXPECT_EQ(z.rows(), 100u);
+  EXPECT_EQ(z.cols(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p3gm

@@ -1,0 +1,218 @@
+// p3gm — command-line front end for the library. Lets a data holder run
+// the full Fig.-1 workflow without writing C++:
+//
+//   p3gm train data.csv model.release --epsilon 1.0 --epochs 40
+//   p3gm inspect model.release
+//   p3gm generate model.release synthetic.csv --n 10000
+//
+// `train` reads a numeric CSV (last column = integer label by default),
+// calibrates DP-SGD for the requested (epsilon, delta), trains P3GM and
+// writes a self-contained release package. `generate` samples from a
+// package (pure post-processing: no further privacy cost).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pgm.h"
+#include "core/release.h"
+#include "core/synthesizer.h"
+#include "data/csv_loader.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace p3gm;  // NOLINT(build/namespaces)
+
+struct Flags {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  std::size_t epochs = 40;
+  std::size_t batch = 200;
+  std::size_t latent = 10;
+  std::size_t hidden = 200;
+  std::size_t mog = 3;
+  std::size_t n = 1000;
+  std::uint64_t seed = 42;
+  bool use_pca = true;
+  bool non_private = false;
+  bool gaussian_decoder = false;
+  int label_column = -1;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  p3gm train <data.csv> <model.release> [options]\n"
+               "  p3gm generate <model.release> <out.csv> --n N [--seed S]\n"
+               "  p3gm inspect <model.release>\n"
+               "\n"
+               "train options:\n"
+               "  --epsilon E          target epsilon (default 1.0)\n"
+               "  --delta D            target delta (default 1e-5)\n"
+               "  --non-private        train without DP (PGM)\n"
+               "  --epochs N           training epochs (default 40)\n"
+               "  --batch B            lot size (default 200)\n"
+               "  --latent L           PCA components d' (default 10)\n"
+               "  --hidden H           MLP hidden width (default 200)\n"
+               "  --mog K              MoG components (default 3)\n"
+               "  --no-pca             skip dimensionality reduction\n"
+               "  --gaussian-decoder   MSE/Gaussian observation model\n"
+               "  --label-column I     label column index (default -1 = "
+               "last)\n"
+               "  --seed S             RNG seed (default 42)\n");
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (arg == "--epsilon" && next(&v)) {
+      flags->epsilon = v;
+    } else if (arg == "--delta" && next(&v)) {
+      flags->delta = v;
+    } else if (arg == "--epochs" && next(&v)) {
+      flags->epochs = static_cast<std::size_t>(v);
+    } else if (arg == "--batch" && next(&v)) {
+      flags->batch = static_cast<std::size_t>(v);
+    } else if (arg == "--latent" && next(&v)) {
+      flags->latent = static_cast<std::size_t>(v);
+    } else if (arg == "--hidden" && next(&v)) {
+      flags->hidden = static_cast<std::size_t>(v);
+    } else if (arg == "--mog" && next(&v)) {
+      flags->mog = static_cast<std::size_t>(v);
+    } else if (arg == "--n" && next(&v)) {
+      flags->n = static_cast<std::size_t>(v);
+    } else if (arg == "--seed" && next(&v)) {
+      flags->seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--label-column" && next(&v)) {
+      flags->label_column = static_cast<int>(v);
+    } else if (arg == "--no-pca") {
+      flags->use_pca = false;
+    } else if (arg == "--non-private") {
+      flags->non_private = true;
+    } else if (arg == "--gaussian-decoder") {
+      flags->gaussian_decoder = true;
+    } else {
+      std::fprintf(stderr, "unknown or malformed flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Fail(const util::Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdTrain(const std::string& csv_path, const std::string& out_path,
+             const Flags& flags) {
+  util::Stopwatch sw;
+  data::CsvLoadOptions load;
+  load.label_column = flags.label_column;
+  auto dataset = data::LoadCsvDataset(csv_path, load);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("loaded %zu rows x %zu features, %zu classes (%.1fs)\n",
+              dataset->size(), dataset->dim(), dataset->num_classes,
+              sw.ElapsedSeconds());
+
+  core::PgmOptions opt;
+  opt.hidden = flags.hidden;
+  opt.latent_dim = flags.latent;
+  opt.mog_components = flags.mog;
+  opt.epochs = flags.epochs;
+  opt.batch_size = std::min(flags.batch, dataset->size());
+  opt.use_pca = flags.use_pca && flags.latent < dataset->dim();
+  opt.decoder = flags.gaussian_decoder ? core::DecoderType::kGaussian
+                                       : core::DecoderType::kBernoulli;
+  opt.seed = flags.seed;
+  opt.differentially_private = !flags.non_private;
+  if (opt.differentially_private) {
+    auto sigma = core::Pgm::CalibrateSigma(
+        opt, dataset->size() , flags.epsilon, flags.delta);
+    if (!sigma.ok()) return Fail(sigma.status());
+    opt.sgd_sigma = *sigma;
+    std::printf("calibrated sigma_s = %.4f for (%.3g, %.3g)-DP\n", *sigma,
+                flags.epsilon, flags.delta);
+  }
+
+  sw.Restart();
+  core::PgmSynthesizer synth(opt);
+  if (auto st = synth.Fit(*dataset); !st.ok()) return Fail(st);
+  const auto g = synth.ComputeEpsilon(flags.delta);
+  std::printf("trained %s in %.1fs; privacy spent: (%.4f, %g)-DP\n",
+              synth.name().c_str(), sw.ElapsedSeconds(), g.epsilon,
+              flags.delta);
+
+  auto pkg = core::ReleasePackage::FromPgm(&synth.model(),
+                                           dataset->num_classes,
+                                           synth.name() + ":" + csv_path);
+  if (!pkg.ok()) return Fail(pkg.status());
+  if (auto st = pkg->Save(out_path); !st.ok()) return Fail(st);
+  std::printf("release package written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int CmdGenerate(const std::string& pkg_path, const std::string& out_path,
+                const Flags& flags) {
+  auto pkg = core::ReleasePackage::Load(pkg_path);
+  if (!pkg.ok()) return Fail(pkg.status());
+  util::Rng rng(flags.seed);
+  auto dataset = pkg->Generate(flags.n, &rng);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (auto st = data::SaveCsvDataset(*dataset, out_path); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu synthetic rows to %s\n", dataset->size(),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdInspect(const std::string& pkg_path) {
+  auto pkg = core::ReleasePackage::Load(pkg_path);
+  if (!pkg.ok()) return Fail(pkg.status());
+  std::printf("release package: %s\n", pkg->name().c_str());
+  std::printf("  decoder:       %zu -> %zu (%s observation model)\n",
+              pkg->latent_dim(), pkg->output_dim(),
+              pkg->decoder_type() == core::DecoderType::kBernoulli
+                  ? "Bernoulli"
+                  : "Gaussian");
+  std::printf("  features:      %zu (+ %zu-class one-hot label block)\n",
+              pkg->feature_dim(), pkg->num_classes());
+  std::printf("  latent prior:  MoG with %zu components over %zu dims\n",
+              pkg->prior().num_components(), pkg->prior().dim());
+  for (std::size_t k = 0; k < pkg->prior().num_components(); ++k) {
+    std::printf("    component %zu: weight %.4f\n", k,
+                pkg->prior().weights()[k]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Flags flags;
+  if (cmd == "train" && argc >= 4) {
+    if (!ParseFlags(argc, argv, 4, &flags)) return Usage();
+    return CmdTrain(argv[2], argv[3], flags);
+  }
+  if (cmd == "generate" && argc >= 4) {
+    if (!ParseFlags(argc, argv, 4, &flags)) return Usage();
+    return CmdGenerate(argv[2], argv[3], flags);
+  }
+  if (cmd == "inspect" && argc >= 3) {
+    return CmdInspect(argv[2]);
+  }
+  return Usage();
+}
