@@ -94,6 +94,7 @@ int main() {
            sw.ElapsedSeconds());
   }
 
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("\n[ablation done in %.1fs; CSV: ablation.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -17,8 +17,10 @@
 #include "data/synthetic.h"
 #include "eval/protocol.h"
 #include "util/check.h"
+#include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace bench {
@@ -126,6 +128,17 @@ inline eval::ProtocolResult RunProtocol(core::Synthesizer* synth,
   auto res = eval::EvaluateSyntheticData(*gen, split.test, fast);
   P3GM_CHECK_MSG(res.ok(), res.status().ToString().c_str());
   return std::move(res).ValueOrDie();
+}
+
+/// Appends a trailing provenance row to a bench CSV recording the total
+/// wall time of the run and the thread count it ran with, so archived
+/// CSVs are comparable across machines and P3GM_NUM_THREADS settings.
+/// The sentinel "_runinfo" in the first column keeps the row trivially
+/// filterable by downstream plotting scripts.
+inline void AppendRunInfo(util::CsvWriter* csv, double wall_seconds) {
+  csv->WriteRow({"_runinfo",
+                 "wall_seconds=" + util::FormatDouble(wall_seconds, 6),
+                 "threads=" + std::to_string(util::NumThreads())});
 }
 
 inline void PrintRule() {

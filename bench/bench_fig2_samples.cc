@@ -136,6 +136,7 @@ int main() {
   std::printf(
       "paper shape check: diversity(p3gm) > diversity(dpgm); p3gm and vae "
       "comparable.\n");
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[fig2 done in %.1fs; grids: fig2_*.pgm]\n",
               total.ElapsedSeconds());
   return 0;

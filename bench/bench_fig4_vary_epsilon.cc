@@ -117,6 +117,7 @@ int main() {
   std::printf(
       "\npaper shape check: P3GM approaches PGM as eps grows and degrades "
       "mildly as eps -> 0.2; DP-GM falls faster; PrivBayes flat/low.\n");
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[fig4 done in %.1fs; CSV: fig4_vary_epsilon.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -61,6 +61,7 @@ int main() {
   std::printf(
       "\npaper shape check: unimodal curve; best accuracy for d_p in the "
       "tens, degrading at both extremes.\n");
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[fig5 done in %.1fs; CSV: fig5_vary_dp.csv]\n",
               total.ElapsedSeconds());
   return 0;

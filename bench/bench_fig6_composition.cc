@@ -48,6 +48,7 @@ int main() {
   std::printf("\npaper shape check: RDP < zCDP+MA everywhere "
               "(violations: %zu).\n",
               violations);
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[fig6 done in %.1fs; CSV: fig6_composition.csv]\n",
               total.ElapsedSeconds());
   return violations == 0 ? 0 : 1;

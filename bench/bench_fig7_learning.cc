@@ -109,7 +109,8 @@ Curves RunDataset(const data::Split& split, bool image,
   return out;
 }
 
-void Report(const std::string& tag, const Curves& c, const char* metric) {
+void Report(const std::string& tag, const Curves& c, const char* metric,
+            double wall_seconds) {
   std::printf("-- %s reconstruction loss per iteration (first/last 3):\n",
               tag.c_str());
   auto head_tail = [](const std::vector<double>& v) {
@@ -157,6 +158,8 @@ void Report(const std::string& tag, const Curves& c, const char* metric) {
                    util::FormatDouble(c.dpvae_recon[i]),
                    util::FormatDouble(c.p3gm_recon[i])});
   }
+  AppendRunInfo(&csv, wall_seconds);
+  AppendRunInfo(&rcsv, wall_seconds);
 }
 
 }  // namespace
@@ -170,7 +173,7 @@ int main() {
     auto split = data::StratifiedSplit(mnist, 0.1, 11);
     P3GM_CHECK(split.ok());
     Curves c = RunDataset(*split, /*image=*/true, ImagePgmOptions(), 240);
-    Report("mnist", c, "accuracy");
+    Report("mnist", c, "accuracy", total.ElapsedSeconds());
   }
   {
     data::Dataset credit = BenchCredit();
@@ -178,7 +181,7 @@ int main() {
     P3GM_CHECK(split.ok());
     Curves c =
         RunDataset(*split, /*image=*/false, CreditPgmOptions(), 200);
-    Report("credit", c, "AUROC");
+    Report("credit", c, "AUROC", total.ElapsedSeconds());
   }
 
   std::printf(

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "dp/accountant.h"
 #include "dp/mechanisms.h"
 #include "linalg/covariance.h"
@@ -14,7 +17,11 @@
 #include "nn/linear.h"
 #include "pca/pca.h"
 #include "stats/gmm.h"
+#include "util/csv.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -141,6 +148,24 @@ void BM_GmmFit(benchmark::State& state) {
 }
 BENCHMARK(BM_GmmFit);
 
+void BM_MatmulThreads(benchmark::State& state) {
+  // Thread-count sweep of the dominant kernel: same 512x512 gemm at the
+  // pool size given by the benchmark argument. Throughput should scale
+  // with cores (flat on a single-core machine, where extra workers only
+  // add scheduling overhead).
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  p3gm::util::SetNumThreads(threads);
+  Matrix a = RandomMatrix(512, 512, 37);
+  Matrix b = RandomMatrix(512, 512, 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3gm::linalg::Matmul(a, b));
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512);
+  p3gm::util::SetNumThreads(0);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_PerExampleClipStep(benchmark::State& state) {
   // One DP-SGD gradient privatization for a 784->200 affine layer at
   // batch 100 (the dominant inner loop of Table VII training).
@@ -162,6 +187,41 @@ void BM_PerExampleClipStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PerExampleClipStep);
 
+// Wall-clock threads-vs-throughput sweep, written to micro_threads.csv
+// with explicit wall time and thread count per row so archived runs are
+// comparable across machines (google-benchmark's own output lacks the
+// pool size). Deterministic kernels mean the result matrix is identical
+// at every row of the sweep; only the timing varies.
+void RunThreadSweep() {
+  p3gm::util::CsvWriter csv("micro_threads.csv");
+  csv.WriteHeader({"kernel", "size", "threads", "wall_seconds", "gflops"});
+  for (std::size_t n : {256u, 512u}) {
+    Matrix a = RandomMatrix(n, n, 43);
+    Matrix b = RandomMatrix(n, n, 47);
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      p3gm::util::SetNumThreads(threads);
+      p3gm::util::Stopwatch sw;
+      benchmark::DoNotOptimize(p3gm::linalg::Matmul(a, b));
+      const double secs = sw.ElapsedSeconds();
+      const double flops = 2.0 * static_cast<double>(n) * n * n;
+      csv.WriteRow({"matmul", std::to_string(n), std::to_string(threads),
+                    p3gm::util::FormatDouble(secs, 6),
+                    p3gm::util::FormatDouble(flops / secs / 1e9, 4)});
+      std::printf("matmul n=%zu threads=%zu: %.4fs (%.2f GFLOP/s)\n", n,
+                  threads, secs, flops / secs / 1e9);
+    }
+  }
+  p3gm::util::SetNumThreads(0);
+  std::printf("[thread sweep CSV: micro_threads.csv]\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunThreadSweep();
+  return 0;
+}

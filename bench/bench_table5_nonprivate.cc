@@ -88,6 +88,7 @@ int main() {
   std::printf("\n\n");
   std::printf("paper shape check: PGM ~ VAE, P3GM within a few points of "
               "both.\n");
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[table5 done in %.1fs; CSV: table5_credit.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -134,6 +134,7 @@ int main() {
   std::printf(
       "\npaper shape check: P3GM best on Credit/ESR/ISOLET; PrivBayes "
       "competitive on Adult.\n");
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[table6 done in %.1fs; CSV: table6_tabular.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -135,6 +135,7 @@ int main() {
   std::printf(
       "\npaper shape check: P3GM >> DP-GM > PrivBayes; P3GM within a few "
       "points of VAE.\n");
+  AppendRunInfo(&csv, total.ElapsedSeconds());
   std::printf("[table7 done in %.1fs; CSV: table7_images.csv]\n",
               total.ElapsedSeconds());
   return 0;

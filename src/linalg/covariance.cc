@@ -1,16 +1,19 @@
 #include "linalg/covariance.h"
 
 #include "linalg/ops.h"
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace linalg {
 
 void CenterRows(const std::vector<double>& mean, Matrix* x) {
   P3GM_CHECK(mean.size() == x->cols());
-  for (std::size_t i = 0; i < x->rows(); ++i) {
-    double* row = x->row_data(i);
-    for (std::size_t j = 0; j < mean.size(); ++j) row[j] -= mean[j];
-  }
+  util::ParallelFor(0, x->rows(), 64, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      double* row = x->row_data(i);
+      for (std::size_t j = 0; j < mean.size(); ++j) row[j] -= mean[j];
+    }
+  });
 }
 
 Matrix ScatterWithMean(const Matrix& x, const std::vector<double>& mean) {

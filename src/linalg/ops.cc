@@ -1,24 +1,43 @@
 #include "linalg/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace linalg {
+
+namespace {
+
+// Minimum rows per worker for the O(rows * k * n) gemm kernels and for
+// the O(rows * cols) element-wise kernels. Small enough to engage the
+// pool on training-size batches, large enough that a block amortizes the
+// dispatch cost.
+constexpr std::size_t kGemmRowGrain = 8;
+constexpr std::size_t kRowGrain = 64;
+
+}  // namespace
 
 Matrix Matmul(const Matrix& a, const Matrix& b) {
   P3GM_CHECK(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.row_data(p);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Each worker owns a disjoint block of output rows; per element the
+  // accumulation order over p is ascending, so the result is
+  // bit-identical for any thread count.
+  util::ParallelFor(0, m, kGemmRowGrain, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      const double* arow = a.row_data(i);
+      double* crow = c.row_data(i);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const double* brow = b.row_data(p);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -26,16 +45,21 @@ Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
   P3GM_CHECK(a.rows() == b.rows());
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   Matrix c(m, n);
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = a.row_data(p);
-    const double* brow = b.row_data(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.row_data(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Parallel over output rows (columns of A); p stays the outer serial
+  // loop inside each block so every element still accumulates over p in
+  // ascending order and B's rows are streamed sequentially.
+  util::ParallelFor(0, m, kGemmRowGrain, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* arow = a.row_data(p);
+      const double* brow = b.row_data(p);
+      for (std::size_t i = rb; i < re; ++i) {
+        const double av = arow[i];
+        if (av == 0.0) continue;
+        double* crow = c.row_data(i);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -43,16 +67,18 @@ Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
   P3GM_CHECK(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b.row_data(j);
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
+  util::ParallelFor(0, m, kGemmRowGrain, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      const double* arow = a.row_data(i);
+      double* crow = c.row_data(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* brow = b.row_data(j);
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] = s;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -113,10 +139,15 @@ Matrix Outer(const std::vector<double>& a, const std::vector<double>& b) {
 
 void AddRowVector(const std::vector<double>& v, Matrix* m) {
   P3GM_CHECK(v.size() == m->cols());
-  for (std::size_t i = 0; i < m->rows(); ++i) {
-    double* row = m->row_data(i);
-    for (std::size_t j = 0; j < v.size(); ++j) row[j] += v[j];
-  }
+  util::ParallelFor(0, m->rows(), kRowGrain,
+                    [&](std::size_t rb, std::size_t re) {
+                      for (std::size_t i = rb; i < re; ++i) {
+                        double* row = m->row_data(i);
+                        for (std::size_t j = 0; j < v.size(); ++j) {
+                          row[j] += v[j];
+                        }
+                      }
+                    });
 }
 
 std::vector<double> ColMeans(const Matrix& m) {
@@ -133,53 +164,81 @@ std::vector<double> ColMeans(const Matrix& m) {
 
 std::vector<double> RowSquaredNorms(const Matrix& m) {
   std::vector<double> out(m.rows(), 0.0);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.row_data(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < m.cols(); ++j) s += row[j] * row[j];
-    out[i] = s;
-  }
+  util::ParallelFor(0, m.rows(), kRowGrain,
+                    [&](std::size_t rb, std::size_t re) {
+                      for (std::size_t i = rb; i < re; ++i) {
+                        const double* row = m.row_data(i);
+                        double s = 0.0;
+                        for (std::size_t j = 0; j < m.cols(); ++j) {
+                          s += row[j] * row[j];
+                        }
+                        out[i] = s;
+                      }
+                    });
   return out;
 }
 
 void ScaleRows(const std::vector<double>& s, Matrix* m) {
   P3GM_CHECK(s.size() == m->rows());
-  for (std::size_t i = 0; i < m->rows(); ++i) {
-    double* row = m->row_data(i);
-    for (std::size_t j = 0; j < m->cols(); ++j) row[j] *= s[i];
-  }
+  util::ParallelFor(0, m->rows(), kRowGrain,
+                    [&](std::size_t rb, std::size_t re) {
+                      for (std::size_t i = rb; i < re; ++i) {
+                        double* row = m->row_data(i);
+                        for (std::size_t j = 0; j < m->cols(); ++j) {
+                          row[j] *= s[i];
+                        }
+                      }
+                    });
 }
 
 Matrix Syrk(const Matrix& a) {
   const std::size_t n = a.cols();
   Matrix c(n, n);
-  for (std::size_t p = 0; p < a.rows(); ++p) {
-    const double* row = a.row_data(p);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double av = row[i];
-      if (av == 0.0) continue;
-      double* crow = c.row_data(i);
-      for (std::size_t j = i; j < n; ++j) crow[j] += av * row[j];
+  // Parallel over disjoint blocks of output rows; inside a block the
+  // accumulation over data rows p is the serial ascending order, so the
+  // result matches the single-threaded kernel bit-for-bit. Row blocks of
+  // the upper triangle shrink with i, so use a small grain to keep the
+  // static assignment roughly balanced.
+  util::ParallelFor(0, n, 4, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t p = 0; p < a.rows(); ++p) {
+      const double* row = a.row_data(p);
+      for (std::size_t i = rb; i < re; ++i) {
+        const double av = row[i];
+        if (av == 0.0) continue;
+        double* crow = c.row_data(i);
+        for (std::size_t j = i; j < n; ++j) crow[j] += av * row[j];
+      }
     }
-  }
-  // Mirror the upper triangle.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) c(j, i) = c(i, j);
-  }
+  });
+  // Mirror the upper triangle. Each worker writes a disjoint block of
+  // rows of the lower triangle.
+  util::ParallelFor(0, n, kRowGrain, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t j = std::max<std::size_t>(rb, 1); j < re; ++j) {
+      double* crow = c.row_data(j);
+      for (std::size_t i = 0; i < j; ++i) crow[i] = c(i, j);
+    }
+  });
   return c;
 }
 
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {
   P3GM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  double m = 0.0;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ra = a.row_data(i);
-    const double* rb = b.row_data(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      m = std::max(m, std::fabs(ra[j] - rb[j]));
-    }
-  }
-  return m;
+  // max is exactly associative, so the chunked reduction is bit-identical
+  // to the serial scan for any grain and thread count.
+  return util::ParallelReduce(
+      0, a.rows(), kRowGrain, 0.0,
+      [&](std::size_t rb, std::size_t re) {
+        double m = 0.0;
+        for (std::size_t i = rb; i < re; ++i) {
+          const double* ra = a.row_data(i);
+          const double* rb_row = b.row_data(i);
+          for (std::size_t j = 0; j < a.cols(); ++j) {
+            m = std::max(m, std::fabs(ra[j] - rb_row[j]));
+          }
+        }
+        return m;
+      },
+      [](double* acc, double partial) { *acc = std::max(*acc, partial); });
 }
 
 }  // namespace linalg

@@ -11,6 +11,12 @@ namespace linalg {
 /// Dense kernels shared by the NN layers and the statistical models. All
 /// shape mismatches are programming errors and abort via P3GM_CHECK; these
 /// functions sit on hot paths and deliberately do not return Status.
+///
+/// The batch-shaped kernels (gemm variants, Syrk, RowSquaredNorms,
+/// ScaleRows, AddRowVector, MaxAbsDiff) run on the util::ParallelFor
+/// thread pool, blocked over rows with each worker writing a disjoint
+/// output slice. Results are bit-identical for any thread count,
+/// including 1 (see util/thread_pool.h for the determinism contract).
 
 /// C = A * B, with A (m x k) and B (k x n). Cache-friendly i-k-j order.
 Matrix Matmul(const Matrix& a, const Matrix& b);

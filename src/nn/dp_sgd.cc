@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dp/mechanisms.h"
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace nn {
@@ -40,10 +41,13 @@ void DpSgdStep::AddExternalSquaredNorms(const std::vector<double>& sq_norms) {
 const std::vector<double>& DpSgdStep::clip_scales() {
   if (!scales_ready_) {
     scales_.resize(sq_norms_.size());
-    for (std::size_t i = 0; i < sq_norms_.size(); ++i) {
-      scales_[i] =
-          dp::ClipFactor(options_.clip_norm, std::sqrt(sq_norms_[i]));
-    }
+    util::ParallelFor(0, sq_norms_.size(), 256,
+                      [&](std::size_t rb, std::size_t re) {
+                        for (std::size_t i = rb; i < re; ++i) {
+                          scales_[i] = dp::ClipFactor(
+                              options_.clip_norm, std::sqrt(sq_norms_[i]));
+                        }
+                      });
     scales_ready_ = true;
   }
   return scales_;
@@ -61,6 +65,10 @@ void DpSgdStep::AddNoiseAndAverage(const std::vector<Parameter*>& params,
   P3GM_CHECK(lot > 0);
   const double stddev = options_.noise_multiplier * options_.clip_norm;
   const double inv_lot = 1.0 / static_cast<double>(lot);
+  // Deliberately serial: noise comes from the single shared Rng stream,
+  // never from inside a parallel region. If this loop ever becomes hot
+  // enough to parallelize, it must switch to per-coordinate
+  // util::Rng::StreamAt streams to stay deterministic.
   for (Parameter* p : params) {
     double* grad = p->grad.data();
     for (std::size_t i = 0; i < p->size(); ++i) {

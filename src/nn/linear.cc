@@ -2,6 +2,7 @@
 
 #include "linalg/ops.h"
 #include "nn/init.h"
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace nn {
@@ -48,10 +49,14 @@ void Linear::AddPerExampleSquaredGradNorms(
   P3GM_CHECK(sq_norms->size() == cached_input_.rows());
   const std::vector<double> x_sq = linalg::RowSquaredNorms(cached_input_);
   const std::vector<double> dy_sq = linalg::RowSquaredNorms(cached_grad_out_);
-  for (std::size_t i = 0; i < x_sq.size(); ++i) {
-    // Weight contribution ||x_i||^2 ||dy_i||^2 plus bias ||dy_i||^2.
-    (*sq_norms)[i] += (x_sq[i] + 1.0) * dy_sq[i];
-  }
+  // Weight contribution ||x_i||^2 ||dy_i||^2 plus bias ||dy_i||^2; each
+  // worker writes a disjoint slice of sq_norms.
+  util::ParallelFor(0, x_sq.size(), 256,
+                    [&](std::size_t rb, std::size_t re) {
+                      for (std::size_t i = rb; i < re; ++i) {
+                        (*sq_norms)[i] += (x_sq[i] + 1.0) * dy_sq[i];
+                      }
+                    });
 }
 
 void Linear::AccumulateClippedGrads(const std::vector<double>& scale) {

@@ -5,6 +5,7 @@
 
 #include "dp/mechanisms.h"
 #include "linalg/ops.h"
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace stats {
@@ -32,11 +33,13 @@ util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
   DpEmResult result;
   result.clip_norm = 1.0;
   linalg::Matrix clipped = x;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<double> row = clipped.Row(i);
-    dp::ClipL2(result.clip_norm, &row);
-    clipped.SetRow(i, row);
-  }
+  util::ParallelFor(0, n, 64, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      std::vector<double> row = clipped.Row(i);
+      dp::ClipL2(result.clip_norm, &row);
+      clipped.SetRow(i, row);
+    }
+  });
 
   // Data-independent initialization (a data-dependent one would leak):
   // means scattered inside the unit ball, unit variances, uniform weights.
@@ -65,17 +68,30 @@ util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
     std::vector<double> nk(kk, 0.0);
     linalg::Matrix s1(kk, d);
     linalg::Matrix s2(kk, d);
+    // The expensive per-row responsibilities (exp/log per component) fill
+    // disjoint rows in parallel; the sufficient statistics are then
+    // accumulated serially in ascending row order, which keeps the sums
+    // bit-identical for any thread count. No noise is drawn inside the
+    // parallel region — the Gaussian mechanism below consumes the shared
+    // rng strictly serially.
+    linalg::Matrix resp(n, kk);
+    util::ParallelFor(0, n, 16, [&](std::size_t rb, std::size_t re) {
+      for (std::size_t i = rb; i < re; ++i) {
+        const std::vector<double> r = model.Responsibilities(clipped.Row(i));
+        for (std::size_t k = 0; k < kk; ++k) resp(i, k) = r[k];
+      }
+    });
     for (std::size_t i = 0; i < n; ++i) {
-      const std::vector<double> xi = clipped.Row(i);
-      const std::vector<double> r = model.Responsibilities(xi);
+      const double* xi = clipped.row_data(i);
       for (std::size_t k = 0; k < kk; ++k) {
-        if (r[k] == 0.0) continue;
-        nk[k] += r[k];
+        const double r = resp(i, k);
+        if (r == 0.0) continue;
+        nk[k] += r;
         double* s1k = s1.row_data(k);
         double* s2k = s2.row_data(k);
         for (std::size_t j = 0; j < d; ++j) {
-          s1k[j] += r[k] * xi[j];
-          s2k[j] += r[k] * xi[j] * xi[j];
+          s1k[j] += r * xi[j];
+          s2k[j] += r * xi[j] * xi[j];
         }
       }
     }

@@ -6,6 +6,7 @@
 
 #include "linalg/ops.h"
 #include "stats/kmeans.h"
+#include "util/thread_pool.h"
 
 namespace p3gm {
 namespace stats {
@@ -113,8 +114,14 @@ linalg::Matrix GaussianMixture::SampleN(std::size_t n, util::Rng* rng) const {
 
 double GaussianMixture::MeanLogLikelihood(const linalg::Matrix& x) const {
   P3GM_CHECK(x.rows() > 0);
+  // Per-row log-densities are filled in parallel (disjoint slots), then
+  // summed serially in index order — bit-identical for any thread count.
+  std::vector<double> row_ll(x.rows());
+  util::ParallelFor(0, x.rows(), 16, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) row_ll[i] = LogPdf(x.Row(i));
+  });
   double total = 0.0;
-  for (std::size_t i = 0; i < x.rows(); ++i) total += LogPdf(x.Row(i));
+  for (double v : row_ll) total += v;
   return total / static_cast<double>(x.rows());
 }
 
@@ -166,53 +173,62 @@ util::Result<GaussianMixture> FitGmmOnce(const linalg::Matrix& x,
 
   double prev_ll = -std::numeric_limits<double>::infinity();
   linalg::Matrix resp(n, kk);
+  std::vector<double> row_lse(n);
   for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
-    // E-step.
-    double ll = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::vector<double> lj = model.ComponentLogJoint(x.Row(i));
-      const double lse = LogSumExp(lj);
-      ll += lse;
-      for (std::size_t k = 0; k < kk; ++k) {
-        resp(i, k) = std::exp(lj[k] - lse);
+    // E-step: each worker fills a disjoint block of responsibility rows
+    // (and that row's log-sum-exp); the likelihood reduction then runs
+    // serially in index order so the result is bit-identical for any
+    // thread count.
+    util::ParallelFor(0, n, 16, [&](std::size_t rb, std::size_t re) {
+      for (std::size_t i = rb; i < re; ++i) {
+        std::vector<double> lj = model.ComponentLogJoint(x.Row(i));
+        const double lse = LogSumExp(lj);
+        row_lse[i] = lse;
+        for (std::size_t k = 0; k < kk; ++k) {
+          resp(i, k) = std::exp(lj[k] - lse);
+        }
       }
-    }
+    });
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ll += row_lse[i];
     ll /= static_cast<double>(n);
 
-    // M-step.
+    // M-step: components are independent — each worker owns disjoint
+    // rows of new_means/new_vars and disjoint nk/weights slots, and
+    // accumulates its i-loop in the serial ascending order.
     linalg::Matrix new_means(kk, d);
     linalg::Matrix new_vars(kk, d);
     std::vector<double> nk(kk, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t k = 0; k < kk; ++k) nk[k] += resp(i, k);
-    }
-    for (std::size_t k = 0; k < kk; ++k) {
-      const double denom = std::max(nk[k], 1e-12);
-      for (std::size_t i = 0; i < n; ++i) {
-        const double r = resp(i, k);
-        if (r == 0.0) continue;
-        const double* xi = x.row_data(i);
+    util::ParallelFor(0, kk, 1, [&](std::size_t cb, std::size_t ce) {
+      for (std::size_t k = cb; k < ce; ++k) {
+        for (std::size_t i = 0; i < n; ++i) nk[k] += resp(i, k);
+        const double denom = std::max(nk[k], 1e-12);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double r = resp(i, k);
+          if (r == 0.0) continue;
+          const double* xi = x.row_data(i);
+          double* mk = new_means.row_data(k);
+          for (std::size_t j = 0; j < d; ++j) mk[j] += r * xi[j];
+        }
         double* mk = new_means.row_data(k);
-        for (std::size_t j = 0; j < d; ++j) mk[j] += r * xi[j];
-      }
-      double* mk = new_means.row_data(k);
-      for (std::size_t j = 0; j < d; ++j) mk[j] /= denom;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double r = resp(i, k);
-        if (r == 0.0) continue;
-        const double* xi = x.row_data(i);
+        for (std::size_t j = 0; j < d; ++j) mk[j] /= denom;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double r = resp(i, k);
+          if (r == 0.0) continue;
+          const double* xi = x.row_data(i);
+          double* vk = new_vars.row_data(k);
+          for (std::size_t j = 0; j < d; ++j) {
+            const double diff = xi[j] - mk[j];
+            vk[j] += r * diff * diff;
+          }
+        }
         double* vk = new_vars.row_data(k);
         for (std::size_t j = 0; j < d; ++j) {
-          const double diff = xi[j] - mk[j];
-          vk[j] += r * diff * diff;
+          vk[j] = std::max(vk[j] / denom, options.min_variance);
         }
+        weights[k] = nk[k] / static_cast<double>(n);
       }
-      double* vk = new_vars.row_data(k);
-      for (std::size_t j = 0; j < d; ++j) {
-        vk[j] = std::max(vk[j] / denom, options.min_variance);
-      }
-      weights[k] = nk[k] / static_cast<double>(n);
-    }
+    });
     P3GM_ASSIGN_OR_RETURN(
         model, GaussianMixture::Create(weights, new_means, new_vars));
 

@@ -171,5 +171,14 @@ std::vector<std::size_t> Rng::PoissonSample(std::size_t n, double q) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::StreamAt(std::uint64_t seed, std::uint64_t index) {
+  // Decorrelate (seed, index) pairs with one splitmix64 step over a
+  // golden-ratio combination; the Rng constructor mixes further into the
+  // four xoshiro words. Stateless, so safe to call from any thread.
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  const std::uint64_t derived = SplitMix64(&state);
+  return Rng(derived);
+}
+
 }  // namespace util
 }  // namespace p3gm

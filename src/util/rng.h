@@ -83,6 +83,16 @@ class Rng {
   /// component of a pipeline its own stream.
   Rng Fork();
 
+  /// Counter-based stream derivation: returns the generator for logical
+  /// stream `index` of the family identified by `seed`. A pure function
+  /// of (seed, index) — two calls with equal arguments yield generators
+  /// with bit-identical output streams, and distinct indices yield
+  /// decorrelated streams. This is how parallel regions draw noise
+  /// deterministically: element i samples from StreamAt(seed, i)
+  /// regardless of which worker thread processes i, so results do not
+  /// depend on the thread count or schedule.
+  static Rng StreamAt(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
   bool has_spare_ = false;

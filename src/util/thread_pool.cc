@@ -1,0 +1,201 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace util {
+
+namespace {
+
+// Set while the current thread executes a ParallelFor body; used to
+// reject (serialize) nested parallel calls.
+thread_local bool t_in_parallel_region = false;
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_requested_threads = 0;  // 0 = automatic.
+
+std::size_t AutoThreads() {
+  // The environment is read once per process: the pool is long-lived and
+  // re-reading getenv on every kernel call would be wasted work.
+  static const std::size_t resolved = ParallelConfig::FromEnv().Resolve();
+  return resolved;
+}
+
+std::size_t EffectiveThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_requested_threads != 0 ? g_requested_threads : AutoThreads();
+}
+
+// Returns the process-wide pool sized to the current request, re-creating
+// it if the requested size changed since the last call.
+ThreadPool* GetPool(std::size_t want) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool || g_pool->num_threads() != want) {
+    g_pool.reset();  // Join the old workers before spawning new ones.
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+ParallelConfig ParallelConfig::FromEnv() {
+  ParallelConfig config;
+  if (const char* env = std::getenv("P3GM_NUM_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      config.num_threads = static_cast<std::size_t>(parsed);
+    }
+  }
+  return config;
+}
+
+std::size_t ParallelConfig::Resolve() const {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  P3GM_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  for (std::size_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    next_worker_ = 1;  // The caller is worker 0.
+    outstanding_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job;
+    std::size_t worker;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      worker = next_worker_++;
+    }
+    (*job)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t NumThreads() { return EffectiveThreads(); }
+
+void SetNumThreads(std::size_t num_threads) {
+  P3GM_CHECK(!t_in_parallel_region);
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_requested_threads = num_threads;
+  // The pool itself is re-created lazily by the next parallel call.
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  // Nested parallelism is rejected: a body that itself calls ParallelFor
+  // runs the inner range inline and serially on its worker. Results are
+  // unchanged (the inner body sees the full range in one call).
+  const std::size_t max_workers = (range + grain - 1) / grain;
+  const std::size_t want = std::min(NumThreads(), max_workers);
+  if (want <= 1 || t_in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool* pool = GetPool(NumThreads());
+  const std::size_t workers = std::min(want, pool->num_threads());
+  std::vector<std::exception_ptr> errors(workers);
+  pool->Run([&](std::size_t w) {
+    if (w >= workers) return;
+    // Static contiguous split: block w is a pure function of
+    // (range, workers); no work stealing.
+    const std::size_t q = range / workers;
+    const std::size_t r = range % workers;
+    const std::size_t b = begin + w * q + std::min(w, r);
+    const std::size_t e = b + q + (w < r ? 1 : 0);
+    t_in_parallel_region = true;
+    try {
+      fn(b, e);
+    } catch (...) {
+      errors[w] = std::current_exception();
+    }
+    t_in_parallel_region = false;
+  });
+  // Deterministic propagation: the lowest-indexed block's failure wins.
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::size_t NumChunks(std::size_t begin, std::size_t end, std::size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+void ParallelForChunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return;
+  // The chunk grid depends only on (begin, end, grain); ParallelFor
+  // merely decides which worker executes which ascending run of chunks.
+  ParallelFor(0, chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t b = begin + c * grain;
+      const std::size_t e = std::min(end, b + grain);
+      fn(c, b, e);
+    }
+  });
+}
+
+}  // namespace util
+}  // namespace p3gm

@@ -1,0 +1,153 @@
+#ifndef P3GM_UTIL_THREAD_POOL_H_
+#define P3GM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p3gm {
+namespace util {
+
+/// Deterministic thread-pool parallelism for the training hot paths.
+///
+/// The contract every parallel kernel in this codebase obeys: the result
+/// is BIT-IDENTICAL for any thread count, including 1. Two rules make
+/// that hold:
+///
+///  1. ParallelFor bodies only write disjoint output slices (typically
+///     one block of matrix rows per invocation); the floating-point
+///     result then cannot depend on how the range was split.
+///  2. Reductions never use atomics or arrival-order accumulation. They
+///     either (a) fill a per-index buffer in parallel and sum it serially
+///     in index order, or (b) use ParallelForChunks/ParallelReduce, whose
+///     chunk grid is a pure function of (range, grain) — NOT of the
+///     thread count — with partials combined in ascending chunk order.
+///
+/// Any code that needs randomness inside a parallel region must not
+/// share an Rng across workers; it takes pre-drawn noise or per-index
+/// counter-based streams (util::Rng::StreamAt) instead.
+///
+/// Scheduling is static: the range→worker assignment is a pure function
+/// of (range, grain, num_threads). There is no work stealing.
+
+/// Resolution of the process-wide worker count.
+struct ParallelConfig {
+  /// Requested worker count; 0 means "resolve automatically" from the
+  /// P3GM_NUM_THREADS environment variable, falling back to
+  /// std::thread::hardware_concurrency() (and to 1 if that reports 0).
+  std::size_t num_threads = 0;
+
+  /// Reads P3GM_NUM_THREADS (a positive integer; anything else is
+  /// ignored) into num_threads, leaving 0 when unset/invalid.
+  static ParallelConfig FromEnv();
+
+  /// The effective worker count (always >= 1).
+  std::size_t Resolve() const;
+};
+
+/// Fixed-size worker pool. Workers are spawned once in the constructor
+/// and parked on a condition variable between jobs. Most code should use
+/// the free functions below, which manage a process-wide pool; the class
+/// is public for tests and special-purpose pools.
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 workers (the thread calling Run participates
+  /// as worker 0). num_threads must be >= 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Invokes fn(w) once for every worker index w in [0, num_threads()),
+  /// with the calling thread executing w = 0, and blocks until all
+  /// invocations return. Concurrent Run calls from different threads are
+  /// serialized. `fn` must not throw — exception capture is handled by
+  /// the ParallelFor layer above.
+  void Run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  // Serializes Run() callers.
+  std::mutex mutex_;      // Guards the job state below.
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t next_worker_ = 0;  // Hands each woken thread its index.
+  std::size_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+/// The effective thread count the free functions below will use.
+std::size_t NumThreads();
+
+/// Overrides the process-wide thread count (0 restores the automatic
+/// P3GM_NUM_THREADS / hardware_concurrency resolution). The pool is
+/// re-created lazily on the next parallel call. Must not be called from
+/// inside a parallel region. Intended for tests and benchmarks.
+void SetNumThreads(std::size_t num_threads);
+
+/// True while the calling thread is executing inside a ParallelFor body.
+bool InParallelRegion();
+
+/// Runs fn(sub_begin, sub_end) over a static partition of [begin, end)
+/// into at most NumThreads() contiguous blocks of at least `grain`
+/// indices each. Blocks are disjoint and cover the range exactly once.
+///
+/// fn must only write state indexed by its sub-range (disjoint output
+/// slices); under that contract the result is bit-identical for any
+/// thread count. Exceptions thrown by fn are rethrown in the caller
+/// (the lowest-indexed block's exception wins). Nested calls from
+/// inside a parallel region are rejected: the nested range runs inline
+/// and serially on the calling worker.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Number of fixed-grain chunks ParallelForChunks would produce — a pure
+/// function of (begin, end, grain), independent of the thread count.
+std::size_t NumChunks(std::size_t begin, std::size_t end, std::size_t grain);
+
+/// Runs fn(chunk_index, chunk_begin, chunk_end) for every chunk of the
+/// fixed grid [begin + c*grain, begin + (c+1)*grain) ∩ [begin, end).
+/// Because the grid depends only on (range, grain), per-chunk partials
+/// combined in ascending chunk_index order yield bit-identical results
+/// for any thread count. Workers execute their assigned chunks in
+/// ascending order.
+void ParallelForChunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Deterministic parallel reduction over the fixed chunk grid:
+/// partial[c] = chunk_fn(chunk_begin, chunk_end) computed in parallel,
+/// then combine(&acc, partial[c]) serially for c ascending. For
+/// non-associative floating-point combines the result depends on the
+/// grain but never on the thread count. combine must be exact-associative
+/// (e.g. max) for the result to also equal the serial unchunked loop.
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
+                 T identity, ChunkFn chunk_fn, CombineFn combine) {
+  const std::size_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return identity;
+  std::vector<T> partials(chunks, identity);
+  ParallelForChunks(begin, end, grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+                      partials[c] = chunk_fn(b, e);
+                    });
+  T acc = identity;
+  for (std::size_t c = 0; c < chunks; ++c) combine(&acc, partials[c]);
+  return acc;
+}
+
+}  // namespace util
+}  // namespace p3gm
+
+#endif  // P3GM_UTIL_THREAD_POOL_H_

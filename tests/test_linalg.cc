@@ -1,4 +1,5 @@
 #include <cmath>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "linalg/cholesky.h"
@@ -290,6 +291,65 @@ TEST(CovarianceTest, CenterRowsSubtractsMean) {
   CenterRows({2, 3}, &x);
   EXPECT_DOUBLE_EQ(x(0, 0), -1);
   EXPECT_DOUBLE_EQ(x(1, 1), 1);
+}
+
+// Shape-contract death tests: every kernel must abort (not silently
+// misread memory) when handed incompatible dimensions. The pool spawns
+// threads, so use the threadsafe death-test style, which re-executes the
+// test in a fresh child process.
+class OpsShapeDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+  const Matrix a_ = Matrix(3, 4);
+  const Matrix b_ = Matrix(5, 6);
+};
+
+TEST_F(OpsShapeDeathTest, MatmulInnerDimMismatch) {
+  EXPECT_DEATH(Matmul(a_, b_), "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, MatmulTransARowMismatch) {
+  EXPECT_DEATH(MatmulTransA(a_, b_), "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, MatmulTransBColMismatch) {
+  EXPECT_DEATH(MatmulTransB(a_, b_), "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, MatVecLengthMismatch) {
+  EXPECT_DEATH(MatVec(a_, std::vector<double>(3)), "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, MatVecTransALengthMismatch) {
+  EXPECT_DEATH(MatVecTransA(a_, std::vector<double>(4)),
+               "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, DotLengthMismatch) {
+  EXPECT_DEATH(Dot(std::vector<double>(3), std::vector<double>(4)),
+               "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, AxpyLengthMismatch) {
+  std::vector<double> y(4);
+  EXPECT_DEATH(Axpy(2.0, std::vector<double>(3), &y), "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, AddRowVectorWidthMismatch) {
+  Matrix m(3, 4);
+  EXPECT_DEATH(AddRowVector(std::vector<double>(5), &m),
+               "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, ScaleRowsHeightMismatch) {
+  Matrix m(3, 4);
+  EXPECT_DEATH(ScaleRows(std::vector<double>(2), &m), "P3GM_CHECK failed");
+}
+
+TEST_F(OpsShapeDeathTest, MaxAbsDiffShapeMismatch) {
+  EXPECT_DEATH(MaxAbsDiff(a_, b_), "P3GM_CHECK failed");
 }
 
 TEST(CovarianceTest, PsdProperty) {

@@ -1,7 +1,9 @@
 #include <cmath>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "linalg/ops.h"
+#include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/dp_sgd.h"
 #include "nn/linear.h"
@@ -145,6 +147,48 @@ TEST(DpSgdTest, MeanClipScaleDiagnostic) {
   step.AddExternalSquaredNorms({4.0, 4.0});
   (void)step.clip_scales();
   EXPECT_NEAR(step.MeanClipScale(), 0.5, 1e-12);
+}
+
+TEST(DpSgdTest, GoodfellowNormsMatchBruteForcePerExampleBackward) {
+  // Regression for the Goodfellow (2015) per-example norm trick on a
+  // 2-layer net: the squared norms reported by
+  // AddPerExampleSquaredGradNorms must equal the squared Frobenius norm
+  // of the full gradient computed by a separate backward pass per
+  // example.
+  util::Rng rng(29);
+  Sequential net;
+  Linear* l1 = net.Emplace<Linear>("l1", 5, 7, &rng);
+  net.Emplace<Sigmoid>();
+  Linear* l2 = net.Emplace<Linear>("l2", 7, 4, &rng);
+
+  const std::size_t batch = 6;
+  const linalg::Matrix x = RandomMatrix(batch, 5, &rng, 1.5);
+  const linalg::Matrix dy = RandomMatrix(batch, 4, &rng, 1.5);
+  net.Forward(x, true);
+  net.Backward(dy, /*accumulate=*/false);
+  std::vector<double> sq(batch, 0.0);
+  net.AddPerExampleSquaredGradNorms(&sq);
+
+  for (std::size_t i = 0; i < batch; ++i) {
+    // Brute force: a fresh copy of the net, one example, accumulate
+    // gradients, take the total squared Frobenius norm.
+    Sequential single;
+    Linear* s1 = single.Emplace<Linear>("s1", 5, 7, &rng);
+    single.Emplace<Sigmoid>();
+    Linear* s2 = single.Emplace<Linear>("s2", 7, 4, &rng);
+    s1->weight().value = l1->weight().value;
+    s1->bias().value = l1->bias().value;
+    s2->weight().value = l2->weight().value;
+    s2->bias().value = l2->bias().value;
+    single.Forward(x.SelectRows({i}), true);
+    single.Backward(dy.SelectRows({i}), /*accumulate=*/true);
+    double expected = 0.0;
+    for (Parameter* p : single.Parameters()) {
+      const double f = p->grad.FrobeniusNorm();
+      expected += f * f;
+    }
+    EXPECT_NEAR(sq[i], expected, 1e-9 * (1.0 + expected)) << "example " << i;
+  }
 }
 
 TEST(DpSgdTest, MultiStackNormsAccumulate) {

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "data/transforms.h"
@@ -332,6 +334,75 @@ TEST_P(TransformProperty, AttachDetachIsIdentityOnHardLabels) {
   EXPECT_EQ(rows.labels, labels);
   EXPECT_LT(linalg::MaxAbsDiff(rows.features, features), 1e-12);
 }
+
+// ------------------------------------------------------ seed stability
+
+// Reproducibility contract: identical seeds must give identical outputs,
+// bit for bit, for the RNG itself and for every noise mechanism. The
+// thread-pool determinism guarantees (test_parallel_equivalence.cc) are
+// only meaningful on top of this.
+
+using SeedStabilityProperty = SeededTest;
+
+TEST_P(SeedStabilityProperty, RngStreamsAreIdenticalForIdenticalSeeds) {
+  util::Rng a(GetParam());
+  util::Rng b(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Normal(), b.Normal());
+    EXPECT_EQ(a.Uniform(), b.Uniform());
+    EXPECT_EQ(a.Laplace(1.7), b.Laplace(1.7));
+    EXPECT_EQ(a.Gamma(2.5, 0.8), b.Gamma(2.5, 0.8));
+  }
+}
+
+TEST_P(SeedStabilityProperty, StreamAtIsAPureFunctionOfSeedAndIndex) {
+  for (std::uint64_t index : {0ull, 1ull, 7ull, 1000000007ull}) {
+    util::Rng a = util::Rng::StreamAt(GetParam(), index);
+    util::Rng b = util::Rng::StreamAt(GetParam(), index);
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+    EXPECT_EQ(a.Normal(), b.Normal());
+  }
+  // Adjacent streams must not collide.
+  util::Rng s0 = util::Rng::StreamAt(GetParam(), 0);
+  util::Rng s1 = util::Rng::StreamAt(GetParam(), 1);
+  EXPECT_NE(s0.NextU64(), s1.NextU64());
+}
+
+TEST_P(SeedStabilityProperty, MechanismsAreIdenticalForIdenticalSeeds) {
+  auto run = [&] {
+    util::Rng rng(GetParam() + 1000);
+    std::vector<double> out;
+    std::vector<double> v(17, 0.25);
+    dp::LaplaceMechanism(1.0, 0.7, &v, &rng);
+    out.insert(out.end(), v.begin(), v.end());
+    std::vector<double> g(17, -0.5);
+    dp::GaussianMechanism(1.0, 1.3, &g, &rng);
+    out.insert(out.end(), g.begin(), g.end());
+    linalg::Matrix m(5, 4);
+    dp::GaussianMechanism(2.0, 0.9, &m, &rng);
+    out.insert(out.end(), m.data(), m.data() + m.size());
+    auto pick = dp::ExponentialMechanism({0.1, 0.9, 0.4, 0.7}, 1.0, 2.0,
+                                         &rng);
+    EXPECT_TRUE(pick.ok());
+    out.push_back(static_cast<double>(*pick));
+    auto w = dp::SampleWishart(4, 5.0, 0.3, &rng);
+    EXPECT_TRUE(w.ok());
+    out.insert(out.end(), w->data(), w->data() + w->size());
+    return out;
+  };
+  const std::vector<double> first = run();
+  const std::vector<double> second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedStabilityProperty,
+                         ::testing::Values(71, 72, 73));
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty,
                          ::testing::Values(61, 62, 63));

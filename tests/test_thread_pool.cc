@@ -1,0 +1,260 @@
+// Lifecycle, scheduling and failure-path tests of the deterministic
+// thread pool (util/thread_pool.h). The equivalence of the parallelized
+// numeric kernels across thread counts is covered separately in
+// test_parallel_equivalence.cc.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/thread_pool.h"
+
+namespace p3gm {
+namespace util {
+namespace {
+
+// Restores the automatic thread-count resolution when a test exits.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) { SetNumThreads(n); }
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+TEST(ParallelConfigTest, ResolveDefaultsToAtLeastOne) {
+  ParallelConfig config;
+  EXPECT_GE(config.Resolve(), 1u);
+}
+
+TEST(ParallelConfigTest, ExplicitCountWins) {
+  ParallelConfig config;
+  config.num_threads = 7;
+  EXPECT_EQ(config.Resolve(), 7u);
+}
+
+TEST(ThreadPoolTest, SetNumThreadsIsObserved) {
+  ThreadCountGuard guard(5);
+  EXPECT_EQ(NumThreads(), 5u);
+}
+
+TEST(ThreadPoolTest, PoolRunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.Run([&](std::size_t w) { hits[w]++; });
+  for (std::size_t w = 0; w < 4; ++w) EXPECT_EQ(hits[w].load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.Run([&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.Run([&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, EmptyRangeInvokesNothing) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](std::size_t, std::size_t) { calls++; });
+  ParallelFor(7, 3, 1, [&](std::size_t, std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingletonRangeRunsOnce) {
+  ThreadCountGuard guard(4);
+  std::vector<int> hits(1, 0);
+  ParallelFor(0, 1, 1, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    hits[0]++;
+  });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnceAtGrainBoundaries) {
+  ThreadCountGuard guard(3);
+  // Ranges chosen to hit: range < grain, range == grain, range a
+  // multiple of grain, and range leaving a ragged tail.
+  for (std::size_t range : {1u, 4u, 8u, 12u, 13u, 17u, 100u}) {
+    for (std::size_t grain : {1u, 4u, 8u, 64u}) {
+      std::vector<std::atomic<int>> hits(range);
+      for (auto& h : hits) h = 0;
+      ParallelFor(0, range, grain, [&](std::size_t b, std::size_t e) {
+        ASSERT_LE(b, e);
+        for (std::size_t i = b; i < e; ++i) hits[i]++;
+      });
+      for (std::size_t i = 0; i < range; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "range=" << range
+                                     << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, RespectsNonZeroBegin) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(20);
+  for (auto& h : hits) h = 0;
+  ParallelFor(5, 17, 2, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 17) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, GrainLimitsWorkerCount) {
+  ThreadCountGuard guard(8);
+  // 10 indices at grain 4 admit at most ceil(10/4) = 3 blocks.
+  std::atomic<int> blocks{0};
+  ParallelFor(0, 10, 4, [&](std::size_t, std::size_t) { blocks++; });
+  EXPECT_LE(blocks.load(), 3);
+  EXPECT_GE(blocks.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesOutOfWorkers) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](std::size_t b, std::size_t) {
+                    if (b >= 25) throw std::runtime_error("worker boom");
+                  }),
+      std::runtime_error);
+  // The pool must survive a throwing job and keep scheduling.
+  std::atomic<int> calls{0};
+  ParallelFor(0, 100, 1, [&](std::size_t, std::size_t) { calls++; });
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ParallelForTest, LowestBlockExceptionWins) {
+  ThreadCountGuard guard(4);
+  try {
+    ParallelFor(0, 100, 1, [&](std::size_t b, std::size_t) {
+      throw std::runtime_error("block " + std::to_string(b));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 0");
+  }
+}
+
+TEST(ParallelForTest, NestedCallIsRejectedToSerialInline) {
+  ThreadCountGuard guard(4);
+  // An inner ParallelFor from inside a worker must not re-enter the pool
+  // (which would deadlock a static-split pool); it degrades to one inline
+  // serial call covering the whole inner range.
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  std::atomic<int> inner_blocks{0};
+  ParallelFor(0, 8, 1, [&](std::size_t ob, std::size_t oe) {
+    EXPECT_TRUE(InParallelRegion());
+    for (std::size_t o = ob; o < oe; ++o) {
+      ParallelFor(0, 8, 1, [&](std::size_t ib, std::size_t ie) {
+        inner_blocks++;
+        EXPECT_EQ(ib, 0u);  // Inline: one call over the full range.
+        EXPECT_EQ(ie, 8u);
+        for (std::size_t i = ib; i < ie; ++i) hits[o * 8 + i]++;
+      });
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(inner_blocks.load(), 8);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForChunksTest, ChunkGridIsPureFunctionOfRangeAndGrain) {
+  // The chunk grid must not depend on the thread count — that is what
+  // makes chunked reductions bit-identical across thread counts.
+  auto record = [](std::size_t threads) {
+    ThreadCountGuard guard(threads);
+    std::vector<std::array<std::size_t, 3>> chunks(NumChunks(3, 45, 7));
+    ParallelForChunks(3, 45, 7,
+                      [&](std::size_t c, std::size_t b, std::size_t e) {
+                        chunks[c] = {c, b, e};
+                      });
+    return chunks;
+  };
+  const auto serial = record(1);
+  ASSERT_EQ(serial.size(), NumChunks(3, 45, 7));
+  EXPECT_EQ(serial.front()[1], 3u);
+  EXPECT_EQ(serial.back()[2], 45u);
+  for (std::size_t threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(record(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForChunksTest, NumChunksEdgeCases) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0u);
+  EXPECT_EQ(NumChunks(5, 2, 4), 0u);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1u);
+  EXPECT_EQ(NumChunks(0, 8, 4), 2u);
+  EXPECT_EQ(NumChunks(0, 9, 4), 3u);
+  EXPECT_EQ(NumChunks(0, 9, 0), 9u);  // Zero grain is promoted to 1.
+}
+
+TEST(ParallelReduceTest, SumIsBitIdenticalAcrossThreadCounts) {
+  // A floating-point sum whose terms do not commute exactly: the chunked
+  // reduction must still give the same bits for every thread count
+  // because the chunk grid and the combine order are thread-independent.
+  std::vector<double> values(1013);
+  double x = 0.123456;
+  for (double& v : values) {
+    x = 3.9 * x * (1.0 - x);  // Logistic map: well-spread magnitudes.
+    v = x - 0.5;
+  }
+  auto sum_with = [&](std::size_t threads) {
+    ThreadCountGuard guard(threads);
+    return ParallelReduce(
+        0, values.size(), 64, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) s += values[i];
+          return s;
+        },
+        [](double* acc, double partial) { *acc += partial; });
+  };
+  const double serial = sum_with(1);
+  for (std::size_t threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(sum_with(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  const double out = ParallelReduce(
+      4, 4, 8, -1.5, [](std::size_t, std::size_t) { return 99.0; },
+      [](double* acc, double partial) { *acc += partial; });
+  EXPECT_EQ(out, -1.5);
+}
+
+TEST(ThreadPoolTest, OversubscriptionBeyondHardwareWorks) {
+  // The equivalence suite runs at 8 threads on any machine, so heavy
+  // oversubscription must be safe.
+  ThreadCountGuard guard(16);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, 1000, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace p3gm
