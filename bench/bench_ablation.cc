@@ -52,7 +52,7 @@ void Report(util::CsvWriter* csv, const char* knob, const std::string& value,
 
 int main() {
   PrintTitle("Ablations: dm, Te, decoder type (Credit-like, eps = 1)");
-  util::Stopwatch total;
+  BenchRun total("ablation");
 
   data::Dataset credit = BenchCredit();
   auto split = data::StratifiedSplit(credit, 0.25, 11);
@@ -94,7 +94,7 @@ int main() {
            sw.ElapsedSeconds());
   }
 
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("\n[ablation done in %.1fs; CSV: ablation.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -16,6 +16,10 @@
 #include "data/images.h"
 #include "data/synthetic.h"
 #include "eval/protocol.h"
+#include "obs/ledger.h"
+#include "obs/observability.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -130,16 +134,65 @@ inline eval::ProtocolResult RunProtocol(core::Synthesizer* synth,
   return std::move(res).ValueOrDie();
 }
 
-/// Appends a trailing provenance row to a bench CSV recording the total
-/// wall time of the run and the thread count it ran with, so archived
-/// CSVs are comparable across machines and P3GM_NUM_THREADS settings.
-/// The sentinel "_runinfo" in the first column keeps the row trivially
-/// filterable by downstream plotting scripts.
-inline void AppendRunInfo(util::CsvWriter* csv, double wall_seconds) {
-  csv->WriteRow({"_runinfo",
-                 "wall_seconds=" + util::FormatDouble(wall_seconds, 6),
-                 "threads=" + std::to_string(util::NumThreads())});
-}
+/// Observed bench run: one instance per bench main(). Turns the
+/// observability subsystem on, times the run, and owns the provenance
+/// row every bench CSV carries, so the schema is defined in exactly one
+/// place. On destruction (end of main) it exports the run's telemetry
+/// next to the CSVs:
+///
+///   <name>_metrics.json / <name>_metrics.csv — registry snapshot
+///   <name>_trace.json                        — chrome://tracing spans
+///   <name>_ledger.json / <name>_ledger.csv   — privacy-budget ledger
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) : name_(std::move(name)) {
+    obs::SetEnabled(true);
+    obs::PrivacyLedger::Global().SetDelta(kDelta);
+  }
+
+  double ElapsedSeconds() const { return stopwatch_.ElapsedSeconds(); }
+
+  /// Appends the trailing provenance row recording the total wall time
+  /// and the thread count, so archived CSVs are comparable across
+  /// machines and P3GM_NUM_THREADS settings. The sentinel "_runinfo" in
+  /// the first column keeps the row trivially filterable by downstream
+  /// plotting scripts. The same values are published to the registry
+  /// (bench.wall_seconds / bench.threads), putting the CSV row and the
+  /// metrics snapshot in agreement.
+  void AppendRunInfo(util::CsvWriter* csv) const {
+    const double wall_seconds = stopwatch_.ElapsedSeconds();
+    obs::Registry& registry = obs::Registry::Global();
+    registry.gauge("bench.wall_seconds")->Set(wall_seconds);
+    registry.gauge("bench.threads")
+        ->Set(static_cast<double>(util::NumThreads()));
+    csv->WriteRow({"_runinfo",
+                   "wall_seconds=" + util::FormatDouble(wall_seconds, 6),
+                   "threads=" + std::to_string(util::NumThreads())});
+  }
+
+  ~BenchRun() {
+    if (!obs::Enabled()) return;
+    const obs::Snapshot snapshot = obs::Registry::Global().TakeSnapshot();
+    snapshot.WriteJson(name_ + "_metrics.json");
+    snapshot.WriteCsv(name_ + "_metrics.csv");
+    obs::TraceRecorder::Global().WriteChromeJson(name_ + "_trace.json");
+    const obs::PrivacyLedger& ledger = obs::PrivacyLedger::Global();
+    if (ledger.size() > 0) {
+      ledger.WriteJson(name_ + "_ledger.json");
+      ledger.WriteCsv(name_ + "_ledger.csv");
+    }
+    std::printf("telemetry: %s_metrics.{json,csv} %s_trace.json%s\n",
+                name_.c_str(), name_.c_str(),
+                ledger.size() > 0 ? " + ledger" : "");
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+ private:
+  std::string name_;
+  util::Stopwatch stopwatch_;
+};
 
 inline void PrintRule() {
   std::printf(

@@ -65,7 +65,7 @@ linalg::Matrix GenerateImages(core::Synthesizer* synth,
 
 int main() {
   PrintTitle("Fig. 2: sampled images, models at (1,1e-5)-DP");
-  util::Stopwatch total;
+  BenchRun total("fig2_samples");
   util::CsvWriter csv("fig2_diversity.csv");
   csv.WriteHeader({"model", "mean_pairwise_l2"});
 
@@ -136,7 +136,7 @@ int main() {
   std::printf(
       "paper shape check: diversity(p3gm) > diversity(dpgm); p3gm and vae "
       "comparable.\n");
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[fig2 done in %.1fs; grids: fig2_*.pgm]\n",
               total.ElapsedSeconds());
   return 0;

@@ -17,7 +17,7 @@ using namespace p3gm::bench;  // NOLINT(build/namespaces)
 
 int main() {
   PrintTitle("Fig. 4: utility vs epsilon on Kaggle-Credit-like data");
-  util::Stopwatch total;
+  BenchRun total("fig4_vary_epsilon");
 
   data::Dataset credit = BenchCredit();
   auto split = data::StratifiedSplit(credit, 0.25, 11);
@@ -117,7 +117,7 @@ int main() {
   std::printf(
       "\npaper shape check: P3GM approaches PGM as eps grows and degrades "
       "mildly as eps -> 0.2; DP-GM falls faster; PrivBayes flat/low.\n");
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[fig4 done in %.1fs; CSV: fig4_vary_epsilon.csv]\n",
               total.ElapsedSeconds());
   return 0;

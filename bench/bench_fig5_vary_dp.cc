@@ -17,7 +17,7 @@ using namespace p3gm::bench;  // NOLINT(build/namespaces)
 
 int main() {
   PrintTitle("Fig. 5: P3GM accuracy vs PCA dimensionality d_p (MNIST)");
-  util::Stopwatch total;
+  BenchRun total("fig5_vary_dp");
 
   data::Dataset mnist = BenchMnist(12000);
   auto split = data::StratifiedSplit(mnist, 0.1, 11);
@@ -61,7 +61,7 @@ int main() {
   std::printf(
       "\npaper shape check: unimodal curve; best accuracy for d_p in the "
       "tens, degrading at both extremes.\n");
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[fig5 done in %.1fs; CSV: fig5_vary_dp.csv]\n",
               total.ElapsedSeconds());
   return 0;

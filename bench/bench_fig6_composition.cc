@@ -15,7 +15,7 @@ using namespace p3gm::bench;  // NOLINT(build/namespaces)
 
 int main() {
   PrintTitle("Fig. 6: privacy composition, RDP vs zCDP+MA baseline");
-  util::Stopwatch total;
+  BenchRun total("fig6_composition");
 
   // Accounting parameters of a typical MNIST-scale run (Table IV shape).
   dp::P3gmPrivacyParams params;
@@ -48,7 +48,7 @@ int main() {
   std::printf("\npaper shape check: RDP < zCDP+MA everywhere "
               "(violations: %zu).\n",
               violations);
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[fig6 done in %.1fs; CSV: fig6_composition.csv]\n",
               total.ElapsedSeconds());
   return violations == 0 ? 0 : 1;

@@ -110,7 +110,7 @@ Curves RunDataset(const data::Split& split, bool image,
 }
 
 void Report(const std::string& tag, const Curves& c, const char* metric,
-            double wall_seconds) {
+            const BenchRun& run) {
   std::printf("-- %s reconstruction loss per iteration (first/last 3):\n",
               tag.c_str());
   auto head_tail = [](const std::vector<double>& v) {
@@ -158,22 +158,22 @@ void Report(const std::string& tag, const Curves& c, const char* metric,
                    util::FormatDouble(c.dpvae_recon[i]),
                    util::FormatDouble(c.p3gm_recon[i])});
   }
-  AppendRunInfo(&csv, wall_seconds);
-  AppendRunInfo(&rcsv, wall_seconds);
+  run.AppendRunInfo(&csv);
+  run.AppendRunInfo(&rcsv);
 }
 
 }  // namespace
 
 int main() {
   PrintTitle("Fig. 7: learning efficiency, DP-VAE vs P3GM(AE) vs P3GM");
-  util::Stopwatch total;
+  BenchRun total("fig7_learning");
 
   {
     data::Dataset mnist = BenchMnist(10000);
     auto split = data::StratifiedSplit(mnist, 0.1, 11);
     P3GM_CHECK(split.ok());
     Curves c = RunDataset(*split, /*image=*/true, ImagePgmOptions(), 240);
-    Report("mnist", c, "accuracy", total.ElapsedSeconds());
+    Report("mnist", c, "accuracy", total);
   }
   {
     data::Dataset credit = BenchCredit();
@@ -181,7 +181,7 @@ int main() {
     P3GM_CHECK(split.ok());
     Curves c =
         RunDataset(*split, /*image=*/false, CreditPgmOptions(), 200);
-    Report("credit", c, "AUROC", total.ElapsedSeconds());
+    Report("credit", c, "AUROC", total);
   }
 
   std::printf(

@@ -13,7 +13,7 @@ using namespace p3gm::bench;  // NOLINT(build/namespaces)
 
 int main() {
   PrintTitle("Table V: non-private comparison on Kaggle-Credit-like data");
-  util::Stopwatch total;
+  BenchRun total("table5_nonprivate");
 
   data::Dataset credit = BenchCredit();
   auto split = data::StratifiedSplit(credit, 0.25, 11);
@@ -88,7 +88,7 @@ int main() {
   std::printf("\n\n");
   std::printf("paper shape check: PGM ~ VAE, P3GM within a few points of "
               "both.\n");
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[table5 done in %.1fs; CSV: table5_credit.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -99,7 +99,7 @@ Row RunCase(const DatasetCase& c) {
 int main() {
   PrintTitle(
       "Table VI: private models on four tabular datasets, (1,1e-5)-DP");
-  util::Stopwatch total;
+  BenchRun total("table6_tabular");
 
   std::vector<DatasetCase> cases;
   cases.push_back({"Kaggle Credit", BenchCredit(), CreditPgmOptions()});
@@ -134,7 +134,7 @@ int main() {
   std::printf(
       "\npaper shape check: P3GM best on Credit/ESR/ISOLET; PrivBayes "
       "competitive on Adult.\n");
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[table6 done in %.1fs; CSV: table6_tabular.csv]\n",
               total.ElapsedSeconds());
   return 0;

@@ -114,7 +114,7 @@ Row RunCase(const std::string& name, const data::Dataset& images) {
 
 int main() {
   PrintTitle("Table VII: CNN accuracy on image datasets, (1,1e-5)-DP");
-  util::Stopwatch total;
+  BenchRun total("table7_images");
 
   std::vector<Row> rows;
   rows.push_back(RunCase("MNIST", BenchMnist()));
@@ -135,7 +135,7 @@ int main() {
   std::printf(
       "\npaper shape check: P3GM >> DP-GM > PrivBayes; P3GM within a few "
       "points of VAE.\n");
-  AppendRunInfo(&csv, total.ElapsedSeconds());
+  total.AppendRunInfo(&csv);
   std::printf("[table7 done in %.1fs; CSV: table7_images.csv]\n",
               total.ElapsedSeconds());
   return 0;

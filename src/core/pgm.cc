@@ -9,6 +9,9 @@
 #include "nn/activations.h"
 #include "nn/dp_sgd.h"
 #include "nn/losses.h"
+#include "obs/ledger.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "stats/dp_em.h"
 
 namespace p3gm {
@@ -50,6 +53,7 @@ linalg::Matrix Pgm::EncodeMean(const linalg::Matrix& x) const {
 }
 
 util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
+  P3GM_TRACE_SPAN("pgm.fit");
   if (fitted_) {
     return util::Status::FailedPrecondition("Pgm::Fit called twice");
   }
@@ -66,6 +70,13 @@ util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
   const std::size_t d = x.cols();
   const bool dp = options_.differentially_private;
 
+  // Live accounting: every private release below composes onto
+  // accountant_ at the moment it happens, and — when observability is on
+  // — lands in the process-wide privacy ledger. Accounting is pure
+  // arithmetic on the side; it never touches the model or the RNG.
+  accountant_.set_ledger_enabled(true);
+  obs::Registry& registry = obs::Registry::Global();
+
   // ---------------------------------------------------------------
   // Encoding Phase (Algorithm 1 lines 1-4).
   // ---------------------------------------------------------------
@@ -75,38 +86,55 @@ util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
       return util::Status::InvalidArgument(
           "Pgm::Fit: latent_dim exceeds data dimension");
     }
+    obs::PhaseScope phase("dp_pca");
+    P3GM_TRACE_SPAN("pgm.phase.pca");
+    const std::uint64_t phase_start = obs::NowNs();
     if (dp) {
       pca::DpPcaOptions pca_opts;
       pca_opts.num_components = effective_latent_;
       pca_opts.epsilon = options_.pca_epsilon;
+      pca_opts.accountant = &accountant_;
       P3GM_ASSIGN_OR_RETURN(pca_, pca::FitDpPca(x, pca_opts, &rng_));
     } else {
       P3GM_ASSIGN_OR_RETURN(pca_, pca::FitPca(x, effective_latent_));
     }
     pca_fitted_ = true;
+    registry.gauge("pgm.phase.pca_seconds")
+        ->Set(static_cast<double>(obs::NowNs() - phase_start) * 1e-9);
   }
   const linalg::Matrix encoded = EncodeMean(x);
 
-  if (dp) {
-    stats::DpEmOptions em_opts;
-    em_opts.num_components = options_.mog_components;
-    em_opts.iters = options_.em_iters;
-    em_opts.noise_multiplier = options_.em_sigma;
-    em_opts.seed = options_.seed ^ 0xe3;
-    P3GM_ASSIGN_OR_RETURN(stats::DpEmResult em,
-                          stats::FitGmmDpEm(encoded, em_opts, &rng_));
-    prior_ = std::move(em.mixture);
-  } else {
-    stats::EmOptions em_opts;
-    em_opts.num_components = options_.mog_components;
-    em_opts.max_iters = options_.em_iters;
-    em_opts.seed = options_.seed ^ 0xe3;
-    P3GM_ASSIGN_OR_RETURN(prior_, stats::FitGmm(encoded, em_opts));
+  {
+    obs::PhaseScope phase("dp_em");
+    P3GM_TRACE_SPAN("pgm.phase.em");
+    const std::uint64_t phase_start = obs::NowNs();
+    if (dp) {
+      stats::DpEmOptions em_opts;
+      em_opts.num_components = options_.mog_components;
+      em_opts.iters = options_.em_iters;
+      em_opts.noise_multiplier = options_.em_sigma;
+      em_opts.seed = options_.seed ^ 0xe3;
+      em_opts.accountant = &accountant_;
+      P3GM_ASSIGN_OR_RETURN(stats::DpEmResult em,
+                            stats::FitGmmDpEm(encoded, em_opts, &rng_));
+      prior_ = std::move(em.mixture);
+    } else {
+      stats::EmOptions em_opts;
+      em_opts.num_components = options_.mog_components;
+      em_opts.max_iters = options_.em_iters;
+      em_opts.seed = options_.seed ^ 0xe3;
+      P3GM_ASSIGN_OR_RETURN(prior_, stats::FitGmm(encoded, em_opts));
+    }
+    registry.gauge("pgm.phase.em_seconds")
+        ->Set(static_cast<double>(obs::NowNs() - phase_start) * 1e-9);
   }
 
   // ---------------------------------------------------------------
   // Decoding Phase (Algorithm 1 lines 5-11).
   // ---------------------------------------------------------------
+  obs::PhaseScope sgd_phase("dp_sgd");
+  P3GM_TRACE_SPAN("pgm.phase.sgd");
+  const std::uint64_t sgd_phase_start = obs::NowNs();
   const std::size_t dl = effective_latent_;
   const bool learn_variance = !options_.freeze_variance;
   if (learn_variance) {
@@ -140,9 +168,20 @@ util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
   dp_opts.noise_multiplier = options_.sgd_sigma;
   dp_opts.lot_size = options_.batch_size;
 
+  // The per-step RDP cost is the same for every step; computing the
+  // order curve once keeps per-step ledger accounting cheap.
+  const std::vector<double> sgd_curve =
+      dp ? accountant_.SampledGaussianCurve(q, options_.sgd_sigma)
+         : std::vector<double>();
+  obs::Counter* batches = registry.counter("pgm.batches");
+  obs::Gauge* epoch_gauge = registry.gauge("pgm.epoch");
+  obs::Gauge* recon_gauge = registry.gauge("pgm.epoch.recon_loss");
+  obs::Gauge* kl_gauge = registry.gauge("pgm.epoch.kl_loss");
+
   const std::size_t steps_per_epoch =
       std::max<std::size_t>(1, n / options_.batch_size);
   for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    P3GM_TRACE_SPAN("pgm.epoch");
     std::vector<std::size_t> perm = rng_.Permutation(n);
     double epoch_recon = 0.0, epoch_kl = 0.0, epoch_examples = 0.0;
     for (std::size_t step = 0; step < steps_per_epoch; ++step) {
@@ -219,9 +258,18 @@ util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
         dp_step.ApplyClippedAccumulation(stacks);
         dp_step.AddNoiseAndAverage(params, b);
         ++sgd_steps_taken_;
+        dp::MechanismEvent event;
+        event.mechanism = "sampled_gaussian";
+        event.sigma = options_.sgd_sigma;
+        event.sampling_rate = q;
+        accountant_.AddEvent(event, sgd_curve);
       }
       optimizer_.Step(params);
+      batches->Add();
     }
+    epoch_gauge->Set(static_cast<double>(epoch + 1));
+    recon_gauge->Set(epoch_examples > 0 ? epoch_recon / epoch_examples : 0.0);
+    kl_gauge->Set(epoch_examples > 0 ? epoch_kl / epoch_examples : 0.0);
     if (callback) {
       TrainProgress progress;
       progress.epoch = epoch;
@@ -231,6 +279,8 @@ util::Status Pgm::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
       callback(progress);
     }
   }
+  registry.gauge("pgm.phase.sgd_seconds")
+      ->Set(static_cast<double>(obs::NowNs() - sgd_phase_start) * 1e-9);
   return util::Status::OK();
 }
 

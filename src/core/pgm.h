@@ -104,6 +104,12 @@ class Pgm {
   /// (Theorem 4). epsilon = 0 for the non-private configuration.
   dp::DpGuarantee ComputeEpsilon(double delta) const;
 
+  /// The live accountant that composed each mechanism release as Fit
+  /// performed it (ledger-enabled; feeds obs::PrivacyLedger when
+  /// observability is on). Matches ComputeEpsilon up to the floating
+  /// point accumulation order of per-step composition.
+  const dp::RdpAccountant& accountant() const { return accountant_; }
+
   /// Solves for the DP-SGD noise multiplier that makes a *planned* run
   /// with these options on `n` examples meet `target_epsilon` at `delta`.
   static util::Result<double> CalibrateSigma(const PgmOptions& options,
@@ -123,6 +129,7 @@ class Pgm {
  private:
   PgmOptions options_;
   util::Rng rng_;
+  dp::RdpAccountant accountant_;
   pca::PcaModel pca_;
   bool pca_fitted_ = false;
   stats::GaussianMixture prior_;

@@ -6,6 +6,9 @@
 #include "linalg/ops.h"
 #include "nn/activations.h"
 #include "nn/losses.h"
+#include "obs/ledger.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace p3gm {
 namespace core {
@@ -34,6 +37,7 @@ Vae::Vae(const VaeOptions& options)
       optimizer_(options.learning_rate) {}
 
 util::Status Vae::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
+  P3GM_TRACE_SPAN("vae.fit");
   if (fitted_) {
     return util::Status::FailedPrecondition("Vae::Fit called twice");
   }
@@ -80,9 +84,23 @@ util::Status Vae::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
   dp_opts.noise_multiplier = options_.sgd_sigma;
   dp_opts.lot_size = options_.batch_size;
 
+  // Live accounting (see Pgm::Fit): per-step composition with a curve
+  // computed once; pure side arithmetic, never touches model or RNG.
+  accountant_.set_ledger_enabled(true);
+  obs::PhaseScope sgd_phase("dp_sgd");
+  const std::vector<double> sgd_curve =
+      dp ? accountant_.SampledGaussianCurve(q, options_.sgd_sigma)
+         : std::vector<double>();
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* batches = registry.counter("vae.batches");
+  obs::Gauge* epoch_gauge = registry.gauge("vae.epoch");
+  obs::Gauge* recon_gauge = registry.gauge("vae.epoch.recon_loss");
+  obs::Gauge* kl_gauge = registry.gauge("vae.epoch.kl_loss");
+
   const std::size_t steps_per_epoch =
       std::max<std::size_t>(1, n / options_.batch_size);
   for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    P3GM_TRACE_SPAN("vae.epoch");
     std::vector<std::size_t> perm = rng_.Permutation(n);
     double epoch_recon = 0.0, epoch_kl = 0.0, epoch_examples = 0.0;
     for (std::size_t step = 0; step < steps_per_epoch; ++step) {
@@ -159,9 +177,18 @@ util::Status Vae::Fit(const linalg::Matrix& x, const EpochCallback& callback) {
         dp_step.ApplyClippedAccumulation(stacks);
         dp_step.AddNoiseAndAverage(params, b);
         ++sgd_steps_taken_;
+        dp::MechanismEvent event;
+        event.mechanism = "sampled_gaussian";
+        event.sigma = options_.sgd_sigma;
+        event.sampling_rate = q;
+        accountant_.AddEvent(event, sgd_curve);
       }
       optimizer_.Step(params);
+      batches->Add();
     }
+    epoch_gauge->Set(static_cast<double>(epoch + 1));
+    recon_gauge->Set(epoch_examples > 0 ? epoch_recon / epoch_examples : 0.0);
+    kl_gauge->Set(epoch_examples > 0 ? epoch_kl / epoch_examples : 0.0);
     if (callback) {
       TrainProgress progress;
       progress.epoch = epoch;

@@ -93,6 +93,11 @@ class Vae {
   /// Returns epsilon = 0 for the non-private configuration.
   dp::DpGuarantee ComputeEpsilon(double delta) const;
 
+  /// The live accountant that composed each DP-SGD step as Fit performed
+  /// it (ledger-enabled; feeds obs::PrivacyLedger when observability is
+  /// on).
+  const dp::RdpAccountant& accountant() const { return accountant_; }
+
   /// Per-iteration reconstruction losses recorded during Fit (Fig. 7a/b).
   const IterationTrace& trace() const { return trace_; }
 
@@ -105,6 +110,7 @@ class Vae {
  private:
   VaeOptions options_;
   util::Rng rng_;
+  dp::RdpAccountant accountant_;
   nn::Sequential encoder_trunk_;
   std::unique_ptr<nn::Linear> mu_head_;
   std::unique_ptr<nn::Linear> logvar_head_;

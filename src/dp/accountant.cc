@@ -1,9 +1,13 @@
 #include "dp/accountant.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "obs/ledger.h"
+#include "obs/observability.h"
 #include "util/check.h"
 
 namespace p3gm {
@@ -19,43 +23,123 @@ RdpAccountant::RdpAccountant(std::vector<double> orders)
   for (double a : orders_) P3GM_CHECK(a > 1.0);
 }
 
-void RdpAccountant::AddGaussian(double sigma, std::size_t count) {
-  for (std::size_t i = 0; i < orders_.size(); ++i) {
-    rdp_[i] += static_cast<double>(count) * GaussianRdp(orders_[i], sigma);
-  }
+void RdpAccountant::AddGaussian(double sigma, std::size_t count,
+                                const char* mechanism) {
+  MechanismEvent event;
+  event.mechanism = mechanism;
+  event.count = count;
+  event.sigma = sigma;
+  AddEvent(event, GaussianCurve(sigma));
 }
 
 void RdpAccountant::AddSampledGaussian(double q, double sigma,
-                                       std::size_t steps) {
+                                       std::size_t steps,
+                                       const char* mechanism) {
   if (steps == 0 || q == 0.0) return;
+  MechanismEvent event;
+  event.mechanism = mechanism;
+  event.count = steps;
+  event.sigma = sigma;
+  event.sampling_rate = q;
+  AddEvent(event, SampledGaussianCurve(q, sigma));
+}
+
+void RdpAccountant::AddDpEm(double sigma_e, std::size_t num_components,
+                            std::size_t steps, const char* mechanism) {
+  if (steps == 0) return;
+  MechanismEvent event;
+  event.mechanism = mechanism;
+  event.count = steps;
+  event.sigma = sigma_e;
+  AddEvent(event, DpEmCurve(sigma_e, num_components));
+}
+
+void RdpAccountant::AddPureDp(double eps, const char* mechanism) {
+  MechanismEvent event;
+  event.mechanism = mechanism;
+  event.pure_eps = eps;
+  AddEvent(event, PureDpCurve(eps));
+}
+
+void RdpAccountant::AddRdp(const std::vector<double>& eps_per_order,
+                           const char* mechanism) {
+  MechanismEvent event;
+  event.mechanism = mechanism;
+  AddEvent(event, eps_per_order);
+}
+
+std::vector<double> RdpAccountant::GaussianCurve(double sigma) const {
+  std::vector<double> curve(orders_.size());
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    curve[i] = GaussianRdp(orders_[i], sigma);
+  }
+  return curve;
+}
+
+std::vector<double> RdpAccountant::SampledGaussianCurve(double q,
+                                                        double sigma) const {
+  std::vector<double> curve(orders_.size());
   for (std::size_t i = 0; i < orders_.size(); ++i) {
     // Our order grid holds integers; the sampled-Gaussian formula is exact
     // for integer orders.
     const auto alpha = static_cast<std::size_t>(orders_[i]);
-    rdp_[i] +=
-        static_cast<double>(steps) * SampledGaussianRdp(alpha, q, sigma);
+    curve[i] = SampledGaussianRdp(alpha, q, sigma);
   }
+  return curve;
 }
 
-void RdpAccountant::AddDpEm(double sigma_e, std::size_t num_components,
-                            std::size_t steps) {
-  if (steps == 0) return;
+std::vector<double> RdpAccountant::DpEmCurve(
+    double sigma_e, std::size_t num_components) const {
+  std::vector<double> curve(orders_.size());
   for (std::size_t i = 0; i < orders_.size(); ++i) {
-    rdp_[i] += static_cast<double>(steps) *
-               DpEmRdp(orders_[i], sigma_e, num_components);
+    curve[i] = DpEmRdp(orders_[i], sigma_e, num_components);
   }
+  return curve;
 }
 
-void RdpAccountant::AddPureDp(double eps) {
+std::vector<double> RdpAccountant::PureDpCurve(double eps) const {
+  std::vector<double> curve(orders_.size());
   for (std::size_t i = 0; i < orders_.size(); ++i) {
-    rdp_[i] += PureDpRdp(orders_[i], eps);
+    curve[i] = PureDpRdp(orders_[i], eps);
   }
+  return curve;
 }
 
-void RdpAccountant::AddRdp(const std::vector<double>& eps_per_order) {
-  P3GM_CHECK(eps_per_order.size() == orders_.size());
+void RdpAccountant::AddEvent(const MechanismEvent& event,
+                             const std::vector<double>& per_invocation_cost) {
+  P3GM_CHECK(per_invocation_cost.size() == orders_.size());
+  if (event.count == 0) return;
+  const double n = static_cast<double>(event.count);
   for (std::size_t i = 0; i < orders_.size(); ++i) {
-    rdp_[i] += eps_per_order[i];
+    rdp_[i] += n * per_invocation_cost[i];
+  }
+  if (!ledger_enabled_ || !obs::Enabled()) return;
+  obs::PrivacyLedger& ledger = obs::PrivacyLedger::Global();
+  obs::LedgerEntry entry;
+  entry.mechanism = event.mechanism;
+  entry.phase = obs::PhaseScope::Current();
+  entry.run = run_;
+  entry.count = event.count;
+  entry.sigma = event.sigma;
+  entry.sampling_rate = event.sampling_rate;
+  entry.pure_eps = event.pure_eps;
+  entry.rdp_orders = orders_;
+  entry.rdp_cost.resize(per_invocation_cost.size());
+  for (std::size_t i = 0; i < per_invocation_cost.size(); ++i) {
+    entry.rdp_cost[i] = n * per_invocation_cost[i];
+  }
+  entry.delta = ledger.delta();
+  const DpGuarantee cumulative = GetEpsilon(entry.delta);
+  entry.cumulative_epsilon = cumulative.epsilon;
+  entry.best_order = cumulative.best_order;
+  ledger.Record(std::move(entry));
+}
+
+void RdpAccountant::set_ledger_enabled(bool enabled) {
+  ledger_enabled_ = enabled;
+  if (enabled && run_ == 0) {
+    static std::atomic<std::uint64_t> next_run{1};
+    run_ = next_run.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -2,6 +2,7 @@
 #define P3GM_DP_ACCOUNTANT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dp/rdp.h"
@@ -18,6 +19,21 @@ struct DpGuarantee {
   double best_order = 0.0;
 };
 
+/// Metadata describing one batch of mechanism invocations, for the
+/// privacy-budget ledger (obs::PrivacyLedger). The label must be a
+/// string literal (stored by pointer until the ledger copies it).
+struct MechanismEvent {
+  const char* mechanism = "";
+  /// Invocations composed by this event (all with the same parameters).
+  std::size_t count = 1;
+  /// Noise multiplier, 0 when not applicable.
+  double sigma = 0.0;
+  /// Poisson sampling rate of the subsampled Gaussian, 0 otherwise.
+  double sampling_rate = 0.0;
+  /// Pure-DP epsilon for (eps, 0)-DP mechanisms, 0 otherwise.
+  double pure_eps = 0.0;
+};
+
 /// Tracks cumulative Rényi-DP cost over a grid of orders and converts to
 /// (epsilon, delta)-DP at the end (Theorem 2). Mechanisms compose by
 /// adding their per-order costs (Theorem 1), which is the tight
@@ -29,22 +45,50 @@ class RdpAccountant {
 
   /// Composes `count` releases of the plain Gaussian mechanism with noise
   /// multiplier `sigma`.
-  void AddGaussian(double sigma, std::size_t count = 1);
+  void AddGaussian(double sigma, std::size_t count = 1,
+                   const char* mechanism = "gaussian");
 
   /// Composes `steps` DP-SGD steps with Poisson sampling rate `q` and noise
   /// multiplier `sigma`.
-  void AddSampledGaussian(double q, double sigma, std::size_t steps);
+  void AddSampledGaussian(double q, double sigma, std::size_t steps,
+                          const char* mechanism = "sampled_gaussian");
 
   /// Composes `steps` DP-EM iterations with `num_components` Gaussians and
   /// noise multiplier `sigma_e` (paper Eq. 3).
-  void AddDpEm(double sigma_e, std::size_t num_components, std::size_t steps);
+  void AddDpEm(double sigma_e, std::size_t num_components, std::size_t steps,
+               const char* mechanism = "dp_em_gaussian");
 
   /// Composes one (eps, 0)-DP release (e.g. DP-PCA's Wishart mechanism).
-  void AddPureDp(double eps);
+  void AddPureDp(double eps, const char* mechanism = "pure_dp");
 
   /// Adds arbitrary per-order RDP costs; `eps_per_order` must match the
   /// accountant's order grid.
-  void AddRdp(const std::vector<double>& eps_per_order);
+  void AddRdp(const std::vector<double>& eps_per_order,
+              const char* mechanism = "rdp");
+
+  /// Per-invocation RDP cost curves over this accountant's order grid.
+  /// Useful with AddEvent to compose many identical invocations without
+  /// recomputing the curve (DP-SGD records one event per step).
+  std::vector<double> GaussianCurve(double sigma) const;
+  std::vector<double> SampledGaussianCurve(double q, double sigma) const;
+  std::vector<double> DpEmCurve(double sigma_e,
+                                std::size_t num_components) const;
+  std::vector<double> PureDpCurve(double eps) const;
+
+  /// Core composition primitive (every Add* funnels through here):
+  /// accumulates event.count * per_invocation_cost onto the RDP state
+  /// and, when the ledger hook is on, appends a ledger entry carrying
+  /// this accountant's cumulative guarantee.
+  void AddEvent(const MechanismEvent& event,
+                const std::vector<double>& per_invocation_cost);
+
+  /// Ledger hook, default off so throwaway accountants (sigma
+  /// calibration, epsilon planning) stay silent. Enabling assigns this
+  /// accountant a process-unique run id for ledger attribution; entries
+  /// are still only recorded while obs::Enabled().
+  void set_ledger_enabled(bool enabled);
+  bool ledger_enabled() const { return ledger_enabled_; }
+  std::uint64_t run_id() const { return run_; }
 
   /// Converts the accumulated RDP to (epsilon, delta)-DP, minimizing over
   /// the order grid. Requires 0 < delta < 1.
@@ -56,6 +100,8 @@ class RdpAccountant {
  private:
   std::vector<double> orders_;
   std::vector<double> rdp_;
+  bool ledger_enabled_ = false;
+  std::uint64_t run_ = 0;
 };
 
 /// All privacy knobs of one P3GM run (Algorithm 1 / Theorem 4).

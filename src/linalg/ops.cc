@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace p3gm {
@@ -20,6 +21,7 @@ constexpr std::size_t kRowGrain = 64;
 }  // namespace
 
 Matrix Matmul(const Matrix& a, const Matrix& b) {
+  P3GM_TRACE_SPAN("linalg.gemm");
   P3GM_CHECK(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
@@ -42,6 +44,7 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
+  P3GM_TRACE_SPAN("linalg.gemm_ta");
   P3GM_CHECK(a.rows() == b.rows());
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   Matrix c(m, n);
@@ -64,6 +67,7 @@ Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
+  P3GM_TRACE_SPAN("linalg.gemm_tb");
   P3GM_CHECK(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
@@ -192,6 +196,7 @@ void ScaleRows(const std::vector<double>& s, Matrix* m) {
 }
 
 Matrix Syrk(const Matrix& a) {
+  P3GM_TRACE_SPAN("linalg.syrk");
   const std::size_t n = a.cols();
   Matrix c(n, n);
   // Parallel over disjoint blocks of output rows; inside a block the

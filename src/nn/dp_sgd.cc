@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "dp/mechanisms.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace p3gm {
@@ -40,6 +42,7 @@ void DpSgdStep::AddExternalSquaredNorms(const std::vector<double>& sq_norms) {
 
 const std::vector<double>& DpSgdStep::clip_scales() {
   if (!scales_ready_) {
+    P3GM_TRACE_SPAN("dpsgd.clip");
     scales_.resize(sq_norms_.size());
     util::ParallelFor(0, sq_norms_.size(), 256,
                       [&](std::size_t rb, std::size_t re) {
@@ -49,6 +52,24 @@ const std::vector<double>& DpSgdStep::clip_scales() {
                         }
                       });
     scales_ready_ = true;
+    if (obs::Enabled()) {
+      // Clip-rate telemetry: how often the per-example gradient actually
+      // hit the clip bound (scale < 1), plus the scale distribution.
+      static obs::Counter* examples =
+          obs::Registry::Global().counter("dpsgd.examples");
+      static obs::Counter* clipped =
+          obs::Registry::Global().counter("dpsgd.examples_clipped");
+      static obs::Histogram* scale_hist = obs::Registry::Global().histogram(
+          "dpsgd.clip_scale",
+          {0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99});
+      std::uint64_t hit = 0;
+      for (double s : scales_) {
+        if (s < 1.0) ++hit;
+        scale_hist->Observe(s);
+      }
+      examples->Add(scales_.size());
+      clipped->Add(hit);
+    }
   }
   return scales_;
 }
@@ -60,6 +81,9 @@ void DpSgdStep::ApplyClippedAccumulation(const std::vector<Layer*>& stacks) {
 
 void DpSgdStep::AddNoiseAndAverage(const std::vector<Parameter*>& params,
                                    std::size_t batch_size) {
+  P3GM_TRACE_SPAN("dpsgd.noise");
+  static obs::Counter* steps = obs::Registry::Global().counter("dpsgd.steps");
+  steps->Add();
   const std::size_t lot =
       options_.lot_size > 0 ? options_.lot_size : batch_size;
   P3GM_CHECK(lot > 0);

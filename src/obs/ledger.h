@@ -1,0 +1,111 @@
+#ifndef P3GM_OBS_LEDGER_H_
+#define P3GM_OBS_LEDGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/observability.h"
+
+namespace p3gm {
+namespace obs {
+
+/// Privacy-budget ledger: an append-only record of every differentially
+/// private mechanism invocation composed during a run, making the
+/// composition trajectory (paper Fig. 6) observable from any run.
+///
+/// The ledger itself is a passive sink; entries are produced by
+/// dp::RdpAccountant when its ledger hook is enabled (see
+/// RdpAccountant::set_ledger_enabled). Each entry carries the mechanism
+/// identity and parameters, the per-order RDP cost of the invocation
+/// batch, and the *recording accountant's* cumulative (epsilon, delta)
+/// guarantee after the entry — so interleaved runs (distinguished by
+/// `run`) each trace their own monotone epsilon curve.
+
+struct LedgerEntry {
+  /// Mechanism identity: "wishart", "dp_em_gaussian", "sampled_gaussian",
+  /// "gaussian", "pure_dp", or "rdp" for raw per-order costs.
+  std::string mechanism;
+  /// Training phase attribution from the innermost PhaseScope
+  /// ("dp_pca", "dp_em", "dp_sgd"; empty outside any scope).
+  std::string phase;
+  /// Id of the recording accountant (one per training run).
+  std::uint64_t run = 0;
+  /// Invocations composed by this entry (e.g. DP-SGD steps).
+  std::size_t count = 1;
+  /// Noise multiplier, 0 when not applicable.
+  double sigma = 0.0;
+  /// Poisson sampling rate of the subsampled Gaussian, 0 otherwise.
+  double sampling_rate = 0.0;
+  /// Pure-DP epsilon for (eps, 0)-DP mechanisms, 0 otherwise.
+  double pure_eps = 0.0;
+  /// RDP order grid and this entry's total per-order cost (count
+  /// invocations).
+  std::vector<double> rdp_orders;
+  std::vector<double> rdp_cost;
+  /// Cumulative guarantee of the recording accountant after this entry,
+  /// evaluated at `delta`.
+  double cumulative_epsilon = 0.0;
+  double best_order = 0.0;
+  double delta = 0.0;
+};
+
+class PrivacyLedger {
+ public:
+  /// The process-wide ledger (never destroyed).
+  static PrivacyLedger& Global();
+
+  /// The delta at which recording accountants evaluate cumulative
+  /// epsilon. Defaults to 1e-5 (the paper's setting).
+  void SetDelta(double delta);
+  double delta() const;
+
+  void Record(LedgerEntry entry);
+
+  std::vector<LedgerEntry> Entries() const;
+  std::size_t size() const;
+
+  /// Cumulative epsilon of the most recent entry (0 when empty). With a
+  /// single recording run this is the run's total spend.
+  double CumulativeEpsilon() const;
+
+  void Clear();
+
+  /// Export: CSV is one row per entry (without the order curve); JSON
+  /// includes the full per-order RDP curve.
+  std::string ToCsv() const;
+  std::string ToJson() const;
+  bool WriteCsv(const std::string& path) const;
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  PrivacyLedger() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<LedgerEntry> entries_;
+  double delta_ = 1e-5;
+};
+
+/// RAII phase attribution for ledger entries and trace readability:
+/// entries recorded while a PhaseScope is alive on the current thread
+/// carry its name. Nests; inner scope wins.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  /// The innermost active phase on this thread ("" when none).
+  static const char* Current();
+
+ private:
+  const char* previous_;
+};
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_LEDGER_H_

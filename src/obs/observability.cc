@@ -1,0 +1,34 @@
+#include "obs/observability.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace p3gm {
+namespace obs {
+
+namespace {
+// Trivially destructible, so it is safe to read at any point of process
+// teardown (e.g. from thread-pool workers unwinding after main).
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+#if P3GM_OBSERVABILITY_ENABLED
+namespace internal {
+bool EnabledImpl() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabledImpl(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+}  // namespace internal
+#endif
+
+std::uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+}  // namespace obs
+}  // namespace p3gm

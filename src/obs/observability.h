@@ -1,0 +1,53 @@
+#ifndef P3GM_OBS_OBSERVABILITY_H_
+#define P3GM_OBS_OBSERVABILITY_H_
+
+/// Master switches of the observability layer (docs/observability.md).
+///
+/// Compile-time: the CMake option P3GM_OBSERVABILITY (default ON) defines
+/// P3GM_OBSERVABILITY_ENABLED to 1/0. With the layer compiled out the
+/// instrumentation macros expand to nothing and Enabled() is a constant
+/// false, so instrument updates guarded on it are dead-code eliminated —
+/// the zero-overhead path.
+///
+/// Runtime: recording defaults to OFF and costs one relaxed atomic load
+/// per instrumentation site until SetEnabled(true). Observation is
+/// strictly passive either way: no instrument ever feeds back into a
+/// computation or consumes RNG, so enabling the layer cannot change any
+/// computed value (the determinism contract of util/thread_pool.h).
+
+#include <cstdint>
+
+#ifndef P3GM_OBSERVABILITY_ENABLED
+#define P3GM_OBSERVABILITY_ENABLED 1
+#endif
+
+namespace p3gm {
+namespace obs {
+
+/// True when the layer is compiled in (-DP3GM_OBSERVABILITY=ON).
+inline constexpr bool kCompiledIn = P3GM_OBSERVABILITY_ENABLED != 0;
+
+#if P3GM_OBSERVABILITY_ENABLED
+namespace internal {
+bool EnabledImpl();
+void SetEnabledImpl(bool on);
+}  // namespace internal
+
+/// True when recording is on. One relaxed atomic load.
+inline bool Enabled() { return internal::EnabledImpl(); }
+
+/// Turns recording on/off process-wide. Safe from any thread.
+inline void SetEnabled(bool on) { internal::SetEnabledImpl(on); }
+#else
+inline bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#endif
+
+/// Nanoseconds since the process-wide observability epoch (steady clock).
+/// All trace spans and pool busy/idle timings share this timebase.
+std::uint64_t NowNs();
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_OBSERVABILITY_H_

@@ -1,0 +1,196 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+// Shortest round-trippable formatting for JSON/CSV values.
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string FormatValue(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    P3GM_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrument pointers cached at call sites (and
+  // thread-pool workers unwinding late in shutdown) must never dangle.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(
+        {name, h->bounds(), h->bucket_counts(), h->count(), h->sum()});
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string Snapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + c.name + "\": " + FormatValue(c.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + g.name + "\": " + FormatValue(g.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\"count\": " + FormatValue(h.count) +
+           ", \"sum\": " + FormatValue(h.sum) + ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FormatValue(h.bounds[i]);
+    }
+    out += "], \"bucket_counts\": [";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += FormatValue(h.bucket_counts[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string Snapshot::ToCsv() const {
+  std::string out = "kind,name,field,value\n";
+  for (const auto& c : counters) {
+    out += "counter," + c.name + ",value," + FormatValue(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    out += "gauge," + g.name + ",value," + FormatValue(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    out += "histogram," + h.name + ",count," + FormatValue(h.count) + "\n";
+    out += "histogram," + h.name + ",sum," + FormatValue(h.sum) + "\n";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? FormatValue(h.bounds[i]) : "inf";
+      out += "histogram," + h.name + ",le_" + le + "," +
+             FormatValue(h.bucket_counts[i]) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool Snapshot::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+bool Snapshot::WriteCsv(const std::string& path) const {
+  return WriteFile(path, ToCsv());
+}
+
+}  // namespace obs
+}  // namespace p3gm

@@ -1,0 +1,151 @@
+#ifndef P3GM_OBS_REGISTRY_H_
+#define P3GM_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/observability.h"
+
+namespace p3gm {
+namespace obs {
+
+/// Metrics registry: named Counter/Gauge/Histogram instruments with
+/// lock-free updates on the hot path and a consistent snapshot/export
+/// side (JSON + CSV).
+///
+/// Usage pattern at instrumentation sites — resolve once, update often:
+///
+///   static obs::Counter* steps =
+///       obs::Registry::Global().counter("dpsgd.steps");
+///   steps->Add();
+///
+/// Lookup takes a mutex (cold path, typically hit once per site thanks to
+/// the function-local static); updates are relaxed atomics. Instrument
+/// pointers stay valid for the life of the process — Reset() zeroes
+/// values but never invalidates instruments. Every update is a no-op
+/// unless obs::Enabled(), so a disabled run leaves all values at zero.
+/// Naming convention: lowercase dot-separated "<subsystem>.<what>[.unit]"
+/// (see docs/observability.md for the catalog).
+
+/// Monotonically increasing integer value.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (!Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written floating-point value.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are fixed at the
+/// first registration of the name.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; empty means a single overflow
+  /// bucket (count/sum only).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, length bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every instrument, sorted by name (deterministic
+/// export order).
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  std::string ToJson() const;
+  /// Long-format CSV: kind,name,field,value (histograms emit one row per
+  /// bucket plus count and sum).
+  std::string ToCsv() const;
+  bool WriteJson(const std::string& path) const;
+  bool WriteCsv(const std::string& path) const;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (never destroyed).
+  static Registry& Global();
+
+  /// Finds or creates the named instrument. For histograms, `bounds` is
+  /// used only on first registration.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes every value. Instruments (and cached pointers) stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_REGISTRY_H_

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dp/accountant.h"
 #include "dp/mechanisms.h"
 #include "linalg/covariance.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/ops.h"
+#include "obs/trace.h"
 
 namespace p3gm {
 namespace pca {
@@ -76,6 +78,7 @@ double PcaModel::ReconstructionError(const linalg::Matrix& x) const {
 
 util::Result<PcaModel> FitPca(const linalg::Matrix& x,
                               std::size_t num_components) {
+  P3GM_TRACE_SPAN("pca.fit");
   if (x.rows() == 0 || x.cols() == 0) {
     return util::Status::InvalidArgument("FitPca: empty data");
   }
@@ -93,6 +96,7 @@ util::Result<PcaModel> FitPca(const linalg::Matrix& x,
 
 util::Result<PcaModel> FitDpPca(const linalg::Matrix& x,
                                 const DpPcaOptions& options, util::Rng* rng) {
+  P3GM_TRACE_SPAN("dp_pca.fit");
   if (x.rows() == 0 || x.cols() == 0) {
     return util::Status::InvalidArgument("FitDpPca: empty data");
   }
@@ -130,6 +134,10 @@ util::Result<PcaModel> FitDpPca(const linalg::Matrix& x,
       linalg::Matrix w,
       dp::SampleWishart(d, static_cast<double>(d) + 1.0, c, rng));
   cov += w;
+  // Live accounting: the Wishart release is (epsilon, 0)-DP.
+  if (options.accountant != nullptr) {
+    options.accountant->AddPureDp(options.epsilon, "wishart");
+  }
 
   P3GM_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
                         LeadingEigen(cov, options.num_components));

@@ -9,6 +9,10 @@
 #include "util/rng.h"
 
 namespace p3gm {
+namespace dp {
+class RdpAccountant;
+}  // namespace dp
+
 namespace pca {
 
 /// A fitted linear dimensionality reduction f(x) = (x - mean) * components
@@ -67,6 +71,10 @@ struct DpPcaOptions {
   /// The mechanism's sensitivity analysis assumes rows with L2 norm <= 1;
   /// when true (default) rows are clipped to the unit ball first.
   bool clip_rows = true;
+  /// When set, the Wishart release is composed onto this accountant as it
+  /// happens (live accounting / privacy ledger). The caller owns the
+  /// pointer; it never affects the fitted model.
+  dp::RdpAccountant* accountant = nullptr;
 };
 
 /// Differentially private PCA via the Wishart mechanism (Jiang et al.,

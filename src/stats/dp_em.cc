@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dp/accountant.h"
 #include "dp/mechanisms.h"
 #include "linalg/ops.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace p3gm {
@@ -13,6 +16,7 @@ namespace stats {
 util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
                                     const DpEmOptions& options,
                                     util::Rng* rng) {
+  P3GM_TRACE_SPAN("dp_em.fit");
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   const std::size_t kk = options.num_components;
@@ -60,6 +64,10 @@ util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
   const double inv_n = 1.0 / static_cast<double>(n);
 
   for (std::size_t iter = 0; iter < options.iters; ++iter) {
+    P3GM_TRACE_SPAN("dp_em.iter");
+    static obs::Counter* iters =
+        obs::Registry::Global().counter("dp_em.iters");
+    iters->Add();
     // E-step: responsibilities under the current (already private) model.
     // M-step sufficient statistics, each with per-record sensitivity <= 1:
     //   nk[k]  = sum_i r_ik                      (the weight release)
@@ -101,6 +109,10 @@ util::Result<DpEmResult> FitGmmDpEm(const linalg::Matrix& x,
       dp::GaussianMechanism(1.0, sigma, &nk, rng);
       dp::GaussianMechanism(1.0, sigma, &s1, rng);
       dp::GaussianMechanism(1.0, sigma, &s2, rng);
+      // Live accounting: this iteration's release, as it happens.
+      if (options.accountant != nullptr) {
+        options.accountant->AddDpEm(sigma, kk, 1);
+      }
     }
 
     // Re-derive parameters from the noisy statistics.

@@ -6,6 +6,10 @@
 #include "util/rng.h"
 
 namespace p3gm {
+namespace dp {
+class RdpAccountant;
+}  // namespace dp
+
 namespace stats {
 
 /// Options for differentially private EM (Park et al., AISTATS 2017),
@@ -26,6 +30,10 @@ struct DpEmOptions {
   /// Weight floor after noising (renormalized afterwards).
   double min_weight = 1e-3;
   std::uint64_t seed = 29;
+  /// When set, each iteration's Gaussian release is composed onto this
+  /// accountant as it happens (live accounting / privacy ledger). The
+  /// caller owns the pointer; it never affects the fitted model.
+  dp::RdpAccountant* accountant = nullptr;
 };
 
 /// Result of a DP-EM run: the private mixture plus the exact L2 clipping

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/ops.h"
+#include "obs/trace.h"
 #include "stats/kmeans.h"
 #include "util/thread_pool.h"
 
@@ -133,6 +134,7 @@ util::Result<GaussianMixture> FitGmmOnce(const linalg::Matrix& x,
                                          const EmOptions& options,
                                          std::uint64_t seed,
                                          double* final_ll) {
+  P3GM_TRACE_SPAN("gmm.fit_once");
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   const std::size_t kk = options.num_components;
@@ -243,6 +245,7 @@ util::Result<GaussianMixture> FitGmmOnce(const linalg::Matrix& x,
 
 util::Result<GaussianMixture> FitGmm(const linalg::Matrix& x,
                                      const EmOptions& options) {
+  P3GM_TRACE_SPAN("gmm.fit");
   const std::size_t n = x.rows();
   const std::size_t kk = options.num_components;
   if (n == 0 || x.cols() == 0) {

@@ -1,12 +1,18 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace p3gm {
 namespace util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_write_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,14 +27,57 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Compact per-thread index in first-log order; std::thread::id values
+// are opaque and noisy in log lines.
+unsigned ThisThreadLogId() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// "2026-08-06T12:34:56.789Z" (UTC). Returns the formatted length.
+std::size_t FormatTimestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  const std::size_t n = std::strftime(buf, size, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  return n + std::snprintf(buf + n, size - n, ".%03dZ",
+                           static_cast<int>(ms));
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char prefix[64];
+  std::size_t n = FormatTimestamp(prefix, sizeof prefix);
+  n += std::snprintf(prefix + n, sizeof prefix - n, " [%s] [t%u] ",
+                     LevelName(level), ThisThreadLogId());
+  // Assemble the full record, then emit it with one unlocked write while
+  // holding the mutex: records from concurrent threads never interleave.
+  std::string record;
+  record.reserve(n + message.size() + 1);
+  record.append(prefix, n);
+  record += message;
+  record += '\n';
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fwrite(record.data(), 1, record.size(), stderr);
 }
 
 }  // namespace util

@@ -11,12 +11,19 @@ namespace util {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped.
-/// Defaults to kInfo. Not synchronized: set once at startup.
+/// Defaults to kInfo. Thread-safe (atomic).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes one formatted line ("[LEVEL] message") to stderr if `level`
-/// passes the process-wide filter.
+/// Writes one formatted record to stderr if `level` passes the
+/// process-wide filter:
+///
+///   2026-08-06T12:34:56.789Z [INFO] [t0] message
+///
+/// (ISO-8601 UTC timestamp with milliseconds; [tN] is a compact
+/// per-thread index assigned in first-log order.) The record is
+/// assembled into one buffer and emitted with a single write under a
+/// mutex, so concurrent loggers never interleave characters.
 void LogMessage(LogLevel level, const std::string& message);
 
 /// Stream-style logger used via the P3GM_LOG macro. Emits on destruction.

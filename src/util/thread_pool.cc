@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <string>
@@ -49,10 +51,17 @@ ThreadPool* GetPool(std::size_t want) {
 ParallelConfig ParallelConfig::FromEnv() {
   ParallelConfig config;
   if (const char* env = std::getenv("P3GM_NUM_THREADS")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      config.num_threads = static_cast<std::size_t>(parsed);
+    // Accept only a plain positive decimal integer. strtoull alone is
+    // too lenient: it skips leading whitespace and silently negates
+    // "-3" into a huge unsigned value, which would later blow up pool
+    // construction. Anything else falls back to automatic resolution.
+    const std::size_t len = std::strlen(env);
+    if (len > 0 && std::strspn(env, "0123456789") == len) {
+      errno = 0;
+      const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+      if (errno == 0 && parsed > 0) {
+        config.num_threads = static_cast<std::size_t>(parsed);
+      }
     }
   }
   return config;
@@ -66,9 +75,19 @@ std::size_t ParallelConfig::Resolve() const {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   P3GM_CHECK(num_threads >= 1);
+  obs::Registry& registry = obs::Registry::Global();
+  jobs_ = registry.counter("threadpool.jobs");
+  tasks_ = registry.counter("threadpool.tasks");
+  busy_ns_.reserve(num_threads);
+  idle_ns_.reserve(num_threads);
+  for (std::size_t w = 0; w < num_threads; ++w) {
+    const std::string id = std::to_string(w);
+    busy_ns_.push_back(registry.counter("threadpool.worker" + id + ".busy_ns"));
+    idle_ns_.push_back(registry.counter("threadpool.worker" + id + ".idle_ns"));
+  }
   workers_.reserve(num_threads - 1);
   for (std::size_t w = 1; w < num_threads; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
 }
 
@@ -82,8 +101,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Run(const std::function<void(std::size_t)>& fn) {
+  jobs_->Add();
   if (workers_.empty()) {
+    const std::uint64_t start = obs::Enabled() ? obs::NowNs() : 0;
     fn(0);
+    if (start != 0) busy_ns_[0]->Add(obs::NowNs() - start);
+    tasks_->Add();
     return;
   }
   std::lock_guard<std::mutex> run_lock(run_mutex_);
@@ -95,28 +118,40 @@ void ThreadPool::Run(const std::function<void(std::size_t)>& fn) {
     ++generation_;
   }
   start_cv_.notify_all();
+  const std::uint64_t start = obs::Enabled() ? obs::NowNs() : 0;
   fn(0);
+  if (start != 0) busy_ns_[0]->Add(obs::NowNs() - start);
+  tasks_->Add();
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return outstanding_ == 0; });
   job_ = nullptr;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t ordinal) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job;
     std::size_t worker;
+    const std::uint64_t idle_start = obs::Enabled() ? obs::NowNs() : 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {
         return shutdown_ || generation_ != seen_generation;
       });
+      // Shutdown returns without touching instruments: the pool is being
+      // destroyed and only the (leaked) registry is guaranteed alive.
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
       worker = next_worker_++;
     }
+    const std::uint64_t busy_start = obs::Enabled() ? obs::NowNs() : 0;
+    if (idle_start != 0 && busy_start != 0) {
+      idle_ns_[ordinal]->Add(busy_start - idle_start);
+    }
     (*job)(worker);
+    if (busy_start != 0) busy_ns_[ordinal]->Add(obs::NowNs() - busy_start);
+    tasks_->Add();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--outstanding_ == 0) done_cv_.notify_all();

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.h"
+
 namespace p3gm {
 namespace util {
 
@@ -73,7 +75,18 @@ class ThreadPool {
   void Run(const std::function<void(std::size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  /// `ordinal` is the worker's stable identity in [1, num_threads());
+  /// distinct from the per-job index Run hands out, which depends on
+  /// wake-up order. Metrics are attributed by ordinal.
+  void WorkerLoop(std::size_t ordinal);
+
+  // Registry instruments, resolved once at construction (registry-owned,
+  // never dangle). Observability never affects scheduling: updates are
+  // no-ops unless obs::Enabled().
+  obs::Counter* jobs_ = nullptr;   // Run() dispatches.
+  obs::Counter* tasks_ = nullptr;  // Per-worker body invocations.
+  std::vector<obs::Counter*> busy_ns_;  // Indexed by worker ordinal.
+  std::vector<obs::Counter*> idle_ns_;  // Waiting between jobs.
 
   std::vector<std::thread> workers_;
   std::mutex run_mutex_;  // Serializes Run() callers.

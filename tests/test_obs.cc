@@ -1,0 +1,448 @@
+// Observability subsystem tests: metrics registry semantics, trace span
+// nesting and chrome://tracing export well-formedness, privacy-ledger
+// monotonicity and exact agreement with the RDP accountant, and a
+// threaded-writers stress. The obs globals (enabled flag, registry,
+// recorder, ledger) are process-wide, so every test runs through the
+// fixture below, which restores a clean disabled state.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "dp/accountant.h"
+#include "obs/ledger.h"
+#include "obs/observability.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace p3gm {
+namespace obs {
+namespace {
+
+// Minimal structural JSON check: balanced braces/brackets outside string
+// literals, terminated strings, valid escapes. Not a full parser, but it
+// catches the classic export bugs (trailing commas are legal to it, but
+// unbalanced nesting and unterminated strings are not).
+bool JsonBalanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Global().Reset();
+    TraceRecorder::Global().Clear();
+    PrivacyLedger::Global().Clear();
+    PrivacyLedger::Global().SetDelta(1e-5);
+  }
+  void TearDown() override {
+    Registry::Global().Reset();
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().SetCapacityPerThread(1 << 20);
+    PrivacyLedger::Global().Clear();
+    SetEnabled(false);
+  }
+};
+
+// ----------------------------------------------------------- registry
+
+#if P3GM_OBSERVABILITY_ENABLED
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  Counter* c = Registry::Global().counter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastWrite) {
+  Gauge* g = Registry::Global().gauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), -2.25);
+}
+
+TEST_F(ObsTest, HistogramBucketizesOnUpperBounds) {
+  // Bucket i counts v <= bounds[i]; one implicit overflow bucket.
+  Histogram* h =
+      Registry::Global().histogram("test.hist", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h->Observe(v);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 106.0);
+  const std::vector<std::uint64_t> want = {2, 1, 1, 1};
+  EXPECT_EQ(h->bucket_counts(), want);
+}
+
+TEST_F(ObsTest, DisabledUpdatesAreNoOps) {
+  Counter* c = Registry::Global().counter("test.disabled.counter");
+  Gauge* g = Registry::Global().gauge("test.disabled.gauge");
+  Histogram* h = Registry::Global().histogram("test.disabled.hist", {1.0});
+  SetEnabled(false);
+  c->Add(7);
+  g->Set(3.0);
+  h->Observe(0.5);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST_F(ObsTest, LookupIsStableAndResetPreservesPointers) {
+  Registry& registry = Registry::Global();
+  Counter* c = registry.counter("test.stable");
+  c->Add(3);
+  // Same name must resolve to the same instrument (call sites cache the
+  // pointer in a function-local static).
+  EXPECT_EQ(registry.counter("test.stable"), c);
+  registry.Reset();
+  EXPECT_EQ(registry.counter("test.stable"), c);
+  c->Add();  // The cached pointer stays usable after Reset.
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedAndExportsAreWellFormed) {
+  Registry& registry = Registry::Global();
+  registry.counter("b.counter")->Add(2);
+  registry.counter("a.counter")->Add(1);
+  registry.gauge("z.gauge")->Set(0.5);
+  registry.histogram("m.hist", {1.0, 2.0})->Observe(1.5);
+
+  const Snapshot snap = registry.TakeSnapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"a.counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.counter\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"m.hist\""), std::string::npos);
+
+  const std::string csv = snap.ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,a.counter,value,1"), std::string::npos);
+  // Histogram rows: count, sum, one le_* row per bucket + overflow.
+  EXPECT_NE(csv.find("histogram,m.hist,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,m.hist,le_inf,0"), std::string::npos);
+}
+
+// -------------------------------------------------------------- spans
+
+TEST_F(ObsTest, SpansNestAndRecordOrderedIntervals) {
+  std::uint64_t mid_ns = 0;
+  {
+    P3GM_TRACE_SPAN("test.outer");
+    {
+      P3GM_TRACE_SPAN("test.inner");
+      mid_ns = NowNs();
+    }
+  }
+  const auto events = TraceRecorder::Global().Events();
+  const TraceRecorder::Event* outer = nullptr;
+  const TraceRecorder::Event* inner = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "test.outer") outer = &e;
+    if (std::string(e.name) == "test.inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner interval is contained in the outer one, both on the same
+  // thread, and both bracket the timestamp taken inside.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->start_ns, inner->start_ns);
+  EXPECT_LE(inner->end_ns, outer->end_ns);
+  EXPECT_LE(inner->start_ns, mid_ns);
+  EXPECT_LE(mid_ns, inner->end_ns);
+}
+
+TEST_F(ObsTest, ChromeJsonIsWellFormed) {
+  for (int i = 0; i < 3; ++i) {
+    P3GM_TRACE_SPAN("test.span");
+  }
+  const TraceRecorder& recorder = TraceRecorder::Global();
+  EXPECT_EQ(recorder.EventCount(), 3u);
+  const std::string json = recorder.ToChromeJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // One complete ("X") event per recorded span.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""), 3u);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  {
+    P3GM_TRACE_SPAN("test.ghost");
+  }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+}
+
+TEST_F(ObsTest, CapacityBoundsBufferAndCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetCapacityPerThread(4);
+  for (int i = 0; i < 10; ++i) {
+    P3GM_TRACE_SPAN("test.capped");
+  }
+  EXPECT_EQ(recorder.EventCount(), 4u);
+  EXPECT_EQ(recorder.DroppedCount(), 6u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.DroppedCount(), 0u);
+}
+
+// ------------------------------------------------------------- ledger
+
+TEST_F(ObsTest, PhaseScopeNestsWithInnerWinning) {
+  EXPECT_STREQ(PhaseScope::Current(), "");
+  {
+    PhaseScope outer("dp_pca");
+    EXPECT_STREQ(PhaseScope::Current(), "dp_pca");
+    {
+      PhaseScope inner("dp_em");
+      EXPECT_STREQ(PhaseScope::Current(), "dp_em");
+    }
+    EXPECT_STREQ(PhaseScope::Current(), "dp_pca");
+  }
+  EXPECT_STREQ(PhaseScope::Current(), "");
+}
+
+TEST_F(ObsTest, LedgerTracksP3gmCompositionExactly) {
+  // The full P3GM composition (Theorem 4) recorded entry by entry:
+  // Wishart DP-PCA, 20 DP-EM iterations, 1000 per-step DP-SGD events.
+  dp::P3gmPrivacyParams params;
+  params.pca_epsilon = 0.1;
+  params.em_sigma = 100.0;
+  params.em_iters = 20;
+  params.mog_components = 3;
+  params.sgd_sigma = 2.0;
+  params.sgd_sampling_rate = 0.01;
+  params.sgd_steps = 1000;
+
+  dp::RdpAccountant acc;
+  acc.set_ledger_enabled(true);
+  {
+    PhaseScope phase("dp_pca");
+    acc.AddPureDp(params.pca_epsilon, "wishart");
+  }
+  {
+    PhaseScope phase("dp_em");
+    for (std::size_t i = 0; i < params.em_iters; ++i) {
+      acc.AddDpEm(params.em_sigma, params.mog_components, 1);
+    }
+  }
+  {
+    PhaseScope phase("dp_sgd");
+    const std::vector<double> curve = acc.SampledGaussianCurve(
+        params.sgd_sampling_rate, params.sgd_sigma);
+    dp::MechanismEvent event;
+    event.mechanism = "sampled_gaussian";
+    event.sigma = params.sgd_sigma;
+    event.sampling_rate = params.sgd_sampling_rate;
+    for (std::size_t step = 0; step < params.sgd_steps; ++step) {
+      acc.AddEvent(event, curve);
+    }
+  }
+
+  const PrivacyLedger& ledger = PrivacyLedger::Global();
+  const auto entries = ledger.Entries();
+  ASSERT_EQ(entries.size(), 1u + params.em_iters + params.sgd_steps);
+
+  // Epsilon is monotone non-decreasing along the composition, and every
+  // entry carries the phase it was recorded under plus this run's id.
+  double prev = 0.0;
+  for (const auto& e : entries) {
+    EXPECT_GE(e.cumulative_epsilon, prev);
+    prev = e.cumulative_epsilon;
+    EXPECT_EQ(e.run, acc.run_id());
+    EXPECT_DOUBLE_EQ(e.delta, 1e-5);
+  }
+  EXPECT_EQ(entries[0].phase, "dp_pca");
+  EXPECT_EQ(entries[0].mechanism, "wishart");
+  EXPECT_EQ(entries[1].phase, "dp_em");
+  EXPECT_EQ(entries.back().phase, "dp_sgd");
+  EXPECT_EQ(entries.back().mechanism, "sampled_gaussian");
+
+  // The final cumulative epsilon agrees with the one-shot accounting of
+  // the same composition to well under the 1e-9 acceptance tolerance.
+  const double want = dp::ComputeP3gmEpsilonRdp(params, 1e-5).epsilon;
+  EXPECT_NEAR(ledger.CumulativeEpsilon(), want, 1e-9);
+  EXPECT_NEAR(ledger.CumulativeEpsilon(), acc.GetEpsilon(1e-5).epsilon,
+              1e-12);
+}
+
+TEST_F(ObsTest, AccountantsAreSilentWithoutOptIn) {
+  // Throwaway accountants (sigma calibration) must not spam the ledger.
+  dp::RdpAccountant acc;
+  acc.AddGaussian(2.0, 5);
+  acc.AddPureDp(0.1);
+  EXPECT_EQ(PrivacyLedger::Global().size(), 0u);
+  // And an opted-in accountant stays silent while obs is disabled.
+  SetEnabled(false);
+  dp::RdpAccountant opted;
+  opted.set_ledger_enabled(true);
+  opted.AddGaussian(2.0, 5);
+  EXPECT_EQ(PrivacyLedger::Global().size(), 0u);
+}
+
+TEST_F(ObsTest, DistinctRunsGetDistinctIds) {
+  dp::RdpAccountant a, b;
+  a.set_ledger_enabled(true);
+  b.set_ledger_enabled(true);
+  EXPECT_NE(a.run_id(), b.run_id());
+  a.AddGaussian(2.0, 1);
+  b.AddGaussian(2.0, 1);
+  const auto entries = PrivacyLedger::Global().Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].run, a.run_id());
+  EXPECT_EQ(entries[1].run, b.run_id());
+}
+
+TEST_F(ObsTest, LedgerExportsAreWellFormed) {
+  dp::RdpAccountant acc;
+  acc.set_ledger_enabled(true);
+  acc.AddPureDp(0.1, "wishart");
+  acc.AddSampledGaussian(0.01, 1.5, 10);
+  const PrivacyLedger& ledger = PrivacyLedger::Global();
+
+  const std::string json = ledger.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"wishart\""), std::string::npos);
+  EXPECT_NE(json.find("\"sampled_gaussian\""), std::string::npos);
+  EXPECT_NE(json.find("\"rdp_orders\""), std::string::npos);
+
+  const std::string csv = ledger.ToCsv();
+  EXPECT_EQ(csv.rfind("index,run,phase,mechanism,count,sigma,sampling_rate,"
+                      "pure_eps,cumulative_epsilon,best_order,delta\n",
+                      0),
+            0u);
+  EXPECT_EQ(CountOccurrences(csv, "\n"), 1u + ledger.size());
+}
+
+// ------------------------------------------------------------- stress
+
+TEST_F(ObsTest, ThreadedWritersProduceExactTotals) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  constexpr std::size_t kSpansPerThread = 50;
+  Registry& registry = Registry::Global();
+  Counter* counter = registry.counter("stress.counter");
+  Histogram* hist = registry.histogram("stress.hist", {0.25, 0.5, 0.75});
+  dp::RdpAccountant acc;
+  acc.set_ledger_enabled(true);
+  const std::vector<double> curve = acc.GaussianCurve(4.0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        hist->Observe(static_cast<double>((t + i) % 4) * 0.25);
+      }
+      for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+        P3GM_TRACE_SPAN("stress.span");
+      }
+      dp::MechanismEvent event;
+      event.mechanism = "gaussian";
+      event.sigma = 4.0;
+      acc.AddEvent(event, curve);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(hist->count(), kThreads * kPerThread);
+  // Each residue class 0..3 appears kPerThread/4 times per thread.
+  // Values 0.0 and 0.25 both fall in the first bucket (v <= 0.25), 0.5
+  // and 0.75 land on their own bounds, and nothing overflows.
+  const std::size_t per_class = kThreads * kPerThread / 4;
+  const std::vector<std::uint64_t> want = {2 * per_class, per_class,
+                                           per_class, 0};
+  EXPECT_EQ(hist->bucket_counts(), want);
+  EXPECT_EQ(TraceRecorder::Global().EventCount(),
+            kThreads * kSpansPerThread);
+  EXPECT_EQ(TraceRecorder::Global().DroppedCount(), 0u);
+  EXPECT_EQ(PrivacyLedger::Global().size(), kThreads);
+  // All 8 concurrent events composed: cumulative epsilon of the last
+  // entry equals the accountant's final guarantee.
+  EXPECT_NEAR(PrivacyLedger::Global().CumulativeEpsilon(),
+              acc.GetEpsilon(1e-5).epsilon, 1e-12);
+}
+
+#else  // !P3GM_OBSERVABILITY_ENABLED
+
+// With the layer compiled out (-DP3GM_OBSERVABILITY=OFF) every switch is
+// inert and every instrument stays at zero — the zero-overhead contract.
+TEST_F(ObsTest, CompiledOutLayerIsInert) {
+  EXPECT_FALSE(kCompiledIn);
+  SetEnabled(true);
+  EXPECT_FALSE(Enabled());
+  Counter* c = Registry::Global().counter("test.off");
+  c->Add(5);
+  EXPECT_EQ(c->value(), 0u);
+  {
+    P3GM_TRACE_SPAN("test.off.span");
+  }
+  EXPECT_EQ(TraceRecorder::Global().EventCount(), 0u);
+  dp::RdpAccountant acc;
+  acc.set_ledger_enabled(true);
+  acc.AddGaussian(2.0, 3);
+  EXPECT_EQ(PrivacyLedger::Global().size(), 0u);
+  // Accounting itself is unaffected by the missing telemetry.
+  EXPECT_GT(acc.GetEpsilon(1e-5).epsilon, 0.0);
+}
+
+#endif  // P3GM_OBSERVABILITY_ENABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace p3gm

@@ -10,6 +10,10 @@
 #include "gtest/gtest.h"
 #include "core/pgm.h"
 #include "linalg/covariance.h"
+#include "obs/ledger.h"
+#include "obs/observability.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "linalg/matrix.h"
 #include "linalg/ops.h"
 #include "nn/activations.h"
@@ -245,6 +249,64 @@ TEST(ParallelEquivalenceTest, EndToEndPgmFit) {
     return packed;
   };
   ExpectThreadInvariant(fit, "Pgm::Fit + Sample");
+}
+
+TEST(ParallelEquivalenceTest, ObservabilityInvariance) {
+  // Observation must be strictly passive: turning the telemetry layer on
+  // may not change any computed value or consume any RNG. Same complete
+  // P3GM run as EndToEndPgmFit, compared bit-for-bit with observability
+  // off vs. on, serially and at 8 threads.
+  util::Rng data_rng(47);
+  linalg::Matrix x(72, 9);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = data_rng.Uniform();
+  }
+  core::PgmOptions opt;
+  opt.hidden = 12;
+  opt.latent_dim = 3;
+  opt.mog_components = 2;
+  opt.epochs = 2;
+  opt.batch_size = 24;
+  opt.em_iters = 3;
+  opt.differentially_private = true;
+  opt.sgd_sigma = 1.1;
+  opt.seed = 53;
+  auto fit = [&] {
+    core::Pgm model(opt);
+    EXPECT_TRUE(model.Fit(x).ok());
+    std::vector<double> state;
+    auto append = [&state](const linalg::Matrix& m) {
+      state.insert(state.end(), m.data(), m.data() + m.size());
+    };
+    append(model.prior().means());
+    append(model.prior().variances());
+    state.insert(state.end(), model.prior().weights().begin(),
+                 model.prior().weights().end());
+    for (const linalg::Matrix& w : model.ExportDecoderWeights()) append(w);
+    util::Rng sample_rng(59);
+    append(model.Sample(6, &sample_rng));
+    linalg::Matrix packed(1, state.size());
+    for (std::size_t i = 0; i < state.size(); ++i) packed(0, i) = state[i];
+    return packed;
+  };
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    obs::SetEnabled(false);
+    const auto dark = RunWithThreads(threads, fit);
+    obs::SetEnabled(true);
+    const auto observed = RunWithThreads(threads, fit);
+    obs::SetEnabled(false);
+    EXPECT_TRUE(observed == dark)
+        << "observability changed the result at " << threads << " threads";
+    if (obs::kCompiledIn) {
+      // The observed run must actually have been observed — otherwise
+      // this test proves nothing.
+      EXPECT_GT(obs::TraceRecorder::Global().EventCount(), 0u);
+      EXPECT_GT(obs::PrivacyLedger::Global().size(), 0u);
+    }
+    obs::Registry::Global().Reset();
+    obs::TraceRecorder::Global().Clear();
+    obs::PrivacyLedger::Global().Clear();
+  }
 }
 
 }  // namespace

@@ -35,6 +35,19 @@ TEST(ParallelConfigTest, ExplicitCountWins) {
   EXPECT_EQ(config.Resolve(), 7u);
 }
 
+TEST(ParallelConfigTest, FromEnvRejectsInvalidValues) {
+  // Anything that is not a plain positive integer must fall back to
+  // automatic resolution (num_threads = 0). "-3" is the trap: strtoull
+  // silently negates it into a huge unsigned value.
+  for (const char* bad : {"-3", "0", "garbage", "3x", "", " 4", "-0"}) {
+    ASSERT_EQ(setenv("P3GM_NUM_THREADS", bad, 1), 0);
+    EXPECT_EQ(ParallelConfig::FromEnv().num_threads, 0u) << "env=" << bad;
+  }
+  ASSERT_EQ(setenv("P3GM_NUM_THREADS", "6", 1), 0);
+  EXPECT_EQ(ParallelConfig::FromEnv().num_threads, 6u);
+  unsetenv("P3GM_NUM_THREADS");
+}
+
 TEST(ThreadPoolTest, SetNumThreadsIsObserved) {
   ThreadCountGuard guard(5);
   EXPECT_EQ(NumThreads(), 5u);

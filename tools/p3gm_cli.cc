@@ -20,6 +20,10 @@
 #include "core/release.h"
 #include "core/synthesizer.h"
 #include "data/csv_loader.h"
+#include "obs/ledger.h"
+#include "obs/observability.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -40,6 +44,7 @@ struct Flags {
   bool non_private = false;
   bool gaussian_decoder = false;
   int label_column = -1;
+  std::string obs_prefix;  // Empty = observability off.
 };
 
 int Usage() {
@@ -62,7 +67,11 @@ int Usage() {
                "  --gaussian-decoder   MSE/Gaussian observation model\n"
                "  --label-column I     label column index (default -1 = "
                "last)\n"
-               "  --seed S             RNG seed (default 42)\n");
+               "  --seed S             RNG seed (default 42)\n"
+               "  --obs PREFIX         export training telemetry to\n"
+               "                       PREFIX_metrics.{json,csv},\n"
+               "                       PREFIX_trace.json (chrome://tracing)\n"
+               "                       and PREFIX_ledger.{json,csv}\n");
   return 2;
 }
 
@@ -95,6 +104,9 @@ bool ParseFlags(int argc, char** argv, int start, Flags* flags) {
       flags->seed = static_cast<std::uint64_t>(v);
     } else if (arg == "--label-column" && next(&v)) {
       flags->label_column = static_cast<int>(v);
+    } else if (arg == "--obs") {
+      if (i + 1 >= argc) return false;
+      flags->obs_prefix = argv[++i];
     } else if (arg == "--no-pca") {
       flags->use_pca = false;
     } else if (arg == "--non-private") {
@@ -114,9 +126,30 @@ int Fail(const util::Status& st) {
   return 1;
 }
 
+// Writes the metrics snapshot, trace and privacy ledger accumulated so
+// far to <prefix>_*.{json,csv} files.
+void ExportTelemetry(const std::string& prefix, double delta) {
+  const obs::Snapshot snapshot = obs::Registry::Global().TakeSnapshot();
+  snapshot.WriteJson(prefix + "_metrics.json");
+  snapshot.WriteCsv(prefix + "_metrics.csv");
+  obs::TraceRecorder::Global().WriteChromeJson(prefix + "_trace.json");
+  const obs::PrivacyLedger& ledger = obs::PrivacyLedger::Global();
+  if (ledger.size() > 0) {
+    ledger.WriteJson(prefix + "_ledger.json");
+    ledger.WriteCsv(prefix + "_ledger.csv");
+    std::printf("ledger: %zu entries, cumulative epsilon %.6f at delta %g\n",
+                ledger.size(), ledger.CumulativeEpsilon(), delta);
+  }
+  std::printf("telemetry written to %s_*.{json,csv}\n", prefix.c_str());
+}
+
 int CmdTrain(const std::string& csv_path, const std::string& out_path,
              const Flags& flags) {
   util::Stopwatch sw;
+  if (!flags.obs_prefix.empty()) {
+    obs::SetEnabled(true);
+    obs::PrivacyLedger::Global().SetDelta(flags.delta);
+  }
   data::CsvLoadOptions load;
   load.label_column = flags.label_column;
   auto dataset = data::LoadCsvDataset(csv_path, load);
@@ -159,6 +192,9 @@ int CmdTrain(const std::string& csv_path, const std::string& out_path,
   if (!pkg.ok()) return Fail(pkg.status());
   if (auto st = pkg->Save(out_path); !st.ok()) return Fail(st);
   std::printf("release package written to %s\n", out_path.c_str());
+  if (!flags.obs_prefix.empty()) {
+    ExportTelemetry(flags.obs_prefix, flags.delta);
+  }
   return 0;
 }
 
