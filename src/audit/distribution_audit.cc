@@ -1,0 +1,122 @@
+#include "audit/distribution_audit.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dp/accountant.h"
+#include "dp/mechanisms.h"
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace audit {
+
+namespace {
+
+template <typename Sampler>
+GofResult KsAudit(std::uint64_t seed, std::size_t n, Sampler sample,
+                  const std::function<double(double)>& cdf) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = sample(&rng);
+  return KolmogorovSmirnovTest(std::move(xs), cdf);
+}
+
+}  // namespace
+
+GofResult AuditUniform(std::uint64_t seed, std::size_t n) {
+  return KsAudit(
+      seed, n, [](util::Rng* rng) { return rng->Uniform(); },
+      [](double x) {
+        if (x < 0.0) return 0.0;
+        if (x > 1.0) return 1.0;
+        return x;
+      });
+}
+
+GofResult AuditNormal(std::uint64_t seed, std::size_t n) {
+  return KsAudit(
+      seed, n, [](util::Rng* rng) { return rng->Normal(); },
+      [](double x) { return util::NormalCdf(x); });
+}
+
+GofResult AuditLaplace(double scale, std::uint64_t seed, std::size_t n) {
+  return KsAudit(
+      seed, n, [scale](util::Rng* rng) { return rng->Laplace(scale); },
+      [scale](double x) { return util::LaplaceCdf(x, 0.0, scale); });
+}
+
+GofResult AuditGamma(double shape, double scale, std::uint64_t seed,
+                     std::size_t n) {
+  return KsAudit(
+      seed, n,
+      [shape, scale](util::Rng* rng) { return rng->Gamma(shape, scale); },
+      [shape, scale](double x) { return util::GammaCdf(x, shape, scale); });
+}
+
+GofResult AuditChiSquared(double df, std::uint64_t seed, std::size_t n) {
+  return KsAudit(
+      seed, n, [df](util::Rng* rng) { return rng->ChiSquared(df); },
+      [df](double x) { return util::ChiSquaredCdf(x, df); });
+}
+
+WishartAuditResult AuditWishart(std::size_t d, double df, double c,
+                                std::uint64_t seed, std::size_t draws) {
+  P3GM_CHECK(d >= 2);
+  util::Rng rng(seed);
+  std::vector<double> diag(draws);
+  double offdiag_sum = 0.0;
+  for (std::size_t t = 0; t < draws; ++t) {
+    auto w = dp::SampleWishart(d, df, c, &rng);
+    P3GM_CHECK(w.ok());
+    // Only one diagonal entry per draw: the d diagonal marginals of a
+    // single Wishart draw are chi-squared but correlated, so using them
+    // all would violate the i.i.d. assumption of the KS test.
+    diag[t] = (*w)(0, 0) / c;
+    offdiag_sum += (*w)(1, 0) / c;
+  }
+  WishartAuditResult out;
+  out.draws = draws;
+  out.diagonal = KolmogorovSmirnovTest(
+      std::move(diag), [df](double x) { return util::ChiSquaredCdf(x, df); });
+  // W_10 / c = sum_{k} z_{0k} z_{1k} over df-ish Bartlett terms: mean 0,
+  // variance df, so the mean over `draws` draws standardizes with
+  // sqrt(draws / df).
+  const double mean = offdiag_sum / static_cast<double>(draws);
+  out.offdiag_z = mean * std::sqrt(static_cast<double>(draws) / df);
+  return out;
+}
+
+CalibrationAuditResult AuditGaussianMechanismCalibration(
+    double sensitivity, double sigma, double delta, std::uint64_t seed,
+    std::size_t n) {
+  P3GM_CHECK(sensitivity > 0.0 && sigma > 0.0 && n > 1);
+  util::Rng rng(seed);
+  std::vector<double> release(n, 0.0);
+  dp::GaussianMechanism(sensitivity, sigma, &release, &rng);
+
+  CalibrationAuditResult out;
+  out.charged_stddev = sigma * sensitivity;
+  out.delta = delta;
+
+  // Charge a throwaway accountant exactly as production code would for
+  // this release; the claimed epsilon is what the audit certifies
+  // against.
+  dp::RdpAccountant accountant;
+  accountant.AddGaussian(sigma);
+  out.claimed_epsilon = accountant.GetEpsilon(delta).epsilon;
+
+  double sumsq = 0.0;
+  for (double x : release) sumsq += x * x;
+  out.empirical_stddev = std::sqrt(sumsq / static_cast<double>(n));
+
+  const double charged = out.charged_stddev;
+  out.gof = KolmogorovSmirnovTest(std::move(release), [charged](double x) {
+    return util::NormalCdf(x, 0.0, charged);
+  });
+  return out;
+}
+
+}  // namespace audit
+}  // namespace p3gm

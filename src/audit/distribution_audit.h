@@ -1,0 +1,81 @@
+#ifndef P3GM_AUDIT_DISTRIBUTION_AUDIT_H_
+#define P3GM_AUDIT_DISTRIBUTION_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "audit/stat_tests.h"
+
+namespace p3gm {
+namespace audit {
+
+/// Distribution auditors: seeded goodness-of-fit checks of every sampler
+/// the DP mechanisms draw from (util::Rng's Laplace, Gaussian, gamma,
+/// chi-squared and the Wishart of dp::SampleWishart) against their
+/// analytic CDFs, plus a calibration check that the noise
+/// dp::GaussianMechanism actually adds matches the sigma the RDP
+/// accountant was charged for.
+///
+/// All audits are deterministic functions of (seed, n): a failing audit
+/// reproduces exactly.
+
+/// KS test of n Rng::Uniform() draws against the U[0,1) CDF.
+GofResult AuditUniform(std::uint64_t seed, std::size_t n);
+
+/// KS test of n Rng::Normal() draws against the standard normal CDF.
+GofResult AuditNormal(std::uint64_t seed, std::size_t n);
+
+/// KS test of n Rng::Laplace(scale) draws against the Laplace CDF.
+GofResult AuditLaplace(double scale, std::uint64_t seed, std::size_t n);
+
+/// KS test of n Rng::Gamma(shape, scale) draws against the gamma CDF.
+GofResult AuditGamma(double shape, double scale, std::uint64_t seed,
+                     std::size_t n);
+
+/// KS test of n Rng::ChiSquared(df) draws against the chi-squared CDF.
+GofResult AuditChiSquared(double df, std::uint64_t seed, std::size_t n);
+
+/// Audit of dp::SampleWishart(d, df, c * I) over `draws` independent
+/// draws, using exact marginals of the Bartlett construction:
+///  * W_00 / c ~ chi-squared(df)                    -> KS test
+///  * E[W_01] = 0 with Var(W_01 / c) = df           -> z-statistic
+struct WishartAuditResult {
+  GofResult diagonal;     // KS of W_00 / c against chi^2(df).
+  double offdiag_z = 0.0; // Standardized mean of W_01 / c (expect ~N(0,1)).
+  std::size_t draws = 0;
+  bool Pass(double alpha = 1e-4, double max_z = 5.0) const {
+    return diagonal.Pass(alpha) && offdiag_z < max_z && offdiag_z > -max_z;
+  }
+};
+WishartAuditResult AuditWishart(std::size_t d, double df, double c,
+                                std::uint64_t seed, std::size_t draws);
+
+/// Calibration audit of the Gaussian mechanism: releases an n-dimensional
+/// zero vector through dp::GaussianMechanism(sensitivity, sigma) and
+/// charges a throwaway RdpAccountant for the same parameters. Checks that
+/// the realized noise is distributed as N(0, (sigma * sensitivity)^2) —
+/// i.e. the noise actually added matches the noise that was *accounted
+/// for*. A mechanism that adds less noise than the accountant assumes
+/// (e.g. the noise-halved fault injection) fails `gof` and shows
+/// `empirical_stddev` far from `charged_stddev`.
+struct CalibrationAuditResult {
+  GofResult gof;              // KS of the noise against N(0, charged^2).
+  double empirical_stddev = 0.0;
+  double charged_stddev = 0.0;
+  double claimed_epsilon = 0.0;  // Accountant's guarantee at `delta`.
+  double delta = 0.0;
+  /// True when the realized noise is consistent with the charged sigma.
+  bool Calibrated(double alpha = 1e-4, double rel_tol = 0.05) const {
+    if (!gof.Pass(alpha)) return false;
+    const double rel = empirical_stddev / charged_stddev - 1.0;
+    return rel < rel_tol && rel > -rel_tol;
+  }
+};
+CalibrationAuditResult AuditGaussianMechanismCalibration(
+    double sensitivity, double sigma, double delta, std::uint64_t seed,
+    std::size_t n);
+
+}  // namespace audit
+}  // namespace p3gm
+
+#endif  // P3GM_AUDIT_DISTRIBUTION_AUDIT_H_

@@ -1,0 +1,260 @@
+#include "audit/epsilon_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "audit/stat_tests.h"
+#include "dp/accountant.h"
+#include "linalg/matrix.h"
+#include "nn/dp_sgd.h"
+#include "nn/linear.h"
+#include "pca/pca.h"
+#include "stats/dp_em.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace audit {
+
+namespace {
+
+/// Fraction of `scores` on the rejecting side of `t`.
+double RejectRate(const std::vector<double>& scores, double t, bool above) {
+  std::size_t k = 0;
+  for (double s : scores) {
+    if (above ? (s > t) : (s < t)) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(scores.size());
+}
+
+std::size_t RejectCount(const std::vector<double>& scores, double t,
+                        bool above) {
+  std::size_t k = 0;
+  for (double s : scores) {
+    if (above ? (s > t) : (s < t)) ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+std::string EpsilonAuditResult::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "eps_emp=%.4f threshold=%.6g dir=%s tpr_lo=%.4f "
+                "fpr_hi=%.4f eval_trials=%zu",
+                empirical_epsilon, threshold, reject_above ? ">" : "<",
+                tpr_lower, fpr_upper, eval_trials);
+  return buf;
+}
+
+std::string MechanismAuditResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s claimed=%.4f delta=%.3g -> %s",
+                empirical.Summary().c_str(), claimed_epsilon, delta,
+                consistent() ? "consistent" : "VIOLATION");
+  return buf;
+}
+
+EpsilonAuditResult AuditEpsilonLowerBound(
+    const std::function<double(bool, std::uint64_t)>& score,
+    const EpsilonAuditOptions& opts) {
+  P3GM_CHECK(opts.trials >= 8);
+  P3GM_CHECK(opts.delta >= 0.0 && opts.delta < 1.0);
+
+  // Holdout split: even-indexed trials select the threshold, odd-indexed
+  // trials certify it. Trial indices (not fresh RNG) drive the mechanism
+  // so the whole audit is a pure function of the spec.
+  std::vector<double> sel_with, sel_without, eval_with, eval_without;
+  for (std::size_t t = 0; t < opts.trials; ++t) {
+    const double s1 = score(true, static_cast<std::uint64_t>(t));
+    const double s0 = score(false, static_cast<std::uint64_t>(t));
+    if (t % 2 == 0) {
+      sel_with.push_back(s1);
+      sel_without.push_back(s0);
+    } else {
+      eval_with.push_back(s1);
+      eval_without.push_back(s0);
+    }
+  }
+
+  // Candidate thresholds: every selection-set score, both directions.
+  // The selection objective is the plug-in epsilon with floors so that
+  // empty cells cannot produce infinities.
+  std::vector<double> candidates = sel_with;
+  candidates.insert(candidates.end(), sel_without.begin(),
+                    sel_without.end());
+  const double n_sel = static_cast<double>(sel_with.size());
+  double best_obj = -1e300;
+  double best_t = candidates.front();
+  bool best_above = true;
+  for (double t : candidates) {
+    for (bool above : {true, false}) {
+      const double tpr = RejectRate(sel_with, t, above);
+      const double fpr = RejectRate(sel_without, t, above);
+      const double obj = std::log(std::max(tpr - opts.delta, 1e-12) /
+                                  std::max(fpr, 0.5 / n_sel));
+      if (obj > best_obj) {
+        best_obj = obj;
+        best_t = t;
+        best_above = above;
+      }
+    }
+  }
+
+  EpsilonAuditResult out;
+  out.threshold = best_t;
+  out.reject_above = best_above;
+  out.eval_trials = eval_with.size();
+  const std::size_t n_eval = eval_with.size();
+  const std::size_t tp = RejectCount(eval_with, best_t, best_above);
+  const std::size_t fp = RejectCount(eval_without, best_t, best_above);
+  out.tpr_lower = ClopperPearsonLower(tp, n_eval, opts.confidence);
+  out.fpr_upper = ClopperPearsonUpper(fp, n_eval, opts.confidence);
+  if (out.tpr_lower - opts.delta > 0.0 && out.fpr_upper > 0.0) {
+    out.empirical_epsilon = std::max(
+        0.0, std::log((out.tpr_lower - opts.delta) / out.fpr_upper));
+  }
+  return out;
+}
+
+MechanismAuditResult AuditDpSgd(const DpSgdAuditSpec& spec) {
+  P3GM_CHECK(spec.dim >= 1 && spec.base_rows >= 1);
+  const std::size_t lot = spec.base_rows + 1;  // Fixed for both branches.
+
+  const auto score = [&spec, lot](bool with_canary, std::uint64_t trial) {
+    // Bounded-DP (replace-one) adjacency, matching the sensitivity
+    // analyses of every mechanism audited here: both branches use the
+    // same batch size and the canary replaces the last row. Base rows are
+    // all-zero: only the bias picks up their gradient, so the canary
+    // direction of the weight gradient isolates the canary.
+    const std::size_t rows = lot;
+    linalg::Matrix x(rows, spec.dim);
+    if (with_canary) x(rows - 1, 0) = spec.canary_scale;
+
+    // Identical weights every trial; the weight gradient of Linear under
+    // a unit upstream gradient is x_i per example, independent of the
+    // current weights.
+    util::Rng init_rng(spec.audit.seed ^ 0x5eed0123ULL);
+    nn::Linear layer("audit_linear", spec.dim, 1, &init_rng);
+    layer.Forward(x, /*train=*/true);
+    linalg::Matrix upstream(rows, 1);
+    upstream.Fill(1.0);
+    layer.Backward(upstream, /*accumulate=*/false);
+
+    nn::DpSgdOptions opts;
+    opts.clip_norm = spec.clip_norm;
+    opts.noise_multiplier = spec.sigma;
+    opts.lot_size = lot;
+    util::Rng noise_rng = util::Rng::StreamAt(
+        spec.audit.seed, trial * 2 + (with_canary ? 1 : 0));
+    nn::DpSgdStep step(opts, &noise_rng);
+    for (nn::Parameter* p : layer.Parameters()) p->ZeroGrad();
+    P3GM_CHECK(step.CollectSquaredNorms({&layer}, rows).ok());
+    step.ApplyClippedAccumulation({&layer});
+    step.AddNoiseAndAverage(layer.Parameters(), rows);
+    return layer.weight().grad(0, 0);  // Projection onto the canary axis.
+  };
+
+  MechanismAuditResult out;
+  out.delta = spec.audit.delta;
+  dp::RdpAccountant accountant;
+  accountant.AddSampledGaussian(/*q=*/1.0, spec.sigma, /*steps=*/1);
+  out.claimed_epsilon = accountant.GetEpsilon(spec.audit.delta).epsilon;
+  out.empirical = AuditEpsilonLowerBound(score, spec.audit);
+  return out;
+}
+
+MechanismAuditResult AuditDpEm(const DpEmAuditSpec& spec) {
+  P3GM_CHECK(spec.dim >= 2 && spec.base_rows >= 2);
+
+  const auto score = [&spec](bool with_canary, std::uint64_t trial) {
+    // Replace-one adjacency: n is identical on both branches and the
+    // canary swaps out the last base row.
+    const std::size_t rows = spec.base_rows;
+    linalg::Matrix x(rows, spec.dim);
+    // Fixed small cloud along the first axis; DP-EM's internal unit-ball
+    // clipping leaves it untouched.
+    for (std::size_t i = 0; i < rows; ++i) {
+      x(i, 0) = 0.1 + 0.01 * static_cast<double>(i);
+    }
+    // Canary along the last axis, far outside the unit ball.
+    if (with_canary) {
+      x(rows - 1, 0) = 0.0;
+      x(rows - 1, spec.dim - 1) = spec.canary_scale;
+    }
+
+    stats::DpEmOptions opts;
+    opts.num_components = 1;
+    opts.iters = spec.iters;
+    opts.noise_multiplier = spec.sigma_e;
+    opts.seed = spec.audit.seed ^ 0xe31ULL;
+    util::Rng rng = util::Rng::StreamAt(spec.audit.seed,
+                                        trial * 2 + (with_canary ? 1 : 0));
+    auto fit = stats::FitGmmDpEm(x, opts, &rng);
+    P3GM_CHECK(fit.ok());
+    return fit->mixture.means()(0, spec.dim - 1);
+  };
+
+  MechanismAuditResult out;
+  out.delta = spec.audit.delta;
+  dp::RdpAccountant accountant;
+  accountant.AddDpEm(spec.sigma_e, /*num_components=*/1, spec.iters);
+  out.claimed_epsilon = accountant.GetEpsilon(spec.audit.delta).epsilon;
+  out.empirical = AuditEpsilonLowerBound(score, spec.audit);
+  return out;
+}
+
+MechanismAuditResult AuditDpPca(const DpPcaAuditSpec& spec) {
+  P3GM_CHECK(spec.dim >= 2 && spec.base_rows >= spec.dim);
+
+  const auto score = [&spec](bool with_canary, std::uint64_t trial) {
+    // Replace-one adjacency: the Wishart mechanism's epsilon-DP claim is
+    // for neighboring datasets of equal size (the 1/n covariance
+    // normalization is part of the release), so the canary replaces the
+    // last base row rather than extending the dataset.
+    const std::size_t rows = spec.base_rows;
+    const std::size_t d = spec.dim;
+    linalg::Matrix x(rows, d);
+    // Base rows spread over the first d-1 axes (unit norm, untouched by
+    // the clipping step).
+    for (std::size_t i = 0; i < rows; ++i) {
+      x(i, i % (d - 1)) = (i % 2 == 0) ? 1.0 : -1.0;
+    }
+    if (with_canary) {
+      x(rows - 1, (rows - 1) % (d - 1)) = 0.0;
+      x(rows - 1, d - 1) = spec.canary_scale;
+    }
+
+    pca::DpPcaOptions opts;
+    opts.num_components = d;  // Keep everything: the score is then the
+                              // exact (d-1, d-1) entry of the noisy
+                              // covariance, by eigendecomposition.
+    opts.epsilon = spec.epsilon;
+    opts.clip_rows = true;
+    util::Rng rng = util::Rng::StreamAt(spec.audit.seed,
+                                        trial * 2 + (with_canary ? 1 : 0));
+    auto fit = pca::FitDpPca(x, opts, &rng);
+    P3GM_CHECK(fit.ok());
+    const pca::PcaModel& model = *fit;
+    double s = 0.0;
+    for (std::size_t j = 0; j < model.output_dim(); ++j) {
+      const double vj = model.components()(d - 1, j);
+      s += model.explained_variance()[j] * vj * vj;
+    }
+    return s;
+  };
+
+  MechanismAuditResult out;
+  out.delta = spec.audit.delta;
+  dp::RdpAccountant accountant;
+  accountant.AddPureDp(spec.epsilon);
+  out.claimed_epsilon = accountant.GetEpsilon(spec.audit.delta).epsilon;
+  out.empirical = AuditEpsilonLowerBound(score, spec.audit);
+  return out;
+}
+
+}  // namespace audit
+}  // namespace p3gm

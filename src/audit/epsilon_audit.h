@@ -1,0 +1,138 @@
+#ifndef P3GM_AUDIT_EPSILON_AUDIT_H_
+#define P3GM_AUDIT_EPSILON_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace p3gm {
+namespace audit {
+
+/// Empirical differential-privacy auditing via membership inference
+/// (Jagielski et al. 2020; Nasr et al. 2021 style lower bounds).
+///
+/// A mechanism that is (epsilon, delta)-DP bounds every adversary's
+/// true/false positive rates by TPR <= e^epsilon * FPR + delta. Running a
+/// concrete distinguisher many times on two adjacent datasets therefore
+/// yields a *statistically certified lower bound* on the true epsilon:
+///
+///     epsilon_emp = ln((TPR_lo - delta) / FPR_hi)
+///
+/// with TPR_lo / FPR_hi one-sided Clopper–Pearson bounds. The mechanism
+/// audits below use bounded-DP (replace-one) adjacency — both branches
+/// run on datasets of equal size — because that is the adjacency the
+/// audited mechanisms' sensitivity analyses assume. If
+/// epsilon_emp exceeds the epsilon the accountant claims, the
+/// implementation is broken (wrong noise, missing clipping, dropped
+/// composition). The converse does not hold — empirical bounds are loose,
+/// especially for Gaussian mechanisms — so a passing audit is necessary,
+/// not sufficient; the distribution auditors cover calibration.
+
+struct EpsilonAuditOptions {
+  /// Trials per branch (with / without canary). Even-indexed trials pick
+  /// the attack threshold; odd-indexed trials certify it, so the bound is
+  /// honest (no threshold overfitting).
+  std::size_t trials = 400;
+  /// The delta of the (epsilon, delta) claim being audited.
+  double delta = 0.01;
+  /// One-sided confidence of each Clopper–Pearson bound.
+  double confidence = 0.95;
+  std::uint64_t seed = 0xa0d17ULL;
+};
+
+struct EpsilonAuditResult {
+  /// Certified lower bound on epsilon (0 when the attack has no power).
+  double empirical_epsilon = 0.0;
+  double threshold = 0.0;
+  /// Attack direction: guess "canary present" when score > threshold
+  /// (true) or score < threshold (false).
+  bool reject_above = true;
+  double tpr_lower = 0.0;
+  double fpr_upper = 1.0;
+  std::size_t eval_trials = 0;
+  std::string Summary() const;
+};
+
+/// Core auditor. `score(with_canary, trial)` runs one end-to-end
+/// mechanism execution on the adjacent dataset selected by `with_canary`
+/// and returns the adversary's real-valued test statistic. It must be a
+/// deterministic function of its arguments (derive all randomness from
+/// `trial`, e.g. via util::Rng::StreamAt) so audits are reproducible.
+EpsilonAuditResult AuditEpsilonLowerBound(
+    const std::function<double(bool with_canary, std::uint64_t trial)>& score,
+    const EpsilonAuditOptions& opts);
+
+/// An empirical bound paired with the accountant's claim for the same
+/// mechanism parameters.
+struct MechanismAuditResult {
+  EpsilonAuditResult empirical;
+  double claimed_epsilon = 0.0;
+  double delta = 0.0;
+  /// The DP contract: the certified lower bound must not exceed the
+  /// claimed epsilon.
+  bool consistent() const {
+    return empirical.empirical_epsilon <= claimed_epsilon;
+  }
+  std::string Summary() const;
+};
+
+/// DP-SGD distinguisher: one full-batch step of a Linear model where every
+/// example's gradient is its own row (unit upstream gradient), so the
+/// canary row — `canary_scale` along a fixed direction, far outside the
+/// clipping ball — contributes exactly clip_norm to the gradient sum when
+/// clipping works and `canary_scale` when it does not. The score projects
+/// the privatized gradient onto the canary direction. Claimed epsilon is
+/// what RdpAccountant::AddSampledGaussian charges for the step.
+struct DpSgdAuditSpec {
+  double sigma = 2.0;
+  double clip_norm = 1.0;
+  double canary_scale = 25.0;
+  std::size_t dim = 4;
+  std::size_t base_rows = 3;
+  EpsilonAuditOptions audit;
+};
+MechanismAuditResult AuditDpSgd(const DpSgdAuditSpec& spec);
+
+/// DP-EM distinguisher: fits a single-component DP-EM mixture to a fixed
+/// cloud near the origin plus an optional canary along the last axis; the
+/// score is that axis's coordinate of the released mean. Claimed epsilon
+/// is what RdpAccountant::AddDpEm charges for the run.
+struct DpEmAuditSpec {
+  double sigma_e = 4.0;
+  std::size_t iters = 2;
+  std::size_t dim = 2;
+  std::size_t base_rows = 12;
+  double canary_scale = 24.0;
+  EpsilonAuditOptions audit;
+};
+MechanismAuditResult AuditDpEm(const DpEmAuditSpec& spec);
+
+/// DP-PCA distinguisher: the base rows live in the span of the first
+/// axes; the canary points along the last axis e_d. With all d components
+/// kept, the score sum_j lambda_j (v_j . e_d)^2 equals the noisy
+/// covariance's (d,d) entry, which the canary inflates. Claimed epsilon
+/// is the Wishart mechanism's pure-DP budget as charged via AddPureDp.
+///
+/// Caveat baked into the defaults: FitDpPca centers by the *empirical*
+/// mean, which the paper declares publicly available (footnote 2) and the
+/// Wishart sensitivity analysis therefore does not cover. A canary that
+/// is large relative to n shifts that mean enough for the auditor to
+/// (correctly) certify a violation of the pure-DP claim — not a bug in
+/// the mechanism but a demonstration that the public-mean assumption is
+/// load-bearing. The defaults keep canary_scale / base_rows small so the
+/// mean leak stays well below the Wishart noise and the audit exercises
+/// the mechanism itself.
+struct DpPcaAuditSpec {
+  double epsilon = 1.0;
+  std::size_t dim = 3;
+  std::size_t base_rows = 24;
+  double canary_scale = 4.0;
+  EpsilonAuditOptions audit;
+};
+MechanismAuditResult AuditDpPca(const DpPcaAuditSpec& spec);
+
+}  // namespace audit
+}  // namespace p3gm
+
+#endif  // P3GM_AUDIT_EPSILON_AUDIT_H_

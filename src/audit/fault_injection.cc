@@ -1,0 +1,27 @@
+#include "audit/fault_injection.h"
+
+#if P3GM_FAULT_INJECTION_ENABLED
+
+namespace p3gm {
+namespace audit {
+
+namespace {
+FaultConfig g_config;
+}  // namespace
+
+const FaultConfig& FaultInjector::Get() { return g_config; }
+
+void FaultInjector::Set(const FaultConfig& config) { g_config = config; }
+
+void FaultInjector::Reset() { g_config = FaultConfig(); }
+
+FaultInjector::Scope::Scope(const FaultConfig& config) : saved_(g_config) {
+  g_config = config;
+}
+
+FaultInjector::Scope::~Scope() { g_config = saved_; }
+
+}  // namespace audit
+}  // namespace p3gm
+
+#endif  // P3GM_FAULT_INJECTION_ENABLED

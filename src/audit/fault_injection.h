@@ -1,0 +1,102 @@
+#ifndef P3GM_AUDIT_FAULT_INJECTION_H_
+#define P3GM_AUDIT_FAULT_INJECTION_H_
+
+/// Fault-injection hooks for the statistical audit layer.
+///
+/// The negative-control audits (tests/test_audit_*) must prove that the
+/// auditors *would* catch a broken DP implementation: noise scaled down,
+/// clipping silently disabled, or mechanism releases that never reach the
+/// accountant. These hooks let a test inject exactly those faults into
+/// the production code paths (dp/mechanisms.cc, nn/dp_sgd.cc,
+/// dp/accountant.cc) without forking them.
+///
+/// Configure with -DP3GM_FAULT_INJECTION=OFF to compile every hook down
+/// to a constant: release binaries carry no fault-injection state and the
+/// branches fold away.
+///
+/// The injected state is process-global and not synchronized: tests must
+/// mutate it only from a single thread while no parallel region is
+/// running (FaultInjector::Scope at the top of a test body is the
+/// intended pattern). Hot loops only ever read it.
+
+#ifndef P3GM_FAULT_INJECTION_ENABLED
+#define P3GM_FAULT_INJECTION_ENABLED 1
+#endif
+
+namespace p3gm {
+namespace audit {
+
+/// The full set of injectable faults; defaults are "no fault".
+struct FaultConfig {
+  /// Multiplies the stddev/scale of every mechanism noise draw
+  /// (Gaussian, Laplace, Wishart scale, DP-SGD noise). 0.5 = "noise
+  /// halved", the canonical calibration-audit negative control.
+  double noise_scale = 1.0;
+  /// Disables L2 clipping everywhere (dp::ClipFactor returns 1), breaking
+  /// every sensitivity-1 assumption downstream — the canonical
+  /// empirical-epsilon negative control.
+  bool skip_clip = false;
+  /// RdpAccountant::AddEvent drops the event: mechanisms still fire but
+  /// the claimed epsilon stays near zero.
+  bool drop_accountant_events = false;
+};
+
+constexpr bool kFaultInjectionCompiled = P3GM_FAULT_INJECTION_ENABLED != 0;
+
+#if P3GM_FAULT_INJECTION_ENABLED
+
+class FaultInjector {
+ public:
+  static const FaultConfig& Get();
+  static void Set(const FaultConfig& config);
+  static void Reset();
+
+  /// RAII scope: installs `config` on construction, restores the previous
+  /// configuration on destruction.
+  class Scope {
+   public:
+    explicit Scope(const FaultConfig& config);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FaultConfig saved_;
+  };
+};
+
+inline double NoiseScale() { return FaultInjector::Get().noise_scale; }
+inline bool SkipClip() { return FaultInjector::Get().skip_clip; }
+inline bool DropAccountantEvents() {
+  return FaultInjector::Get().drop_accountant_events;
+}
+
+#else  // !P3GM_FAULT_INJECTION_ENABLED
+
+class FaultInjector {
+ public:
+  static const FaultConfig& Get() {
+    static const FaultConfig kDefault;
+    return kDefault;
+  }
+  static void Set(const FaultConfig&) {}
+  static void Reset() {}
+
+  class Scope {
+   public:
+    explicit Scope(const FaultConfig&) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+};
+
+constexpr double NoiseScale() { return 1.0; }
+constexpr bool SkipClip() { return false; }
+constexpr bool DropAccountantEvents() { return false; }
+
+#endif  // P3GM_FAULT_INJECTION_ENABLED
+
+}  // namespace audit
+}  // namespace p3gm
+
+#endif  // P3GM_AUDIT_FAULT_INJECTION_H_

@@ -1,0 +1,122 @@
+#include "audit/golden.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/pgm.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace audit {
+
+namespace {
+
+constexpr char kHeader[] = "# p3gm golden trace v1";
+constexpr double kDelta = 1e-5;
+
+}  // namespace
+
+std::vector<std::string> GoldenPgmTraceLines() {
+  // Fixed-seed synthetic data in [0, 1): small enough that the full DP
+  // pipeline (DP-PCA + DP-EM + DP-SGD) runs in well under a second.
+  util::Rng data_rng(123);
+  linalg::Matrix x(96, 12);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = data_rng.Uniform();
+
+  core::PgmOptions options;
+  options.hidden = 16;
+  options.latent_dim = 4;
+  options.mog_components = 2;
+  options.epochs = 4;
+  options.batch_size = 24;
+  options.differentially_private = true;
+  options.seed = 2024;
+
+  core::Pgm pgm(options);
+  std::vector<std::string> lines;
+  lines.emplace_back(kHeader);
+  const auto callback = [&pgm, &lines](const core::TrainProgress& p) {
+    // The live accountant has already composed every release up to and
+    // including this epoch's DP-SGD steps.
+    const double eps = pgm.accountant().GetEpsilon(kDelta).epsilon;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "epoch,%zu,%.17g,%.17g,%.17g", p.epoch,
+                  p.recon_loss, p.kl_loss, eps);
+    lines.emplace_back(buf);
+  };
+  const util::Status status = pgm.Fit(x, callback);
+  if (!status.ok()) {
+    lines.push_back(std::string("error,") + status.message());
+    return lines;
+  }
+
+  const dp::DpGuarantee g = pgm.ComputeEpsilon(kDelta);
+  char final_buf[128];
+  std::snprintf(final_buf, sizeof(final_buf), "final,%.17g,%.17g", g.epsilon,
+                g.best_order);
+  lines.emplace_back(final_buf);
+
+  // Synthesis digest: a fixed-seed sample folded to one number. Catches
+  // regressions in the sampling path (prior draw + decoder) that the
+  // training trace cannot see.
+  util::Rng sample_rng(31337);
+  const linalg::Matrix sample = pgm.Sample(8, &sample_rng);
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    checksum += sample.data()[i] * static_cast<double>(i % 7 + 1);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "sample,%zu,%.17g", sample.size(),
+                checksum);
+  lines.emplace_back(buf);
+  return lines;
+}
+
+bool WriteGoldenTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const std::string& line : GoldenPgmTraceLines()) out << line << "\n";
+  return static_cast<bool>(out);
+}
+
+GoldenCompareResult CompareGoldenTrace(const std::string& path) {
+  GoldenCompareResult result;
+  std::ifstream in(path);
+  if (!in) {
+    result.message = "cannot open golden file: " + path +
+                     " (generate it with build/tools/regen_golden)";
+    return result;
+  }
+  std::vector<std::string> golden;
+  for (std::string line; std::getline(in, line);) golden.push_back(line);
+
+  const std::vector<std::string> fresh = GoldenPgmTraceLines();
+  const std::size_t n = std::min(golden.size(), fresh.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (golden[i] != fresh[i]) {
+      std::ostringstream msg;
+      msg << "golden trace mismatch at line " << (i + 1) << ":\n  golden: "
+          << golden[i] << "\n  fresh:  " << fresh[i]
+          << "\nIf the numeric change is intentional, regenerate with "
+             "build/tools/regen_golden "
+          << path;
+      result.message = msg.str();
+      return result;
+    }
+  }
+  if (golden.size() != fresh.size()) {
+    std::ostringstream msg;
+    msg << "golden trace length mismatch: golden has " << golden.size()
+        << " lines, fresh run has " << fresh.size()
+        << ". Regenerate with build/tools/regen_golden " << path;
+    result.message = msg.str();
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace audit
+}  // namespace p3gm

@@ -1,0 +1,121 @@
+#include "audit/stat_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace p3gm {
+namespace audit {
+
+std::string GofResult::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "statistic=%.6g p=%.3g n=%zu", statistic,
+                p_value, n);
+  return buf;
+}
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+GofResult KolmogorovSmirnovTest(std::vector<double> samples,
+                                const std::function<double(double)>& cdf) {
+  P3GM_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = cdf(samples[i]);
+    d = std::max(d, f - static_cast<double>(i) * inv_n);
+    d = std::max(d, static_cast<double>(i + 1) * inv_n - f);
+  }
+  GofResult out;
+  out.statistic = d;
+  out.n = n;
+  // Stephens' correction keeps the asymptotic p-value accurate down to
+  // small n.
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  out.p_value = KolmogorovSurvival((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return out;
+}
+
+GofResult ChiSquaredGofTest(const std::vector<double>& observed,
+                            const std::vector<double>& expected,
+                            std::size_t fitted_params) {
+  P3GM_CHECK(!observed.empty());
+  P3GM_CHECK(observed.size() == expected.size());
+  P3GM_CHECK(observed.size() > fitted_params + 1);
+  double stat = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    P3GM_CHECK(expected[i] > 0.0);
+    const double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+    total += observed[i];
+  }
+  GofResult out;
+  out.statistic = stat;
+  out.n = static_cast<std::size_t>(total);
+  const double df =
+      static_cast<double>(observed.size() - 1 - fitted_params);
+  out.p_value = 1.0 - util::ChiSquaredCdf(stat, df);
+  return out;
+}
+
+GofResult BinnedChiSquaredTest(const std::vector<double>& samples,
+                               const std::function<double(double)>& quantile,
+                               std::size_t bins) {
+  P3GM_CHECK(bins >= 2);
+  P3GM_CHECK(samples.size() >= 5 * bins);
+  std::vector<double> observed(bins, 0.0);
+  std::vector<double> edges(bins - 1);
+  for (std::size_t b = 0; b + 1 < bins; ++b) {
+    edges[b] =
+        quantile(static_cast<double>(b + 1) / static_cast<double>(bins));
+  }
+  for (double x : samples) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    observed[static_cast<std::size_t>(it - edges.begin())] += 1.0;
+  }
+  const std::vector<double> expected(
+      bins, static_cast<double>(samples.size()) / static_cast<double>(bins));
+  return ChiSquaredGofTest(observed, expected);
+}
+
+double ClopperPearsonLower(std::size_t successes, std::size_t trials,
+                           double confidence) {
+  P3GM_CHECK(trials > 0 && successes <= trials);
+  P3GM_CHECK(confidence > 0.0 && confidence < 1.0);
+  if (successes == 0) return 0.0;
+  // Lower bound: (1 - confidence) quantile of Beta(k, n - k + 1).
+  return util::IncompleteBetaInv(
+      static_cast<double>(successes),
+      static_cast<double>(trials - successes) + 1.0, 1.0 - confidence);
+}
+
+double ClopperPearsonUpper(std::size_t successes, std::size_t trials,
+                           double confidence) {
+  P3GM_CHECK(trials > 0 && successes <= trials);
+  P3GM_CHECK(confidence > 0.0 && confidence < 1.0);
+  if (successes == trials) return 1.0;
+  // Upper bound: `confidence` quantile of Beta(k + 1, n - k).
+  return util::IncompleteBetaInv(static_cast<double>(successes) + 1.0,
+                                 static_cast<double>(trials - successes),
+                                 confidence);
+}
+
+}  // namespace audit
+}  // namespace p3gm

@@ -1,0 +1,64 @@
+#ifndef P3GM_AUDIT_STAT_TESTS_H_
+#define P3GM_AUDIT_STAT_TESTS_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace p3gm {
+namespace audit {
+
+/// Hypothesis-test primitives for the statistical audit layer. All tests
+/// are pure functions of their inputs; randomness (if any) lives with the
+/// caller, so a seeded audit is bit-reproducible.
+
+/// Outcome of a goodness-of-fit test. `p_value` is the probability of a
+/// statistic at least this extreme under the null hypothesis; audits
+/// reject when it drops below a small alpha.
+struct GofResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  std::size_t n = 0;
+  /// Human-readable one-liner for failure messages.
+  std::string Summary() const;
+  bool Pass(double alpha = 1e-4) const { return p_value > alpha; }
+};
+
+/// One-sample Kolmogorov–Smirnov test of `samples` against the continuous
+/// CDF `cdf`. The p-value uses the standard asymptotic Kolmogorov
+/// distribution with the Stephens small-sample correction; good for
+/// n >= ~50. `samples` is consumed (sorted in place).
+GofResult KolmogorovSmirnovTest(std::vector<double> samples,
+                                const std::function<double(double)>& cdf);
+
+/// Chi-squared goodness-of-fit test: observed counts against expected
+/// counts (same length, expected all > 0). Degrees of freedom are
+/// bins - 1 - `fitted_params`.
+GofResult ChiSquaredGofTest(const std::vector<double>& observed,
+                            const std::vector<double>& expected,
+                            std::size_t fitted_params = 0);
+
+/// Equal-probability binned chi-squared test: bin edges are the analytic
+/// quantiles of the null distribution, so each of the `bins` cells has
+/// expectation n/bins. Needs n >= 5 * bins.
+GofResult BinnedChiSquaredTest(const std::vector<double>& samples,
+                               const std::function<double(double)>& quantile,
+                               std::size_t bins);
+
+/// Exact one-sided Clopper–Pearson bounds for a binomial proportion:
+/// P[p >= ClopperPearsonLower] >= confidence, and symmetrically for the
+/// upper bound. `successes` <= `trials`, trials > 0, confidence in (0,1).
+double ClopperPearsonLower(std::size_t successes, std::size_t trials,
+                           double confidence);
+double ClopperPearsonUpper(std::size_t successes, std::size_t trials,
+                           double confidence);
+
+/// Survival function of the Kolmogorov distribution,
+/// Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+double KolmogorovSurvival(double lambda);
+
+}  // namespace audit
+}  // namespace p3gm
+
+#endif  // P3GM_AUDIT_STAT_TESTS_H_

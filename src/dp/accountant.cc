@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "audit/fault_injection.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
 #include "util/check.h"
@@ -109,6 +110,7 @@ void RdpAccountant::AddEvent(const MechanismEvent& event,
                              const std::vector<double>& per_invocation_cost) {
   P3GM_CHECK(per_invocation_cost.size() == orders_.size());
   if (event.count == 0) return;
+  if (audit::DropAccountantEvents()) return;
   const double n = static_cast<double>(event.count);
   for (std::size_t i = 0; i < orders_.size(); ++i) {
     rdp_[i] += n * per_invocation_cost[i];

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "audit/fault_injection.h"
 #include "linalg/ops.h"
 
 namespace p3gm {
@@ -11,6 +12,7 @@ namespace dp {
 
 double ClipFactor(double clip_norm, double norm) {
   P3GM_CHECK(clip_norm > 0.0);
+  if (audit::SkipClip()) return 1.0;
   if (norm <= clip_norm || norm == 0.0) return 1.0;
   return clip_norm / norm;
 }
@@ -23,7 +25,7 @@ void ClipL2(double clip_norm, std::vector<double>* v) {
 void LaplaceMechanism(double sensitivity, double epsilon,
                       std::vector<double>* v, util::Rng* rng) {
   P3GM_CHECK(sensitivity > 0.0 && epsilon > 0.0);
-  const double scale = sensitivity / epsilon;
+  const double scale = audit::NoiseScale() * sensitivity / epsilon;
   for (double& x : *v) x += rng->Laplace(scale);
 }
 
@@ -31,7 +33,7 @@ void GaussianMechanism(double sensitivity, double noise_multiplier,
                        std::vector<double>* v, util::Rng* rng) {
   P3GM_CHECK(sensitivity > 0.0 && noise_multiplier >= 0.0);
   if (noise_multiplier == 0.0) return;
-  const double stddev = noise_multiplier * sensitivity;
+  const double stddev = audit::NoiseScale() * noise_multiplier * sensitivity;
   for (double& x : *v) x += rng->Normal(0.0, stddev);
 }
 
@@ -39,7 +41,7 @@ void GaussianMechanism(double sensitivity, double noise_multiplier,
                        linalg::Matrix* m, util::Rng* rng) {
   P3GM_CHECK(sensitivity > 0.0 && noise_multiplier >= 0.0);
   if (noise_multiplier == 0.0) return;
-  const double stddev = noise_multiplier * sensitivity;
+  const double stddev = audit::NoiseScale() * noise_multiplier * sensitivity;
   double* data = m->data();
   for (std::size_t i = 0; i < m->size(); ++i) data[i] += rng->Normal(0.0, stddev);
 }
@@ -88,6 +90,7 @@ util::Result<linalg::Matrix> SampleWishart(std::size_t d, double df, double c,
   }
   // Bartlett: B = A A^T with A lower triangular, A_ii^2 ~ chi^2(df - i)
   // (0-based) and A_ij ~ N(0,1) for j < i. Then W_d(df, c I) = c * B.
+  c *= audit::NoiseScale();
   linalg::Matrix a(d, d);
   for (std::size_t i = 0; i < d; ++i) {
     a(i, i) = std::sqrt(rng->ChiSquared(df - static_cast<double>(i)));

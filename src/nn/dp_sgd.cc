@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "audit/fault_injection.h"
 #include "dp/mechanisms.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -87,7 +88,8 @@ void DpSgdStep::AddNoiseAndAverage(const std::vector<Parameter*>& params,
   const std::size_t lot =
       options_.lot_size > 0 ? options_.lot_size : batch_size;
   P3GM_CHECK(lot > 0);
-  const double stddev = options_.noise_multiplier * options_.clip_norm;
+  const double stddev =
+      audit::NoiseScale() * options_.noise_multiplier * options_.clip_norm;
   const double inv_lot = 1.0 / static_cast<double>(lot);
   // Deliberately serial: noise comes from the single shared Rng stream,
   // never from inside a parallel region. If this loop ever becomes hot

@@ -8,8 +8,11 @@ Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
 }
 
 linalg::Matrix Dropout::Forward(const linalg::Matrix& x, bool train) {
-  last_train_ = train;
-  if (!train || rate_ == 0.0) return x;
+  // Honor the Layer::SetTraining contract: in eval mode the per-call
+  // flag is ignored and the layer is a deterministic identity (no RNG
+  // consumption), which is what the gradient checker requires.
+  last_train_ = train && is_training();
+  if (!last_train_ || rate_ == 0.0) return x;
   const double keep = 1.0 - rate_;
   mask_ = linalg::Matrix(x.rows(), x.cols());
   linalg::Matrix y = x;

@@ -31,8 +31,21 @@ class Layer {
   virtual ~Layer() = default;
 
   /// Computes the layer output for a batch. `train` toggles
-  /// train-time-only behaviour (e.g. dropout).
+  /// train-time-only behaviour (e.g. dropout). The effective mode is
+  /// `train && is_training()`: a layer put into eval mode with
+  /// SetTraining(false) must ignore the per-call flag (see below).
   virtual linalg::Matrix Forward(const linalg::Matrix& x, bool train) = 0;
+
+  /// Sets the layer mode. In eval mode (training = false) Forward must be
+  /// a *deterministic, repeatable* function of its input regardless of the
+  /// per-call `train` argument: stochastic layers (dropout) act as the
+  /// identity and no layer may consume RNG state. This is the contract the
+  /// finite-difference gradient checker (audit::CheckLayerGradients)
+  /// relies on — it evaluates Forward many times and any hidden
+  /// stochasticity or train-only behaviour would corrupt the numeric
+  /// derivative. Containers must propagate the mode to their children.
+  virtual void SetTraining(bool training) { training_ = training; }
+  bool is_training() const { return training_; }
 
   /// Propagates `grad_out` (dL/d output) to dL/d input. When `accumulate`
   /// is true, also adds this batch's parameter gradients into the
@@ -64,6 +77,9 @@ class Layer {
 
   /// Layer name for diagnostics.
   virtual std::string name() const = 0;
+
+ protected:
+  bool training_ = true;
 };
 
 }  // namespace nn

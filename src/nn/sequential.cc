@@ -18,6 +18,11 @@ linalg::Matrix Sequential::Backward(const linalg::Matrix& grad_out,
   return g;
 }
 
+void Sequential::SetTraining(bool training) {
+  training_ = training;
+  for (auto& layer : layers_) layer->SetTraining(training);
+}
+
 std::vector<Parameter*> Sequential::Parameters() {
   std::vector<Parameter*> params;
   for (auto& layer : layers_) {

@@ -1,0 +1,49 @@
+#ifndef P3GM_UTIL_DISTRIBUTIONS_H_
+#define P3GM_UTIL_DISTRIBUTIONS_H_
+
+namespace p3gm {
+namespace util {
+
+/// Analytic CDFs and special functions matching the samplers in Rng.
+/// These are the reference curves the statistical audit layer
+/// (src/audit) tests the samplers against: every distribution Rng can
+/// draw from has its CDF here, so a Kolmogorov–Smirnov test can compare
+/// empirical and analytic distributions without external dependencies.
+///
+/// All functions are pure and thread-safe.
+
+/// Standard normal CDF Phi(x), accurate over the full double range.
+double NormalCdf(double x);
+
+/// CDF of N(mean, stddev^2). Requires stddev > 0.
+double NormalCdf(double x, double mean, double stddev);
+
+/// CDF of Laplace(location, scale). Requires scale > 0.
+double LaplaceCdf(double x, double location, double scale);
+
+/// CDF of Exponential(rate), i.e. 1 - exp(-rate * x) for x >= 0.
+double ExponentialCdf(double x, double rate);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a),
+/// for a > 0, x >= 0. Series expansion for x < a + 1, continued fraction
+/// otherwise; absolute error below ~1e-12.
+double RegularizedLowerGamma(double a, double x);
+
+/// CDF of Gamma(shape, scale) (the parameterization Rng::Gamma uses).
+double GammaCdf(double x, double shape, double scale);
+
+/// CDF of the chi-squared distribution with df degrees of freedom.
+double ChiSquaredCdf(double x, double df);
+
+/// Regularized incomplete beta I_x(a, b) for a, b > 0 and x in [0, 1],
+/// via the Lentz continued fraction; absolute error below ~1e-12.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Inverse of the regularized incomplete beta in x: returns the x in
+/// [0, 1] with I_x(a, b) = p, by bisection. Requires p in [0, 1].
+double IncompleteBetaInv(double a, double b, double p);
+
+}  // namespace util
+}  // namespace p3gm
+
+#endif  // P3GM_UTIL_DISTRIBUTIONS_H_

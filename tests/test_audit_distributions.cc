@@ -1,0 +1,171 @@
+#include <cmath>
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "audit/distribution_audit.h"
+#include "audit/fault_injection.h"
+
+namespace p3gm {
+namespace audit {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xd15717b071051ULL;
+constexpr std::size_t kN = 20000;
+
+// -------------------------------------------------- sampler GoF (positive)
+
+TEST(DistributionAuditTest, UniformSamplerMatchesCdf) {
+  const GofResult r = AuditUniform(kSeed, kN);
+  EXPECT_TRUE(r.Pass()) << r.Summary();
+}
+
+TEST(DistributionAuditTest, NormalSamplerMatchesCdf) {
+  const GofResult r = AuditNormal(kSeed + 1, kN);
+  EXPECT_TRUE(r.Pass()) << r.Summary();
+}
+
+TEST(DistributionAuditTest, LaplaceSamplerMatchesCdf) {
+  for (double scale : {0.5, 1.0, 4.0}) {
+    const GofResult r = AuditLaplace(scale, kSeed + 2, kN);
+    EXPECT_TRUE(r.Pass()) << "scale=" << scale << " " << r.Summary();
+  }
+}
+
+TEST(DistributionAuditTest, GammaSamplerMatchesCdf) {
+  // Covers both Marsaglia-Tsang branches (shape >= 1 and the shape < 1
+  // boost) across scales.
+  for (double shape : {0.4, 1.0, 2.5, 9.0}) {
+    for (double scale : {0.5, 2.0}) {
+      const GofResult r = AuditGamma(shape, scale, kSeed + 3, kN);
+      EXPECT_TRUE(r.Pass())
+          << "shape=" << shape << " scale=" << scale << " " << r.Summary();
+    }
+  }
+}
+
+TEST(DistributionAuditTest, ChiSquaredSamplerMatchesCdf) {
+  for (double df : {1.0, 2.0, 5.0, 11.0}) {
+    const GofResult r = AuditChiSquared(df, kSeed + 4, kN);
+    EXPECT_TRUE(r.Pass()) << "df=" << df << " " << r.Summary();
+  }
+}
+
+TEST(DistributionAuditTest, WishartMarginalsMatchBartlett) {
+  // d=4, df=d+1=5, c as DP-PCA would pick for n=100, eps=0.5.
+  const double c = 3.0 / (2.0 * 100.0 * 0.5);
+  const WishartAuditResult r = AuditWishart(4, 5.0, c, kSeed + 5, 4000);
+  EXPECT_TRUE(r.Pass()) << r.diagonal.Summary() << " z=" << r.offdiag_z;
+}
+
+// ------------------------------------------------ calibration (positive)
+
+TEST(CalibrationAuditTest, GaussianMechanismMatchesChargedSigma) {
+  const CalibrationAuditResult r =
+      AuditGaussianMechanismCalibration(1.0, 2.0, 1e-5, kSeed + 6, kN);
+  EXPECT_TRUE(r.Calibrated()) << r.gof.Summary()
+                              << " empirical=" << r.empirical_stddev
+                              << " charged=" << r.charged_stddev;
+  EXPECT_GT(r.claimed_epsilon, 0.0);
+}
+
+TEST(CalibrationAuditTest, SensitivityScalesTheNoise) {
+  const CalibrationAuditResult r =
+      AuditGaussianMechanismCalibration(3.0, 1.5, 1e-5, kSeed + 7, kN);
+  EXPECT_DOUBLE_EQ(r.charged_stddev, 4.5);
+  EXPECT_TRUE(r.Calibrated()) << r.gof.Summary();
+}
+
+// ------------------------------------------- negative controls (faults)
+
+// Negative controls inject faults, so they can only run when the hooks
+// are compiled in (-DP3GM_FAULT_INJECTION=ON, the default).
+#define P3GM_REQUIRE_FAULT_INJECTION()                           \
+  do {                                                           \
+    if (!kFaultInjectionCompiled) {                              \
+      GTEST_SKIP() << "built with -DP3GM_FAULT_INJECTION=OFF";   \
+    }                                                            \
+  } while (0)
+
+TEST(CalibrationAuditNegativeTest, HalvedNoiseIsCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  FaultConfig fault;
+  fault.noise_scale = 0.5;
+  FaultInjector::Scope scope(fault);
+  const CalibrationAuditResult r =
+      AuditGaussianMechanismCalibration(1.0, 2.0, 1e-5, kSeed + 8, kN);
+  // The mechanism added N(0,1) noise while the accountant charged for
+  // N(0,4): both the GoF test and the moment check must detect it.
+  EXPECT_FALSE(r.Calibrated());
+  EXPECT_FALSE(r.gof.Pass()) << r.gof.Summary();
+  EXPECT_NEAR(r.empirical_stddev, 1.0, 0.05);
+}
+
+TEST(CalibrationAuditNegativeTest, InflatedNoiseIsAlsoCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  // Over-noising is not a privacy bug but is still a calibration bug
+  // (wasted utility); the auditor is two-sided.
+  FaultConfig fault;
+  fault.noise_scale = 1.5;
+  FaultInjector::Scope scope(fault);
+  const CalibrationAuditResult r =
+      AuditGaussianMechanismCalibration(1.0, 2.0, 1e-5, kSeed + 9, kN);
+  EXPECT_FALSE(r.Calibrated());
+}
+
+TEST(DistributionAuditNegativeTest, ScaledWishartIsCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  FaultConfig fault;
+  fault.noise_scale = 0.5;
+  FaultInjector::Scope scope(fault);
+  const double c = 3.0 / (2.0 * 100.0 * 0.5);
+  const WishartAuditResult r = AuditWishart(4, 5.0, c, kSeed + 10, 4000);
+  EXPECT_FALSE(r.Pass()) << r.diagonal.Summary();
+}
+
+TEST(FaultInjectionTest, ScopeRestoresPreviousConfig) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  EXPECT_DOUBLE_EQ(NoiseScale(), 1.0);
+  {
+    FaultConfig fault;
+    fault.noise_scale = 0.25;
+    fault.skip_clip = true;
+    FaultInjector::Scope scope(fault);
+    EXPECT_DOUBLE_EQ(NoiseScale(), 0.25);
+    EXPECT_TRUE(SkipClip());
+  }
+  EXPECT_DOUBLE_EQ(NoiseScale(), 1.0);
+  EXPECT_FALSE(SkipClip());
+  EXPECT_FALSE(DropAccountantEvents());
+}
+
+// ----------------------------------------------------- slow, wider sweep
+
+bool RunSlowAudits() {
+  const char* env = std::getenv("P3GM_RUN_SLOW_AUDITS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(SlowDistributionAuditTest, LargeSampleSweep) {
+  if (!RunSlowAudits()) {
+    GTEST_SKIP() << "set P3GM_RUN_SLOW_AUDITS=1 (tools/run_audits.sh)";
+  }
+  const std::size_t n = 200000;
+  EXPECT_TRUE(AuditUniform(kSeed + 20, n).Pass());
+  EXPECT_TRUE(AuditNormal(kSeed + 21, n).Pass());
+  for (double scale : {0.1, 1.0, 10.0, 100.0}) {
+    EXPECT_TRUE(AuditLaplace(scale, kSeed + 22, n).Pass()) << scale;
+  }
+  for (double shape : {0.1, 0.7, 1.0, 3.0, 30.0}) {
+    EXPECT_TRUE(AuditGamma(shape, 1.0, kSeed + 23, n).Pass()) << shape;
+  }
+  for (double df : {0.5, 1.0, 3.0, 20.0, 100.0}) {
+    EXPECT_TRUE(AuditChiSquared(df, kSeed + 24, n).Pass()) << df;
+  }
+  const WishartAuditResult w =
+      AuditWishart(6, 7.0, 0.01, kSeed + 25, 20000);
+  EXPECT_TRUE(w.Pass()) << w.diagonal.Summary() << " z=" << w.offdiag_z;
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace p3gm

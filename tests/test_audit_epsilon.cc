@@ -1,0 +1,202 @@
+#include <cmath>
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "audit/epsilon_audit.h"
+#include "audit/fault_injection.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace audit {
+namespace {
+
+bool RunSlowAudits() {
+  const char* env = std::getenv("P3GM_RUN_SLOW_AUDITS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Negative controls inject faults, so they can only run when the hooks
+// are compiled in (-DP3GM_FAULT_INJECTION=ON, the default).
+#define P3GM_REQUIRE_FAULT_INJECTION()                           \
+  do {                                                           \
+    if (!kFaultInjectionCompiled) {                              \
+      GTEST_SKIP() << "built with -DP3GM_FAULT_INJECTION=OFF";   \
+    }                                                            \
+  } while (0)
+
+// ------------------------------------------------------- core auditor
+
+TEST(EpsilonAuditCoreTest, PerfectDistinguisherCertifiesLargeEpsilon) {
+  // Scores separate completely: the only limit is the Clopper-Pearson
+  // slack of the trial count.
+  const auto score = [](bool with_canary, std::uint64_t trial) {
+    util::Rng rng = util::Rng::StreamAt(1, trial * 2 + (with_canary ? 1 : 0));
+    return (with_canary ? 100.0 : 0.0) + rng.Normal();
+  };
+  EpsilonAuditOptions opts;
+  opts.trials = 400;
+  const EpsilonAuditResult r = AuditEpsilonLowerBound(score, opts);
+  EXPECT_GT(r.empirical_epsilon, 3.0) << r.Summary();
+}
+
+TEST(EpsilonAuditCoreTest, UselessDistinguisherCertifiesNothing) {
+  // Identical distributions on both branches: epsilon_emp must be ~0 (the
+  // holdout split prevents threshold overfitting from faking power).
+  const auto score = [](bool with_canary, std::uint64_t trial) {
+    util::Rng rng = util::Rng::StreamAt(2, trial * 2 + (with_canary ? 1 : 0));
+    return rng.Normal();
+  };
+  EpsilonAuditOptions opts;
+  opts.trials = 400;
+  const EpsilonAuditResult r = AuditEpsilonLowerBound(score, opts);
+  EXPECT_LT(r.empirical_epsilon, 0.5) << r.Summary();
+}
+
+TEST(EpsilonAuditCoreTest, DetectsLowerTailedSeparation) {
+  // The attack must also work when the canary *lowers* the score.
+  const auto score = [](bool with_canary, std::uint64_t trial) {
+    util::Rng rng = util::Rng::StreamAt(3, trial * 2 + (with_canary ? 1 : 0));
+    return (with_canary ? -50.0 : 0.0) + rng.Normal();
+  };
+  EpsilonAuditOptions opts;
+  opts.trials = 400;
+  const EpsilonAuditResult r = AuditEpsilonLowerBound(score, opts);
+  EXPECT_FALSE(r.reject_above);
+  EXPECT_GT(r.empirical_epsilon, 3.0) << r.Summary();
+}
+
+TEST(EpsilonAuditCoreTest, DeterministicGivenSeed) {
+  const auto score = [](bool with_canary, std::uint64_t trial) {
+    util::Rng rng = util::Rng::StreamAt(4, trial * 2 + (with_canary ? 1 : 0));
+    return (with_canary ? 1.0 : 0.0) + rng.Normal();
+  };
+  EpsilonAuditOptions opts;
+  opts.trials = 100;
+  const EpsilonAuditResult a = AuditEpsilonLowerBound(score, opts);
+  const EpsilonAuditResult b = AuditEpsilonLowerBound(score, opts);
+  EXPECT_DOUBLE_EQ(a.empirical_epsilon, b.empirical_epsilon);
+  EXPECT_DOUBLE_EQ(a.threshold, b.threshold);
+}
+
+// ------------------------------------------------- DP-SGD (positive)
+
+TEST(DpSgdEpsilonAuditTest, CorrectImplementationIsConsistent) {
+  DpSgdAuditSpec spec;
+  const MechanismAuditResult r = AuditDpSgd(spec);
+  // sigma=2, q=1, one step, delta=0.01 claims epsilon ~1.6; the empirical
+  // bound for a correctly clipped canary stays well under it (documented
+  // headroom: the distinguisher sees effect size 1/(sigma C) = 0.5).
+  EXPECT_TRUE(r.consistent()) << r.Summary();
+  EXPECT_GT(r.claimed_epsilon, 1.0);
+  EXPECT_LT(r.claimed_epsilon, 2.5);
+}
+
+// ---------------------------------------- DP-SGD (negative controls)
+
+TEST(DpSgdEpsilonAuditNegativeTest, DisabledClippingIsCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  // With clipping off, the canary's gradient (norm 25) dwarfs the noise
+  // (stddev sigma C = 2): the distinguisher separates almost perfectly
+  // and certifies an epsilon far above the claim.
+  FaultConfig fault;
+  fault.skip_clip = true;
+  FaultInjector::Scope scope(fault);
+  const MechanismAuditResult r = AuditDpSgd(DpSgdAuditSpec{});
+  EXPECT_FALSE(r.consistent()) << r.Summary();
+  EXPECT_GT(r.empirical.empirical_epsilon, r.claimed_epsilon + 1.0);
+}
+
+TEST(DpSgdEpsilonAuditNegativeTest, DroppedAccountingIsCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  // Mechanisms fire but the accountant never hears about them: the
+  // claimed epsilon collapses to the empty-accountant floor and even the
+  // weak honest distinguisher beats it.
+  FaultConfig fault;
+  fault.drop_accountant_events = true;
+  FaultInjector::Scope scope(fault);
+  const MechanismAuditResult r = AuditDpSgd(DpSgdAuditSpec{});
+  EXPECT_LT(r.claimed_epsilon, 0.01) << r.Summary();
+  EXPECT_FALSE(r.consistent()) << r.Summary();
+}
+
+// --------------------------------------------------- DP-EM / DP-PCA
+
+TEST(DpEmEpsilonAuditTest, CorrectImplementationIsConsistent) {
+  const MechanismAuditResult r = AuditDpEm(DpEmAuditSpec{});
+  EXPECT_TRUE(r.consistent()) << r.Summary();
+  EXPECT_GT(r.claimed_epsilon, 1.0);
+}
+
+TEST(DpEmEpsilonAuditNegativeTest, DisabledClippingIsCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  if (!RunSlowAudits()) {
+    GTEST_SKIP() << "set P3GM_RUN_SLOW_AUDITS=1 (tools/run_audits.sh)";
+  }
+  FaultConfig fault;
+  fault.skip_clip = true;
+  FaultInjector::Scope scope(fault);
+  DpEmAuditSpec spec;
+  spec.audit.trials = 600;
+  const MechanismAuditResult r = AuditDpEm(spec);
+  EXPECT_FALSE(r.consistent()) << r.Summary();
+}
+
+TEST(DpPcaEpsilonAuditTest, CorrectImplementationIsConsistent) {
+  const MechanismAuditResult r = AuditDpPca(DpPcaAuditSpec{});
+  EXPECT_TRUE(r.consistent()) << r.Summary();
+  EXPECT_NEAR(r.claimed_epsilon, 1.0, 0.1);
+}
+
+TEST(DpPcaEpsilonAuditTest, LargeCanaryExposesThePublicMeanAssumption) {
+  // FitDpPca centers by the empirical mean, which the paper treats as
+  // public (footnote 2); the Wishart sensitivity analysis does not cover
+  // it. A canary large relative to n shifts every centered row enough
+  // that the auditor certifies more epsilon than the pure-DP claim —
+  // evidence the assumption is load-bearing, and a regression guard that
+  // the auditor keeps its teeth.
+  DpPcaAuditSpec spec;
+  spec.base_rows = 8;
+  spec.canary_scale = 10.0;
+  spec.epsilon = 3.0;
+  const MechanismAuditResult r = AuditDpPca(spec);
+  EXPECT_FALSE(r.consistent()) << r.Summary();
+}
+
+TEST(DpPcaEpsilonAuditNegativeTest, DisabledClippingIsCaught) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  if (!RunSlowAudits()) {
+    GTEST_SKIP() << "set P3GM_RUN_SLOW_AUDITS=1 (tools/run_audits.sh)";
+  }
+  FaultConfig fault;
+  fault.skip_clip = true;
+  FaultInjector::Scope scope(fault);
+  DpPcaAuditSpec spec;
+  spec.audit.trials = 600;
+  const MechanismAuditResult r = AuditDpPca(spec);
+  EXPECT_FALSE(r.consistent()) << r.Summary();
+}
+
+// ------------------------------------------------ slow, higher power
+
+TEST(SlowEpsilonAuditTest, DpSgdHighTrialSweep) {
+  P3GM_REQUIRE_FAULT_INJECTION();
+  if (!RunSlowAudits()) {
+    GTEST_SKIP() << "set P3GM_RUN_SLOW_AUDITS=1 (tools/run_audits.sh)";
+  }
+  DpSgdAuditSpec spec;
+  spec.audit.trials = 2000;
+  const MechanismAuditResult honest = AuditDpSgd(spec);
+  EXPECT_TRUE(honest.consistent()) << honest.Summary();
+
+  FaultConfig fault;
+  fault.skip_clip = true;
+  FaultInjector::Scope scope(fault);
+  const MechanismAuditResult broken = AuditDpSgd(spec);
+  EXPECT_FALSE(broken.consistent()) << broken.Summary();
+  // More trials certify a tighter violation.
+  EXPECT_GT(broken.empirical.empirical_epsilon, 4.0);
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace p3gm

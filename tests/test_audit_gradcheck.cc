@@ -1,0 +1,317 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "audit/gradient_check.h"
+#include "core/mixture_kl.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/sequential.h"
+#include "stats/gmm.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace audit {
+namespace {
+
+// ------------------------------------------------------------ layers
+
+TEST(GradCheckTest, Linear) {
+  util::Rng rng(1);
+  nn::Linear layer("fc", 7, 5, &rng);
+  const GradientCheckReport r = CheckLayerGradients(&layer, 4, 7);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, Relu) {
+  nn::Relu layer;
+  const GradientCheckReport r = CheckLayerGradients(&layer, 6, 9);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, Sigmoid) {
+  nn::Sigmoid layer;
+  const GradientCheckReport r = CheckLayerGradients(&layer, 6, 9);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, Tanh) {
+  nn::Tanh layer;
+  const GradientCheckReport r = CheckLayerGradients(&layer, 6, 9);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, Softplus) {
+  nn::Softplus layer;
+  const GradientCheckReport r = CheckLayerGradients(&layer, 6, 9);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, DropoutInEvalModeIsIdentity) {
+  // The checker runs in eval mode where dropout must be a deterministic
+  // identity; a dropout that ignores SetTraining(false) fails here with
+  // a stochastic numeric derivative.
+  nn::Dropout layer(0.5, /*seed=*/99);
+  const GradientCheckReport r = CheckLayerGradients(&layer, 6, 9);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, Conv2d) {
+  util::Rng rng(2);
+  nn::Conv2d layer("conv", /*in_channels=*/2, /*height=*/5, /*width=*/5,
+                   /*out_channels=*/3, /*kernel=*/3, /*padding=*/1, &rng);
+  const GradientCheckReport r = CheckLayerGradients(&layer, 2, 2 * 5 * 5);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, MaxPool2d) {
+  nn::MaxPool2d layer(/*channels=*/2, /*height=*/6, /*width=*/6);
+  const GradientCheckReport r = CheckLayerGradients(&layer, 3, 2 * 6 * 6);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, SequentialMlp) {
+  util::Rng rng(3);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Linear>("fc1", 6, 8, &rng));
+  net.Add(std::make_unique<nn::Tanh>());
+  net.Add(std::make_unique<nn::Dropout>(0.3, /*seed=*/17));
+  net.Add(std::make_unique<nn::Linear>("fc2", 8, 4, &rng));
+  net.Add(std::make_unique<nn::Sigmoid>());
+  const GradientCheckReport r = CheckLayerGradients(&net, 5, 6);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckTest, DetectsABrokenGradient) {
+  // Sanity check on the checker itself: a deliberately wrong analytic
+  // gradient must be flagged.
+  util::Rng rng(4);
+  linalg::Matrix x(3, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+  linalg::Matrix wrong_grad(3, 4);
+  for (std::size_t i = 0; i < wrong_grad.size(); ++i) {
+    wrong_grad.data()[i] = 2.0 * x.data()[i] + 0.1;  // Off by +0.1.
+  }
+  const GradientCheckReport r = CheckFunctionGradient(
+      [](const linalg::Matrix& m) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < m.size(); ++i) {
+          s += m.data()[i] * m.data()[i];
+        }
+        return s;
+      },
+      x, wrong_grad);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GT(r.max_rel_err, 1e-2);
+}
+
+// ------------------------------------------------------------ losses
+
+linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal();
+  return m;
+}
+
+TEST(GradCheckLossTest, Mse) {
+  const linalg::Matrix pred = RandomMatrix(4, 6, 10);
+  const linalg::Matrix target = RandomMatrix(4, 6, 11);
+  const nn::LossResult loss = nn::MseLoss(pred, target);
+  const GradientCheckReport r = CheckFunctionGradient(
+      [&target](const linalg::Matrix& p) {
+        return nn::MseLoss(p, target).value;
+      },
+      pred, loss.grad);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckLossTest, BceWithLogits) {
+  const linalg::Matrix logits = RandomMatrix(4, 6, 12);
+  linalg::Matrix target = RandomMatrix(4, 6, 13);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    target.data()[i] = 1.0 / (1.0 + std::exp(-target.data()[i]));  // [0,1].
+  }
+  const nn::LossResult loss = nn::BceWithLogitsLoss(logits, target);
+  const GradientCheckReport r = CheckFunctionGradient(
+      [&target](const linalg::Matrix& l) {
+        return nn::BceWithLogitsLoss(l, target).value;
+      },
+      logits, loss.grad);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckLossTest, SoftmaxCrossEntropy) {
+  const linalg::Matrix logits = RandomMatrix(5, 4, 14);
+  const std::vector<std::size_t> labels{0, 2, 3, 1, 2};
+  const nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+  const GradientCheckReport r = CheckFunctionGradient(
+      [&labels](const linalg::Matrix& l) {
+        return nn::SoftmaxCrossEntropy(l, labels).value;
+      },
+      logits, loss.grad);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckLossTest, StandardNormalKl) {
+  const linalg::Matrix mu = RandomMatrix(4, 5, 15);
+  const linalg::Matrix logvar = RandomMatrix(4, 5, 16);
+  const nn::KlResult kl = nn::StandardNormalKl(mu, logvar);
+  const GradientCheckReport r_mu = CheckFunctionGradient(
+      [&logvar](const linalg::Matrix& m) {
+        return nn::StandardNormalKl(m, logvar).value;
+      },
+      mu, kl.grad_mu);
+  EXPECT_TRUE(r_mu.ok()) << "grad_mu: " << r_mu.Summary();
+  const GradientCheckReport r_lv = CheckFunctionGradient(
+      [&mu](const linalg::Matrix& lv) {
+        return nn::StandardNormalKl(mu, lv).value;
+      },
+      logvar, kl.grad_logvar);
+  EXPECT_TRUE(r_lv.ok()) << "grad_logvar: " << r_lv.Summary();
+}
+
+TEST(GradCheckLossTest, MixturePriorKl) {
+  // The P3GM decoding-phase KL against a MoG prior (Hershey-Olsen); the
+  // gradient flows only to the log-variances (the encoder mean is frozen
+  // to the PCA map).
+  linalg::Matrix means(2, 3);
+  means(0, 0) = -0.5;
+  means(1, 1) = 0.8;
+  means(1, 2) = -0.2;
+  linalg::Matrix variances(2, 3);
+  variances.Fill(0.7);
+  variances(1, 0) = 1.4;
+  auto prior = stats::GaussianMixture::Create({0.4, 0.6}, means, variances);
+  ASSERT_TRUE(prior.ok());
+
+  const linalg::Matrix mu = RandomMatrix(4, 3, 17);
+  const linalg::Matrix logvar = RandomMatrix(4, 3, 18);
+  const core::MixtureKlResult kl = core::MixturePriorKl(mu, logvar, *prior);
+  const GradientCheckReport r = CheckFunctionGradient(
+      [&mu, &prior](const linalg::Matrix& lv) {
+        return core::MixturePriorKl(mu, lv, *prior).value;
+      },
+      logvar, kl.grad_logvar);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+TEST(GradCheckLossTest, MixturePriorKlPerExampleSums) {
+  // The DP-SGD path (mean=false) must be the same gradient scaled by B.
+  linalg::Matrix means(1, 2);
+  linalg::Matrix variances(1, 2);
+  variances.Fill(1.0);
+  auto prior = stats::GaussianMixture::Create({1.0}, means, variances);
+  ASSERT_TRUE(prior.ok());
+  const linalg::Matrix mu = RandomMatrix(3, 2, 19);
+  const linalg::Matrix logvar = RandomMatrix(3, 2, 20);
+  const core::MixtureKlResult kl =
+      core::MixturePriorKl(mu, logvar, *prior, /*mean=*/false);
+  const GradientCheckReport r = CheckFunctionGradient(
+      [&mu, &prior](const linalg::Matrix& lv) {
+        return core::MixturePriorKl(mu, lv, *prior, /*mean=*/false).value;
+      },
+      logvar, kl.grad_logvar);
+  EXPECT_TRUE(r.ok()) << r.Summary();
+}
+
+// ------------------------------------------- SetTraining contract
+
+/// Eval mode must make Forward deterministic and repeatable regardless of
+/// the per-call train flag, with no RNG consumption between calls.
+void ExpectEvalModeDeterministic(nn::Layer* layer, std::size_t batch,
+                                 std::size_t features) {
+  util::Rng rng(42);
+  linalg::Matrix x(batch, features);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+
+  layer->SetTraining(false);
+  EXPECT_FALSE(layer->is_training());
+  const linalg::Matrix y1 = layer->Forward(x, /*train=*/true);
+  const linalg::Matrix y2 = layer->Forward(x, /*train=*/true);
+  const linalg::Matrix y3 = layer->Forward(x, /*train=*/false);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y1.data()[i], y2.data()[i]) << layer->name();
+    EXPECT_DOUBLE_EQ(y1.data()[i], y3.data()[i]) << layer->name();
+  }
+  layer->SetTraining(true);
+  EXPECT_TRUE(layer->is_training());
+}
+
+TEST(SetTrainingContractTest, AllLayerTypes) {
+  util::Rng rng(5);
+  nn::Linear linear("fc", 4, 3, &rng);
+  ExpectEvalModeDeterministic(&linear, 2, 4);
+  nn::Relu relu;
+  ExpectEvalModeDeterministic(&relu, 2, 4);
+  nn::Sigmoid sigmoid;
+  ExpectEvalModeDeterministic(&sigmoid, 2, 4);
+  nn::Tanh tanh_layer;
+  ExpectEvalModeDeterministic(&tanh_layer, 2, 4);
+  nn::Softplus softplus;
+  ExpectEvalModeDeterministic(&softplus, 2, 4);
+  nn::Dropout dropout(0.5, /*seed=*/7);
+  ExpectEvalModeDeterministic(&dropout, 2, 4);
+  nn::Conv2d conv("conv", 1, 4, 4, 2, 3, 1, &rng);
+  ExpectEvalModeDeterministic(&conv, 2, 16);
+  nn::MaxPool2d pool(1, 4, 4);
+  ExpectEvalModeDeterministic(&pool, 2, 16);
+}
+
+TEST(SetTrainingContractTest, DropoutEvalIsExactIdentity) {
+  nn::Dropout dropout(0.9, /*seed=*/7);
+  dropout.SetTraining(false);
+  util::Rng rng(6);
+  linalg::Matrix x(3, 5);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+  const linalg::Matrix y = dropout.Forward(x, /*train=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y.data()[i], x.data()[i]);
+  }
+  // And Backward in eval mode is the identity too.
+  const linalg::Matrix g = dropout.Backward(x, /*accumulate=*/false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.data()[i], x.data()[i]);
+  }
+}
+
+TEST(SetTrainingContractTest, SequentialPropagatesToChildren) {
+  util::Rng rng(8);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Linear>("fc", 4, 4, &rng));
+  auto dropout = std::make_unique<nn::Dropout>(0.5, /*seed=*/3);
+  nn::Dropout* dropout_ptr = dropout.get();
+  net.Add(std::move(dropout));
+  net.SetTraining(false);
+  EXPECT_FALSE(net.is_training());
+  EXPECT_FALSE(dropout_ptr->is_training());
+  ExpectEvalModeDeterministic(&net, 3, 4);
+  net.SetTraining(true);
+  EXPECT_TRUE(dropout_ptr->is_training());
+}
+
+TEST(SetTrainingContractTest, TrainingModeDropoutStillDrops) {
+  // SetTraining(true) + train=true keeps the stochastic behaviour: two
+  // forwards differ (rate 0.5, 15 coords -> collision probability ~0).
+  nn::Dropout dropout(0.5, /*seed=*/21);
+  dropout.SetTraining(true);
+  linalg::Matrix x(3, 5);
+  x.Fill(1.0);
+  const linalg::Matrix y1 = dropout.Forward(x, /*train=*/true);
+  const linalg::Matrix y2 = dropout.Forward(x, /*train=*/true);
+  bool differs = false;
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    if (y1.data()[i] != y2.data()[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace p3gm

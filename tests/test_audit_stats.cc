@@ -1,0 +1,169 @@
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "audit/stat_tests.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace audit {
+namespace {
+
+// ------------------------------------------------------ special functions
+
+TEST(DistributionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(util::NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(util::NormalCdf(1.96), 0.9750021048517795, 1e-9);
+  EXPECT_NEAR(util::NormalCdf(-1.0), 1.0 - util::NormalCdf(1.0), 1e-12);
+  EXPECT_NEAR(util::NormalCdf(2.0, 2.0, 3.0), 0.5, 1e-12);
+}
+
+TEST(DistributionsTest, LaplaceCdfKnownValues) {
+  EXPECT_NEAR(util::LaplaceCdf(0.0, 0.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(util::LaplaceCdf(1.0, 0.0, 1.0), 1.0 - 0.5 * std::exp(-1.0),
+              1e-12);
+  EXPECT_NEAR(util::LaplaceCdf(-1.0, 0.0, 1.0), 0.5 * std::exp(-1.0), 1e-12);
+}
+
+TEST(DistributionsTest, GammaCdfMatchesExponential) {
+  // Gamma(1, scale) is Exponential(1/scale).
+  for (double x : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(util::GammaCdf(x, 1.0, 2.0), 1.0 - std::exp(-x / 2.0), 1e-10);
+  }
+}
+
+TEST(DistributionsTest, ChiSquaredCdfKnownValues) {
+  // chi^2(2) is Exponential(1/2): CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(util::ChiSquaredCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-10);
+  // Median of chi^2(1) is ~0.4549.
+  EXPECT_NEAR(util::ChiSquaredCdf(0.454936, 1.0), 0.5, 1e-5);
+}
+
+TEST(DistributionsTest, IncompleteBetaRoundTrip) {
+  for (double a : {0.5, 2.0, 17.0}) {
+    for (double b : {1.0, 3.0, 40.0}) {
+      for (double p : {0.05, 0.5, 0.95}) {
+        const double x = util::IncompleteBetaInv(a, b, p);
+        EXPECT_NEAR(util::RegularizedIncompleteBeta(a, b, x), p, 1e-9)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- KS
+
+TEST(KsTest, ExactUniformGridHasTinyStatistic) {
+  // Points at the (i+0.5)/n quantiles minimize the KS statistic (1/2n).
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = (static_cast<double>(i) + 0.5) / 100.0;
+  }
+  const GofResult r = KolmogorovSmirnovTest(xs, [](double x) { return x; });
+  EXPECT_NEAR(r.statistic, 0.005, 1e-12);
+  EXPECT_GT(r.p_value, 0.999);
+}
+
+TEST(KsTest, ShiftedDistributionRejected) {
+  util::Rng rng(7);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = rng.Normal() + 0.5;  // Wrong mean.
+  const GofResult r = KolmogorovSmirnovTest(
+      std::move(xs), [](double x) { return util::NormalCdf(x); });
+  EXPECT_LT(r.p_value, 1e-8);
+  EXPECT_FALSE(r.Pass());
+}
+
+TEST(KsTest, CorrectDistributionAccepted) {
+  util::Rng rng(7);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = rng.Normal();
+  const GofResult r = KolmogorovSmirnovTest(
+      std::move(xs), [](double x) { return util::NormalCdf(x); });
+  EXPECT_TRUE(r.Pass()) << r.Summary();
+}
+
+TEST(KsTest, KolmogorovSurvivalKnownValues) {
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.05, 2e-3);  // Classic 5% point.
+  EXPECT_NEAR(KolmogorovSurvival(1.63), 0.01, 1e-3);  // Classic 1% point.
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+}
+
+// ------------------------------------------------------------ chi-squared
+
+TEST(ChiSquaredGofTest, PerfectFitHasZeroStatistic) {
+  const std::vector<double> obs{10, 20, 30};
+  const GofResult r = ChiSquaredGofTest(obs, obs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquaredGofTest, GrossMismatchRejected) {
+  const GofResult r =
+      ChiSquaredGofTest({100, 0, 0, 0}, {25, 25, 25, 25});
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(BinnedChiSquaredTest, UniformSamplesPass) {
+  util::Rng rng(11);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.Uniform();
+  const GofResult r =
+      BinnedChiSquaredTest(xs, [](double p) { return p; }, 20);
+  EXPECT_TRUE(r.Pass()) << r.Summary();
+}
+
+TEST(BinnedChiSquaredTest, SkewedSamplesFail) {
+  util::Rng rng(11);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.Uniform() * rng.Uniform();  // Not uniform.
+  const GofResult r =
+      BinnedChiSquaredTest(xs, [](double p) { return p; }, 20);
+  EXPECT_FALSE(r.Pass());
+}
+
+// -------------------------------------------------------- Clopper-Pearson
+
+TEST(ClopperPearsonTest, BoundsBracketTheMle) {
+  const double lo = ClopperPearsonLower(80, 100, 0.95);
+  const double hi = ClopperPearsonUpper(80, 100, 0.95);
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 0.8);
+  // Textbook two-sided 90% interval for 80/100 is roughly (0.72, 0.86).
+  EXPECT_NEAR(lo, 0.7253, 5e-3);
+  EXPECT_NEAR(hi, 0.8609, 5e-3);
+}
+
+TEST(ClopperPearsonTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ClopperPearsonLower(0, 50, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(ClopperPearsonUpper(50, 50, 0.95), 1.0);
+  // Rule of three: upper bound of 0/n at 95% is ~3/n.
+  EXPECT_NEAR(ClopperPearsonUpper(0, 100, 0.95), 0.0295, 2e-3);
+  EXPECT_NEAR(ClopperPearsonLower(100, 100, 0.95), 1.0 - 0.0295, 2e-3);
+}
+
+TEST(ClopperPearsonTest, HigherConfidenceIsWider) {
+  EXPECT_LT(ClopperPearsonLower(40, 100, 0.99),
+            ClopperPearsonLower(40, 100, 0.9));
+  EXPECT_GT(ClopperPearsonUpper(40, 100, 0.99),
+            ClopperPearsonUpper(40, 100, 0.9));
+}
+
+TEST(ClopperPearsonTest, CoverageOnSimulatedBinomials) {
+  // The lower bound must sit below the true p in ~confidence of runs;
+  // with 200 runs at 95% we allow up to 10% misses (binomial slack).
+  util::Rng rng(13);
+  const double p = 0.3;
+  std::size_t misses = 0;
+  for (int run = 0; run < 200; ++run) {
+    std::size_t k = 0;
+    for (int i = 0; i < 60; ++i) k += rng.Bernoulli(p) ? 1 : 0;
+    if (ClopperPearsonLower(k, 60, 0.95) > p) ++misses;
+  }
+  EXPECT_LE(misses, 20u);
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace p3gm

@@ -1,9 +1,12 @@
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "dp/accountant.h"
 #include "dp/rdp.h"
+#include "util/rng.h"
 
 namespace p3gm {
 namespace dp {
@@ -247,6 +250,188 @@ TEST(CalibrationTest, LooseTargetReturnsLowerBound) {
 
 TEST(CalibrationTest, RejectsNonPositiveTarget) {
   EXPECT_FALSE(CalibrateSgdSigma(TypicalParams(), 0.0, 1e-5).ok());
+}
+
+// ------------------------------------------------- edge cases (audit PR)
+
+TEST(AccountantEdgeTest, ZeroStepCompositionIsFree) {
+  RdpAccountant empty, zero;
+  zero.AddSampledGaussian(0.01, 1.5, 0);
+  zero.AddGaussian(2.0, 0);
+  zero.AddDpEm(10.0, 3, 0);
+  for (std::size_t i = 0; i < zero.rdp().size(); ++i) {
+    EXPECT_DOUBLE_EQ(zero.rdp()[i], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(zero.GetEpsilon(1e-5).epsilon,
+                   empty.GetEpsilon(1e-5).epsilon);
+}
+
+TEST(AccountantEdgeTest, FullBatchSampledGaussianEqualsPlainGaussian) {
+  // q = 1 removes the subsampling amplification entirely; the accountant
+  // must agree with the plain Gaussian path at every order and therefore
+  // in the final epsilon.
+  RdpAccountant sampled, plain;
+  sampled.AddSampledGaussian(1.0, 2.0, 7);
+  plain.AddGaussian(2.0, 7);
+  for (std::size_t i = 0; i < sampled.rdp().size(); ++i) {
+    EXPECT_NEAR(sampled.rdp()[i], plain.rdp()[i], 1e-9)
+        << "order=" << sampled.orders()[i];
+  }
+  EXPECT_NEAR(sampled.GetEpsilon(1e-5).epsilon,
+              plain.GetEpsilon(1e-5).epsilon, 1e-9);
+}
+
+TEST(AccountantEdgeTest, BestOrderStaysInsideTheGrid) {
+  // A heavy accumulated cost pushes the optimum to the grid's low end; an
+  // empty accountant to the high end. Both must clamp to grid members.
+  RdpAccountant heavy;
+  heavy.AddGaussian(0.5, 1000);
+  const auto g_heavy = heavy.GetEpsilon(1e-5);
+  EXPECT_DOUBLE_EQ(g_heavy.best_order, heavy.orders().front());
+
+  RdpAccountant empty;
+  const auto g_empty = empty.GetEpsilon(1e-5);
+  EXPECT_DOUBLE_EQ(g_empty.best_order, empty.orders().back());
+}
+
+TEST(AccountantEdgeTest, TwoOrderGridStillMinimizes) {
+  RdpAccountant acc({2.0, 64.0});
+  acc.AddGaussian(1.0, 10);
+  const auto g = acc.GetEpsilon(1e-5);
+  const double at2 = RdpToDp(2.0, 10.0 * GaussianRdp(2.0, 1.0), 1e-5);
+  const double at64 = RdpToDp(64.0, 10.0 * GaussianRdp(64.0, 1.0), 1e-5);
+  EXPECT_NEAR(g.epsilon, std::min(at2, at64), 1e-12);
+}
+
+TEST(AccountantEdgeTest, PureDpConversionNearPureEpsilonAtLargeOrders) {
+  // An (eps, 0)-DP release converted at delta > 0 costs at most eps plus
+  // the vanishing delta term of the largest grid order.
+  RdpAccountant acc;
+  acc.AddPureDp(3.0);
+  const double eps = acc.GetEpsilon(1e-5).epsilon;
+  EXPECT_GE(eps, 3.0 - 1e-9);
+  EXPECT_LE(eps, 3.0 + std::log(1e5) / (acc.orders().back() - 1.0) + 1e-9);
+}
+
+// High-precision long-double re-implementation of the accountant's
+// conversion, used as an independent reference below.
+long double ReferenceLogChoose(std::size_t n, std::size_t k) {
+  return std::lgammal(static_cast<long double>(n + 1)) -
+         std::lgammal(static_cast<long double>(k + 1)) -
+         std::lgammal(static_cast<long double>(n - k + 1));
+}
+
+long double ReferenceSampledGaussianRdp(std::size_t alpha, long double q,
+                                        long double sigma) {
+  if (q <= 0.0L) return 0.0L;
+  std::vector<long double> log_terms;
+  for (std::size_t k = 0; k <= alpha; ++k) {
+    long double lt = ReferenceLogChoose(alpha, k) +
+                     static_cast<long double>(k * (k - 1)) /
+                         (2.0L * sigma * sigma);
+    if (k > 0) lt += static_cast<long double>(k) * std::log(q);
+    if (k < alpha) {
+      if (q >= 1.0L) continue;  // (1-q)^(alpha-k) = 0.
+      lt += static_cast<long double>(alpha - k) * std::log1p(-q);
+    }
+    log_terms.push_back(lt);
+  }
+  long double max_lt = log_terms.front();
+  for (long double lt : log_terms) max_lt = std::max(max_lt, lt);
+  long double sum = 0.0L;
+  for (long double lt : log_terms) sum += std::exp(lt - max_lt);
+  return (max_lt + std::log(sum)) / static_cast<long double>(alpha - 1);
+}
+
+TEST(AccountantEdgeTest, RandomMechanismStacksMatchSlowReference) {
+  // 10 random stacks of Gaussian / sampled-Gaussian / DP-EM / pure-DP
+  // releases: the accountant's epsilon must match an independent
+  // long-double recomputation to ~1e-9 relative.
+  util::Rng rng(20240806);
+  for (int stack = 0; stack < 10; ++stack) {
+    RdpAccountant acc;
+    struct Event {
+      int kind;
+      double a, b;
+      std::size_t n, k;
+    };
+    std::vector<Event> events;
+    const std::size_t num_events = 1 + rng.UniformInt(4);
+    for (std::size_t e = 0; e < num_events; ++e) {
+      Event ev;
+      ev.kind = static_cast<int>(rng.UniformInt(4));
+      switch (ev.kind) {
+        case 0:  // Plain Gaussian.
+          ev.a = rng.Uniform(0.8, 8.0);           // sigma
+          ev.n = 1 + rng.UniformInt(50);          // count
+          acc.AddGaussian(ev.a, ev.n);
+          break;
+        case 1:  // Sampled Gaussian.
+          ev.b = rng.Uniform(0.001, 0.2);         // q
+          ev.a = rng.Uniform(0.8, 8.0);           // sigma
+          ev.n = 1 + rng.UniformInt(200);         // steps
+          acc.AddSampledGaussian(ev.b, ev.a, ev.n);
+          break;
+        case 2:  // DP-EM.
+          ev.a = rng.Uniform(5.0, 100.0);         // sigma_e
+          ev.k = 1 + rng.UniformInt(5);           // components
+          ev.n = 1 + rng.UniformInt(30);          // iters
+          acc.AddDpEm(ev.a, ev.k, ev.n);
+          break;
+        default:  // Pure DP.
+          ev.a = rng.Uniform(0.01, 1.0);          // eps
+          acc.AddPureDp(ev.a);
+          break;
+      }
+      events.push_back(ev);
+    }
+
+    const double delta = 1e-5;
+    long double best = std::numeric_limits<long double>::infinity();
+    for (double alpha : acc.orders()) {
+      long double rdp = 0.0L;
+      for (const Event& ev : events) {
+        switch (ev.kind) {
+          case 0:
+            rdp += static_cast<long double>(ev.n) *
+                   static_cast<long double>(alpha) /
+                   (2.0L * static_cast<long double>(ev.a) *
+                    static_cast<long double>(ev.a));
+            break;
+          case 1:
+            rdp += static_cast<long double>(ev.n) *
+                   ReferenceSampledGaussianRdp(
+                       static_cast<std::size_t>(alpha),
+                       static_cast<long double>(ev.b),
+                       static_cast<long double>(ev.a));
+            break;
+          case 2:
+            rdp += static_cast<long double>(ev.n) *
+                   static_cast<long double>(2 * ev.k + 1) *
+                   static_cast<long double>(alpha) /
+                   (2.0L * static_cast<long double>(ev.a) *
+                    static_cast<long double>(ev.a));
+            break;
+          default:
+            rdp += std::min(
+                2.0L * static_cast<long double>(alpha) *
+                    static_cast<long double>(ev.a) *
+                    static_cast<long double>(ev.a),
+                static_cast<long double>(ev.a));
+            break;
+        }
+      }
+      const long double eps_dp =
+          rdp + std::log(1.0L / static_cast<long double>(delta)) /
+                    (static_cast<long double>(alpha) - 1.0L);
+      best = std::min(best, eps_dp);
+    }
+
+    const double got = acc.GetEpsilon(delta).epsilon;
+    EXPECT_NEAR(got, static_cast<double>(best),
+                1e-9 * std::max(1.0, got))
+        << "stack=" << stack;
+  }
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "audit/fault_injection.h"
 #include "linalg/ops.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -212,6 +214,92 @@ TEST(DpSgdTest, MultiStackNormsAccumulate) {
     const double expected = std::min(1.0, 1.0 / std::sqrt(total));
     EXPECT_NEAR(step.clip_scales()[i], expected, 1e-12);
   }
+}
+
+TEST(DpSgdTest, DefaultFaultInjectionIsANoOp) {
+  // The audit hooks compiled into the DP hot paths must be inert with the
+  // default configuration: one step with no Scope installed and one step
+  // inside a default-config Scope are bit-identical.
+  const auto run_step = [](bool with_scope) {
+    std::unique_ptr<audit::FaultInjector::Scope> scope;
+    if (with_scope) {
+      scope = std::make_unique<audit::FaultInjector::Scope>(
+          audit::FaultConfig{});
+    }
+    util::Rng rng(77);
+    Linear layer("fc", 3, 2, &rng);
+    util::Rng data_rng(78);
+    const linalg::Matrix x = RandomMatrix(4, 3, &data_rng, 2.0);
+    layer.Forward(x, true);
+    linalg::Matrix upstream(4, 2);
+    upstream.Fill(1.0);
+    layer.Backward(upstream, /*accumulate=*/false);
+    DpSgdOptions opt;
+    opt.clip_norm = 1.0;
+    opt.noise_multiplier = 1.5;
+    util::Rng noise_rng(79);
+    DpSgdStep step(opt, &noise_rng);
+    for (Parameter* p : layer.Parameters()) p->ZeroGrad();
+    EXPECT_TRUE(step.CollectSquaredNorms({&layer}, 4).ok());
+    step.ApplyClippedAccumulation({&layer});
+    step.AddNoiseAndAverage(layer.Parameters(), 4);
+    std::vector<double> out;
+    for (Parameter* p : layer.Parameters()) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        out.push_back(p->grad.data()[i]);
+      }
+    }
+    return out;
+  };
+  const std::vector<double> bare = run_step(false);
+  const std::vector<double> scoped = run_step(true);
+  ASSERT_EQ(bare.size(), scoped.size());
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bare[i], scoped[i]);
+  }
+}
+
+TEST(DpSgdTest, NoiseScaleFaultScalesTheNoise) {
+  if (!audit::kFaultInjectionCompiled) {
+    GTEST_SKIP() << "built with -DP3GM_FAULT_INJECTION=OFF";
+  }
+  // With clipping bypassed via zero gradients (all-zero inputs and
+  // upstream 0 means the only contribution is noise), halving noise_scale
+  // must halve the privatized gradient exactly.
+  const auto noise_only = [](double noise_scale) {
+    audit::FaultConfig fault;
+    fault.noise_scale = noise_scale;
+    audit::FaultInjector::Scope scope(fault);
+    util::Rng rng(80);
+    Linear layer("fc", 3, 2, &rng);
+    linalg::Matrix x(4, 3);
+    layer.Forward(x, true);
+    linalg::Matrix upstream(4, 2);  // Zero upstream: zero gradients.
+    layer.Backward(upstream, /*accumulate=*/false);
+    DpSgdOptions opt;
+    util::Rng noise_rng(81);
+    DpSgdStep step(opt, &noise_rng);
+    for (Parameter* p : layer.Parameters()) p->ZeroGrad();
+    EXPECT_TRUE(step.CollectSquaredNorms({&layer}, 4).ok());
+    step.ApplyClippedAccumulation({&layer});
+    step.AddNoiseAndAverage(layer.Parameters(), 4);
+    std::vector<double> out;
+    for (Parameter* p : layer.Parameters()) {
+      for (std::size_t i = 0; i < p->grad.size(); ++i) {
+        out.push_back(p->grad.data()[i]);
+      }
+    }
+    return out;
+  };
+  const std::vector<double> full = noise_only(1.0);
+  const std::vector<double> half = noise_only(0.5);
+  ASSERT_EQ(full.size(), half.size());
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_DOUBLE_EQ(half[i], 0.5 * full[i]);
+    if (full[i] != 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
 }
 
 }  // namespace

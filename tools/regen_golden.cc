@@ -1,0 +1,28 @@
+// Regenerates the golden-trace regression file for the fixed-seed P3GM
+// run (see src/audit/golden.h). Usage:
+//
+//   build/tools/regen_golden [path]
+//
+// With no argument the trace is printed to stdout; with a path it is
+// written there (normally tests/golden/pgm_small.golden). Run this after
+// an *intentional* numeric change and commit the updated file together
+// with the change that caused it.
+
+#include <cstdio>
+
+#include "audit/golden.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    for (const std::string& line : p3gm::audit::GoldenPgmTraceLines()) {
+      std::printf("%s\n", line.c_str());
+    }
+    return 0;
+  }
+  if (!p3gm::audit::WriteGoldenTrace(argv[1])) {
+    std::fprintf(stderr, "regen_golden: cannot write %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("regen_golden: wrote %s\n", argv[1]);
+  return 0;
+}

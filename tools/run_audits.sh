@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Runs the full statistical audit suite, including the slow high-power
+# variants that the default ctest run skips, and (optionally) repeats it
+# under ASan+UBSan. See docs/testing.md for what each label covers.
+#
+# Usage:
+#   tools/run_audits.sh [build_dir]          # slow audits in build_dir
+#   P3GM_AUDIT_SANITIZE=1 tools/run_audits.sh
+#       also configures build-asan/ with -DP3GM_SANITIZE=address,undefined
+#       and reruns the audit labels there.
+#
+# Exit status is nonzero if any audit fails.
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/CTestTestfile.cmake" ]; then
+  echo "run_audits.sh: configuring $build_dir" >&2
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j
+
+echo "== audit suite (including slow high-power variants) =="
+P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$build_dir" -L audit \
+  --output-on-failure -j4
+
+echo "== golden trace =="
+P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$build_dir" -L golden \
+  --output-on-failure
+
+if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
+  asan_dir="$repo_root/build-asan"
+  echo "== audit suite under ASan+UBSan ($asan_dir) =="
+  cmake -B "$asan_dir" -S "$repo_root" \
+    -DP3GM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+  cmake --build "$asan_dir" -j
+  P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$asan_dir" -L audit \
+    --output-on-failure -j4
+fi
+
+echo "run_audits.sh: all audits passed"
