@@ -58,40 +58,46 @@ int main() {
   auto split = data::StratifiedSplit(credit, 0.25, 11);
   P3GM_CHECK(split.ok());
   core::PgmOptions base = CreditPgmOptions();
-  base.epochs = 25;  // Trimmed: 3 sweeps below.
+  base.epochs = SmokeMode() ? 2 : 25;  // Trimmed: 3 sweeps below.
 
   util::CsvWriter csv("ablation.csv");
   csv.WriteHeader({"knob", "value", "auroc"});
 
   std::printf("-- MoG components dm (paper: 3)\n");
-  for (std::size_t dm : {1, 3, 6, 12}) {
-    util::Stopwatch sw;
+  const std::vector<std::size_t> dms =
+      SmokeMode() ? std::vector<std::size_t>{1, 3}
+                  : std::vector<std::size_t>{1, 3, 6, 12};
+  for (std::size_t dm : dms) {
+    Section section("dm_" + std::to_string(dm));
     core::PgmOptions opt = base;
     opt.mog_components = dm;
     // Run() before taking the elapsed time (argument evaluation order is
     // unspecified).
     const auto auroc = Run(opt, *split);
-    Report(&csv, "dm", std::to_string(dm), auroc, sw.ElapsedSeconds());
+    Report(&csv, "dm", std::to_string(dm), auroc, section.Stop());
   }
 
   std::printf("-- DP-EM iterations Te (paper: 20)\n");
-  for (std::size_t te : {5, 20, 60}) {
-    util::Stopwatch sw;
+  const std::vector<std::size_t> tes =
+      SmokeMode() ? std::vector<std::size_t>{5}
+                  : std::vector<std::size_t>{5, 20, 60};
+  for (std::size_t te : tes) {
+    Section section("te_" + std::to_string(te));
     core::PgmOptions opt = base;
     opt.em_iters = te;
     const auto auroc = Run(opt, *split);
-    Report(&csv, "Te", std::to_string(te), auroc, sw.ElapsedSeconds());
+    Report(&csv, "Te", std::to_string(te), auroc, section.Stop());
   }
 
   std::printf("-- decoder observation model\n");
   for (bool gaussian : {false, true}) {
-    util::Stopwatch sw;
+    Section section(gaussian ? "decoder_gaussian" : "decoder_bernoulli");
     core::PgmOptions opt = base;
     opt.decoder = gaussian ? core::DecoderType::kGaussian
                            : core::DecoderType::kBernoulli;
     const auto auroc = Run(opt, *split);
     Report(&csv, "decoder", gaussian ? "gaussian" : "bernoulli", auroc,
-           sw.ElapsedSeconds());
+           section.Stop());
   }
 
   total.AppendRunInfo(&csv);

@@ -6,7 +6,10 @@
 // here and writes a CSV next to the binary (see EXPERIMENTS.md for the
 // paper-vs-measured record).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/pgm.h"
@@ -16,8 +19,11 @@
 #include "data/images.h"
 #include "data/synthetic.h"
 #include "eval/protocol.h"
+#include "obs/bench/harness.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
+#include "obs/perf/alloc.h"
+#include "obs/perf/counters.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -33,26 +39,56 @@ namespace bench {
 constexpr double kDelta = 1e-5;
 constexpr double kEpsilon = 1.0;
 
+/// CI smoke mode (P3GM_BENCH_SMOKE=1): every dataset helper shrinks to a
+/// few hundred rows and every options helper clamps the epoch budget so
+/// each bench binary finishes in seconds, exercising the full pipeline
+/// without reproducing the paper numbers. The `bench-smoke` ctest label
+/// runs every bench this way.
+inline bool SmokeMode() {
+  const char* env = std::getenv("P3GM_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
 /// Bench-scale dataset sizes (paper sizes in Table III are 1-2 orders of
 /// magnitude larger; see DESIGN.md §5 for the scaling policy).
 inline data::Dataset BenchCredit() {
   // Real: 284 807 rows, 0.2 % positive. Scaled: 16 000 rows at 1 %
-  // positive so splits retain estimable positives.
-  return data::MakeCreditLike(16000, 20260707, 0.01);
+  // positive so splits retain estimable positives (smoke: 2 000 rows,
+  // still ~20 positives).
+  return data::MakeCreditLike(SmokeMode() ? 2000 : 16000, 20260707, 0.01);
 }
-inline data::Dataset BenchAdult() { return data::MakeAdultLike(8000, 711); }
+inline data::Dataset BenchAdult() {
+  return data::MakeAdultLike(SmokeMode() ? 1000 : 8000, 711);
+}
 inline data::Dataset BenchIsolet() {
-  return data::MakeIsoletLike(4000, 712);
+  return data::MakeIsoletLike(SmokeMode() ? 600 : 4000, 712);
 }
-inline data::Dataset BenchEsr() { return data::MakeEsrLike(5000, 713); }
+inline data::Dataset BenchEsr() {
+  return data::MakeEsrLike(SmokeMode() ? 800 : 5000, 713);
+}
 // DP-SGD image training is signal-starved below ~10^4 examples (the
 // paper's own ISOLET discussion); the image benches therefore run at the
 // largest n the single-core budget allows.
 inline data::Dataset BenchMnist(std::size_t n = 14000) {
-  return data::MakeMnistLike(n, 714);
+  return data::MakeMnistLike(SmokeMode() ? std::min<std::size_t>(n, 1000)
+                                         : n,
+                             714);
 }
 inline data::Dataset BenchFashion(std::size_t n = 14000) {
-  return data::MakeFashionLike(n, 715);
+  return data::MakeFashionLike(SmokeMode() ? std::min<std::size_t>(n, 1000)
+                                           : n,
+                               715);
+}
+
+/// Caps the training schedule in smoke mode; identity otherwise. Every
+/// options factory routes through this so `bench-smoke` runs the same
+/// pipeline shape in a fraction of the steps.
+inline core::PgmOptions ClampForSmoke(core::PgmOptions opt) {
+  if (SmokeMode()) {
+    opt.epochs = std::min<std::size_t>(opt.epochs, 2);
+    opt.batch_size = std::min<std::size_t>(opt.batch_size, 100);
+  }
+  return opt;
 }
 
 /// Per-dataset P3GM/PGM hyper-parameters following Table IV's shape
@@ -65,7 +101,7 @@ inline core::PgmOptions CreditPgmOptions() {
   opt.mog_components = 3;
   opt.epochs = 40;
   opt.batch_size = 100;
-  return opt;
+  return ClampForSmoke(opt);
 }
 inline core::PgmOptions AdultPgmOptions() {
   core::PgmOptions opt;
@@ -74,7 +110,7 @@ inline core::PgmOptions AdultPgmOptions() {
   opt.mog_components = 3;
   opt.epochs = 40;
   opt.batch_size = 100;
-  return opt;
+  return ClampForSmoke(opt);
 }
 inline core::PgmOptions IsoletPgmOptions() {
   core::PgmOptions opt;
@@ -83,7 +119,7 @@ inline core::PgmOptions IsoletPgmOptions() {
   opt.mog_components = 3;
   opt.epochs = 25;
   opt.batch_size = 100;
-  return opt;
+  return ClampForSmoke(opt);
 }
 inline core::PgmOptions EsrPgmOptions() {
   core::PgmOptions opt;
@@ -92,7 +128,7 @@ inline core::PgmOptions EsrPgmOptions() {
   opt.mog_components = 3;
   opt.epochs = 30;
   opt.batch_size = 100;
-  return opt;
+  return ClampForSmoke(opt);
 }
 inline core::PgmOptions ImagePgmOptions() {
   core::PgmOptions opt;
@@ -101,7 +137,7 @@ inline core::PgmOptions ImagePgmOptions() {
   opt.mog_components = 5;
   opt.epochs = 10;
   opt.batch_size = 240;  // Paper's Table IV MNIST lot size.
-  return opt;
+  return ClampForSmoke(opt);
 }
 
 /// Calibrates the DP-SGD noise of `opt` for (epsilon, kDelta)-DP on n
@@ -135,20 +171,31 @@ inline eval::ProtocolResult RunProtocol(core::Synthesizer* synth,
 }
 
 /// Observed bench run: one instance per bench main(). Turns the
-/// observability subsystem on, times the run, and owns the provenance
-/// row every bench CSV carries, so the schema is defined in exactly one
-/// place. On destruction (end of main) it exports the run's telemetry
+/// observability subsystem on, times the run, owns the statistical
+/// bench suite the binary's Sections feed, and owns the provenance row
+/// every bench CSV carries, so the schema is defined in exactly one
+/// place. On destruction (end of main) it exports the run's artifacts
 /// next to the CSVs:
 ///
+///   BENCH_<name>.json                        — harness trajectory file
 ///   <name>_metrics.json / <name>_metrics.csv — registry snapshot
 ///   <name>_trace.json                        — chrome://tracing spans
 ///   <name>_ledger.json / <name>_ledger.csv   — privacy-budget ledger
 class BenchRun {
  public:
-  explicit BenchRun(std::string name) : name_(std::move(name)) {
+  explicit BenchRun(std::string name)
+      : name_(std::move(name)), suite_(name_) {
     obs::SetEnabled(true);
     obs::PrivacyLedger::Global().SetDelta(kDelta);
+    suite_.runinfo().threads = static_cast<int>(util::NumThreads());
+    current_ = this;
   }
+
+  /// The run owning this process's Sections; null outside a BenchRun's
+  /// lifetime (Sections then only time, without recording).
+  static BenchRun* Current() { return current_; }
+
+  obs::bench::BenchSuite& suite() { return suite_; }
 
   double ElapsedSeconds() const { return stopwatch_.ElapsedSeconds(); }
 
@@ -156,7 +203,8 @@ class BenchRun {
   /// and the thread count, so archived CSVs are comparable across
   /// machines and P3GM_NUM_THREADS settings. The sentinel "_runinfo" in
   /// the first column keeps the row trivially filterable by downstream
-  /// plotting scripts. The same values are published to the registry
+  /// plotting scripts (the BENCH_*.json carries the same sentinel as its
+  /// "_runinfo" object). The same values are published to the registry
   /// (bench.wall_seconds / bench.threads), putting the CSV row and the
   /// metrics snapshot in agreement.
   void AppendRunInfo(util::CsvWriter* csv) const {
@@ -171,6 +219,15 @@ class BenchRun {
   }
 
   ~BenchRun() {
+    current_ = nullptr;
+    const double wall_seconds = stopwatch_.ElapsedSeconds();
+    suite_.runinfo().wall_seconds = wall_seconds;
+    // Every bench gets at least the end-to-end sample, so BENCH files
+    // exist (and are comparable) even for binaries with no Sections yet.
+    suite_.RecordSample("total", wall_seconds);
+    const std::string bench_path = "BENCH_" + name_ + ".json";
+    suite_.WriteJson(bench_path);
+    std::printf("bench trajectory: %s\n", bench_path.c_str());
     if (!obs::Enabled()) return;
     const obs::Snapshot snapshot = obs::Registry::Global().TakeSnapshot();
     snapshot.WriteJson(name_ + "_metrics.json");
@@ -190,8 +247,55 @@ class BenchRun {
   BenchRun& operator=(const BenchRun&) = delete;
 
  private:
+  static inline BenchRun* current_ = nullptr;
+
   std::string name_;
   util::Stopwatch stopwatch_;
+  obs::bench::BenchSuite suite_;
+};
+
+/// Timed bench section: measures wall time, perf counters and (when
+/// compiled in) allocation activity for one region and records the
+/// sample into the active BenchRun's suite under `name`. Replaces the
+/// ad-hoc util::Stopwatch blocks the benches used to carry:
+///
+///   bench::Section s("credit/p3gm");
+///   ... train + evaluate ...
+///   std::printf("(%.1fs)\n", s.Stop());   // or let the dtor record
+///
+/// Stop() is idempotent and returns the section's wall seconds; the
+/// destructor stops implicitly. Section names are free-form but should
+/// stay stable across commits — they are the keys bench_compare joins
+/// on.
+class Section {
+ public:
+  explicit Section(std::string name) : name_(std::move(name)) {
+    counters_.Start();
+  }
+
+  double Stop() {
+    if (stopped_) return seconds_;
+    stopped_ = true;
+    const obs::perf::PerfSample sample = counters_.Stop();
+    const obs::perf::AllocStats alloc = alloc_scope_.Delta();
+    seconds_ = sample.wall_seconds;
+    if (BenchRun* run = BenchRun::Current()) {
+      run->suite().RecordSample(name_, seconds_, &sample, &alloc);
+    }
+    return seconds_;
+  }
+
+  ~Section() { Stop(); }
+
+  Section(const Section&) = delete;
+  Section& operator=(const Section&) = delete;
+
+ private:
+  std::string name_;
+  obs::perf::AllocScope alloc_scope_;
+  obs::perf::PerfCounters counters_;
+  bool stopped_ = false;
+  double seconds_ = 0.0;
 };
 
 inline void PrintRule() {

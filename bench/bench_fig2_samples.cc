@@ -51,14 +51,20 @@ void SaveAndReport(const std::string& name, const linalg::Matrix& samples,
   std::printf("%s\n", data::AsciiImage(samples.row_data(0)).c_str());
 }
 
-linalg::Matrix GenerateImages(core::Synthesizer* synth,
+linalg::Matrix GenerateImages(const std::string& slug,
+                              core::Synthesizer* synth,
                               const data::Dataset& train, std::size_t n) {
+  Section section(slug);
   util::Status st = synth->Fit(train);
   P3GM_CHECK_MSG(st.ok(), st.ToString().c_str());
   util::Rng rng(5);
   auto gen = synth->Generate(n, &rng);
   P3GM_CHECK_MSG(gen.ok(), gen.status().ToString().c_str());
   return gen->features;
+}
+
+std::size_t SmokeEpochs(std::size_t epochs) {
+  return SmokeMode() ? std::min<std::size_t>(epochs, 1) : epochs;
 }
 
 }  // namespace
@@ -86,17 +92,18 @@ int main() {
     core::VaeOptions opt;
     opt.hidden = 100;
     opt.latent_dim = 10;
-    opt.epochs = 10;
+    opt.epochs = SmokeEpochs(10);
     opt.batch_size = 240;
     core::VaeSynthesizer vae(opt);
-    SaveAndReport("vae", GenerateImages(&vae, mnist, n_samples), &csv);
+    SaveAndReport("vae", GenerateImages("vae", &vae, mnist, n_samples),
+                  &csv);
   }
   // (c) DP-VAE.
   {
     core::VaeOptions opt;
     opt.hidden = 100;
     opt.latent_dim = 10;
-    opt.epochs = 10;
+    opt.epochs = SmokeEpochs(10);
     opt.batch_size = 240;
     opt.differentially_private = true;
     dp::P3gmPrivacyParams pp;
@@ -109,7 +116,8 @@ int main() {
     P3GM_CHECK(sigma.ok());
     opt.sgd_sigma = *sigma;
     core::VaeSynthesizer dpvae(opt);
-    SaveAndReport("dpvae", GenerateImages(&dpvae, mnist, n_samples), &csv);
+    SaveAndReport("dpvae",
+                  GenerateImages("dpvae", &dpvae, mnist, n_samples), &csv);
   }
   // (d) DP-GM.
   {
@@ -117,20 +125,22 @@ int main() {
     opt.num_clusters = 10;
     opt.vae.hidden = 100;
     opt.vae.latent_dim = 10;
-    opt.vae.epochs = 8;
+    opt.vae.epochs = SmokeEpochs(8);
     opt.vae.batch_size = 30;
     auto sigma =
         baselines::DpGmSynthesizer::CalibrateSigma(opt, n, kEpsilon, kDelta);
     P3GM_CHECK(sigma.ok());
     opt.vae.sgd_sigma = *sigma;
     baselines::DpGmSynthesizer dpgm(opt);
-    SaveAndReport("dpgm", GenerateImages(&dpgm, mnist, n_samples), &csv);
+    SaveAndReport("dpgm", GenerateImages("dpgm", &dpgm, mnist, n_samples),
+                  &csv);
   }
   // (e) P3GM.
   {
     core::PgmOptions opt = MakePrivate(ImagePgmOptions(), n);
     core::PgmSynthesizer p3gm(opt);
-    SaveAndReport("p3gm", GenerateImages(&p3gm, mnist, n_samples), &csv);
+    SaveAndReport("p3gm", GenerateImages("p3gm", &p3gm, mnist, n_samples),
+                  &csv);
   }
 
   std::printf(

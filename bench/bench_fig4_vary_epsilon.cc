@@ -26,11 +26,12 @@ int main() {
 
   // Shorter schedule than Table V so the sweep stays tractable.
   core::PgmOptions base = CreditPgmOptions();
-  base.epochs = 30;
+  base.epochs = SmokeMode() ? 2 : 30;
 
   // Non-private reference.
   double pgm_roc, pgm_prc;
   {
+    Section section("pgm_reference");
     core::PgmSynthesizer pgm(base);
     auto res = RunProtocol(&pgm, *split);
     pgm_roc = res.mean_auroc;
@@ -39,14 +40,16 @@ int main() {
                 pgm_prc);
   }
 
-  const std::vector<double> epsilons = {0.2, 0.5, 1.0, 3.0, 10.0};
+  const std::vector<double> epsilons =
+      SmokeMode() ? std::vector<double>{1.0}
+                  : std::vector<double>{0.2, 0.5, 1.0, 3.0, 10.0};
   util::CsvWriter csv("fig4_vary_epsilon.csv");
   csv.WriteHeader({"epsilon", "model", "auroc", "auprc"});
   std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "epsilon", "P3GM-ROC",
               "DPGM-ROC", "PB-ROC", "P3GM-PRC", "DPGM-PRC", "PB-PRC");
 
   for (double eps : epsilons) {
-    util::Stopwatch sw;
+    Section section("eps_" + util::FormatDouble(eps, 2));
     double p3gm_roc = 0.5, p3gm_prc = 0.0;
     {
       // Scale each component's share with the total budget, as the paper
@@ -77,7 +80,7 @@ int main() {
       opt.count_sigma = opt.kmeans_sigma;
       opt.vae.hidden = 100;
       opt.vae.latent_dim = 10;
-      opt.vae.epochs = 15;
+      opt.vae.epochs = SmokeMode() ? 2 : 15;
       opt.vae.batch_size = 100;
       auto sigma =
           baselines::DpGmSynthesizer::CalibrateSigma(opt, n, eps, kDelta);
@@ -101,7 +104,7 @@ int main() {
     }
     std::printf("%8.2f %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f (%.0fs)\n",
                 eps, p3gm_roc, dpgm_roc, pb_roc, p3gm_prc, dpgm_prc, pb_prc,
-                sw.ElapsedSeconds());
+                section.Stop());
     csv.WriteRow({util::FormatDouble(eps, 2), "P3GM",
                   util::FormatDouble(p3gm_roc), util::FormatDouble(p3gm_prc)});
     csv.WriteRow({util::FormatDouble(eps, 2), "DP-GM",

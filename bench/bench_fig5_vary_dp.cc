@@ -24,13 +24,15 @@ int main() {
   P3GM_CHECK(split.ok());
   const std::size_t n = split->train.size();
 
-  const std::vector<std::size_t> dps = {2, 5, 10, 50, 150};
+  const std::vector<std::size_t> dps =
+      SmokeMode() ? std::vector<std::size_t>{2, 10}
+                  : std::vector<std::size_t>{2, 5, 10, 50, 150};
   util::CsvWriter csv("fig5_vary_dp.csv");
   csv.WriteHeader({"dp", "accuracy"});
   std::printf("%8s %10s\n", "d_p", "accuracy");
 
   for (std::size_t dp : dps) {
-    util::Stopwatch sw;
+    Section section("dp_" + std::to_string(dp));
     core::PgmOptions opt = ImagePgmOptions();
     opt.latent_dim = dp;
     opt = MakePrivate(opt, n);
@@ -53,7 +55,7 @@ int main() {
     P3GM_CHECK_MSG(st.ok(), st.ToString().c_str());
     const double acc =
         eval::Accuracy(cnn.Predict(split->test.features), split->test.labels);
-    std::printf("%8zu %10.4f (%.0fs)\n", dp, acc, sw.ElapsedSeconds());
+    std::printf("%8zu %10.4f (%.0fs)\n", dp, acc, section.Stop());
     csv.WriteRow({util::FormatDouble(static_cast<double>(dp), 0),
                   util::FormatDouble(acc)});
   }

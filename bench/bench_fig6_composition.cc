@@ -32,6 +32,7 @@ int main() {
               "eps (zCDP+MA)", "ratio");
 
   std::size_t violations = 0;
+  Section section("sigma_sweep");
   for (double sigma = 1.0; sigma <= 16.0; sigma *= 1.3) {
     params.sgd_sigma = sigma;
     const double eps_rdp =
@@ -45,6 +46,7 @@ int main() {
     if (eps_rdp >= eps_base) ++violations;
   }
 
+  section.Stop();
   std::printf("\npaper shape check: RDP < zCDP+MA everywhere "
               "(violations: %zu).\n",
               violations);

@@ -22,7 +22,7 @@ using namespace p3gm::bench;  // NOLINT(build/namespaces)
 
 namespace {
 
-constexpr std::size_t kEpochs = 10;
+std::size_t Epochs() { return SmokeMode() ? 2 : 10; }
 
 // Calibrated DP-SGD sigma for a pure DP-SGD schedule (DP-VAE).
 double DpVaeSigma(std::size_t n, std::size_t batch, std::size_t epochs) {
@@ -68,8 +68,9 @@ struct Curves {
   std::vector<double> dpvae_util, p3gm_util, ae_util;     // Per epoch.
 };
 
-Curves RunDataset(const data::Split& split, bool image,
-                  core::PgmOptions pgm_base, std::size_t batch) {
+Curves RunDataset(const std::string& tag, const data::Split& split,
+                  bool image, core::PgmOptions pgm_base,
+                  std::size_t batch) {
   Curves out;
   const std::size_t n = split.train.size();
   const linalg::Matrix joint = data::AttachLabels(
@@ -77,13 +78,14 @@ Curves RunDataset(const data::Split& split, bool image,
 
   // DP-VAE.
   {
+    Section section(tag + "/dpvae");
     core::VaeOptions opt;
     opt.hidden = pgm_base.hidden;
     opt.latent_dim = pgm_base.latent_dim;
-    opt.epochs = kEpochs;
+    opt.epochs = Epochs();
     opt.batch_size = batch;
     opt.differentially_private = true;
-    opt.sgd_sigma = DpVaeSigma(n, batch, kEpochs);
+    opt.sgd_sigma = DpVaeSigma(n, batch, Epochs());
     core::Vae vae(opt);
     util::Status st = vae.Fit(joint, [&](const core::TrainProgress&) {
       out.dpvae_util.push_back(SnapshotUtility(&vae, split, image));
@@ -93,8 +95,9 @@ Curves RunDataset(const data::Split& split, bool image,
   }
   // P3GM and the P3GM(AE) ablation.
   for (bool freeze : {false, true}) {
+    Section section(tag + (freeze ? "/p3gm_ae" : "/p3gm"));
     core::PgmOptions opt = pgm_base;
-    opt.epochs = kEpochs;
+    opt.epochs = Epochs();
     opt.batch_size = batch;
     opt.freeze_variance = freeze;
     opt = MakePrivate(opt, n);
@@ -172,15 +175,16 @@ int main() {
     data::Dataset mnist = BenchMnist(10000);
     auto split = data::StratifiedSplit(mnist, 0.1, 11);
     P3GM_CHECK(split.ok());
-    Curves c = RunDataset(*split, /*image=*/true, ImagePgmOptions(), 240);
+    Curves c = RunDataset("mnist", *split, /*image=*/true,
+                          ImagePgmOptions(), SmokeMode() ? 100 : 240);
     Report("mnist", c, "accuracy", total);
   }
   {
     data::Dataset credit = BenchCredit();
     auto split = data::StratifiedSplit(credit, 0.25, 11);
     P3GM_CHECK(split.ok());
-    Curves c =
-        RunDataset(*split, /*image=*/false, CreditPgmOptions(), 200);
+    Curves c = RunDataset("credit", *split, /*image=*/false,
+                          CreditPgmOptions(), SmokeMode() ? 100 : 200);
     Report("credit", c, "AUROC", total);
   }
 

@@ -6,9 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "dp/accountant.h"
+#include "obs/bench/harness.h"
 #include "dp/mechanisms.h"
 #include "linalg/covariance.h"
 #include "linalg/eigen_sym.h"
@@ -187,22 +191,37 @@ void BM_PerExampleClipStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PerExampleClipStep);
 
-// Wall-clock threads-vs-throughput sweep, written to micro_threads.csv
-// with explicit wall time and thread count per row so archived runs are
-// comparable across machines (google-benchmark's own output lacks the
-// pool size). Deterministic kernels mean the result matrix is identical
-// at every row of the sweep; only the timing varies.
+// Threads-vs-throughput sweep on the statistical bench harness
+// (warmup + reps, median + bootstrap CI per cell), written both to
+// micro_threads.csv — explicit wall time and thread count per row so
+// archived runs are comparable across machines (google-benchmark's own
+// output lacks the pool size) — and to BENCH_micro_threads.json for
+// tools/bench_compare. Deterministic kernels mean the result matrix is
+// identical at every cell of the sweep; only the timing varies.
 void RunThreadSweep() {
+  const char* smoke_env = std::getenv("P3GM_BENCH_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] != '\0' &&
+                     std::strcmp(smoke_env, "0") != 0;
+  p3gm::obs::bench::BenchSuite suite(smoke ? "micro-threads-smoke"
+                                           : "micro-threads");
+  p3gm::util::Stopwatch total;
   p3gm::util::CsvWriter csv("micro_threads.csv");
   csv.WriteHeader({"kernel", "size", "threads", "wall_seconds", "gflops"});
-  for (std::size_t n : {256u, 512u}) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{256, 512};
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  for (std::size_t n : sizes) {
     Matrix a = RandomMatrix(n, n, 43);
     Matrix b = RandomMatrix(n, n, 47);
-    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (std::size_t threads : thread_counts) {
       p3gm::util::SetNumThreads(threads);
-      p3gm::util::Stopwatch sw;
-      benchmark::DoNotOptimize(p3gm::linalg::Matmul(a, b));
-      const double secs = sw.ElapsedSeconds();
+      const auto& r = suite.Run(
+          "matmul." + std::to_string(n) + ".t" + std::to_string(threads),
+          [&] { benchmark::DoNotOptimize(p3gm::linalg::Matmul(a, b)); });
+      const double secs = r.stats.median;
       const double flops = 2.0 * static_cast<double>(n) * n * n;
       csv.WriteRow({"matmul", std::to_string(n), std::to_string(threads),
                     p3gm::util::FormatDouble(secs, 6),
@@ -212,7 +231,13 @@ void RunThreadSweep() {
     }
   }
   p3gm::util::SetNumThreads(0);
-  std::printf("[thread sweep CSV: micro_threads.csv]\n");
+  // Threads vary per cell (encoded in the bench names); runinfo records
+  // the pool size the process returned to.
+  suite.runinfo().threads = static_cast<int>(p3gm::util::NumThreads());
+  suite.runinfo().wall_seconds = total.ElapsedSeconds();
+  suite.WriteJson("BENCH_micro_threads.json");
+  std::printf(
+      "[thread sweep: micro_threads.csv + BENCH_micro_threads.json]\n");
 }
 
 }  // namespace

@@ -26,19 +26,22 @@ int main() {
 
   {
     // Same training budget as PGM/P3GM for a fair comparison.
+    Section section("credit/vae");
     core::VaeOptions opt;
     opt.hidden = 200;
     opt.latent_dim = 10;
-    opt.epochs = 40;
+    opt.epochs = SmokeMode() ? 2 : 40;
     opt.batch_size = 100;
     core::VaeSynthesizer vae(opt);
     rows.emplace_back("VAE", RunProtocol(&vae, *split, /*fast=*/false));
   }
   {
+    Section section("credit/pgm");
     core::PgmSynthesizer pgm(CreditPgmOptions());
     rows.emplace_back("PGM", RunProtocol(&pgm, *split, /*fast=*/false));
   }
   {
+    Section section("credit/p3gm");
     core::PgmOptions opt =
         MakePrivate(CreditPgmOptions(), split->train.size());
     core::PgmSynthesizer p3gm(opt);

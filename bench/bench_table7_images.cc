@@ -30,6 +30,10 @@ eval::CnnClassifier::Options CnnOptions() {
   return opt;
 }
 
+std::size_t SmokeEpochs(std::size_t epochs) {
+  return SmokeMode() ? std::min<std::size_t>(epochs, 1) : epochs;
+}
+
 double CnnAccuracyOn(const data::Dataset& train, const data::Dataset& test) {
   // The CNN saturates well below the full synthetic set; cap its
   // training data so the conv fits don't dominate the bench.
@@ -40,8 +44,9 @@ double CnnAccuracyOn(const data::Dataset& train, const data::Dataset& test) {
   return eval::Accuracy(cnn.Predict(test.features), test.labels);
 }
 
-double RunSynth(core::Synthesizer* synth, const data::Split& split) {
-  util::Stopwatch sw;
+double RunSynth(const std::string& slug, core::Synthesizer* synth,
+                const data::Split& split) {
+  Section section(slug);
   util::Status st = synth->Fit(split.train);
   P3GM_CHECK_MSG(st.ok(), st.ToString().c_str());
   util::Rng rng(3);
@@ -51,7 +56,7 @@ double RunSynth(core::Synthesizer* synth, const data::Split& split) {
   const double acc = CnnAccuracyOn(*gen, split.test);
   std::printf("   %-10s accuracy=%.4f (eps=%.2f, %.1fs)\n",
               synth->name().c_str(), acc,
-              synth->ComputeEpsilon(kDelta).epsilon, sw.ElapsedSeconds());
+              synth->ComputeEpsilon(kDelta).epsilon, section.Stop());
   return acc;
 }
 
@@ -60,7 +65,8 @@ struct Row {
   double vae, dpgm, privbayes, p3gm;
 };
 
-Row RunCase(const std::string& name, const data::Dataset& images) {
+Row RunCase(const std::string& name, const std::string& slug,
+            const data::Dataset& images) {
   auto split = data::StratifiedSplit(images, 0.1, 11);
   P3GM_CHECK(split.ok());
   const std::size_t n = split->train.size();
@@ -72,24 +78,24 @@ Row RunCase(const std::string& name, const data::Dataset& images) {
     core::VaeOptions opt;
     opt.hidden = 100;
     opt.latent_dim = 10;
-    opt.epochs = 10;
+    opt.epochs = SmokeEpochs(10);
     opt.batch_size = 240;
     core::VaeSynthesizer vae(opt);
-    row.vae = RunSynth(&vae, *split);
+    row.vae = RunSynth(slug + "/vae", &vae, *split);
   }
   {
     baselines::DpGmOptions opt;
     opt.num_clusters = 10;
     opt.vae.hidden = 100;
     opt.vae.latent_dim = 10;
-    opt.vae.epochs = 8;
+    opt.vae.epochs = SmokeEpochs(8);
     opt.vae.batch_size = 60;
     auto sigma =
         baselines::DpGmSynthesizer::CalibrateSigma(opt, n, kEpsilon, kDelta);
     P3GM_CHECK(sigma.ok());
     opt.vae.sgd_sigma = *sigma;
     baselines::DpGmSynthesizer dpgm(opt);
-    row.dpgm = RunSynth(&dpgm, *split);
+    row.dpgm = RunSynth(slug + "/dpgm", &dpgm, *split);
   }
   {
     baselines::PrivBayesOptions opt;
@@ -99,12 +105,12 @@ Row RunCase(const std::string& name, const data::Dataset& images) {
     opt.parent_window = 4;
     opt.max_candidates_per_round = 16;
     baselines::PrivBayesSynthesizer pb(opt);
-    row.privbayes = RunSynth(&pb, *split);
+    row.privbayes = RunSynth(slug + "/privbayes", &pb, *split);
   }
   {
     core::PgmOptions opt = MakePrivate(ImagePgmOptions(), n);
     core::PgmSynthesizer p3gm(opt);
-    row.p3gm = RunSynth(&p3gm, *split);
+    row.p3gm = RunSynth(slug + "/p3gm", &p3gm, *split);
   }
   std::printf("\n");
   return row;
@@ -117,8 +123,8 @@ int main() {
   BenchRun total("table7_images");
 
   std::vector<Row> rows;
-  rows.push_back(RunCase("MNIST", BenchMnist()));
-  rows.push_back(RunCase("Fashion-MNIST", BenchFashion()));
+  rows.push_back(RunCase("MNIST", "mnist", BenchMnist()));
+  rows.push_back(RunCase("Fashion-MNIST", "fashion", BenchFashion()));
 
   util::CsvWriter csv("table7_images.csv");
   csv.WriteHeader({"dataset", "vae", "dpgm", "privbayes", "p3gm"});

@@ -1,0 +1,143 @@
+#ifndef P3GM_OBS_BENCH_HARNESS_H_
+#define P3GM_OBS_BENCH_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/bench/stats.h"
+#include "obs/perf/alloc.h"
+#include "obs/perf/counters.h"
+
+namespace p3gm {
+namespace obs {
+namespace bench {
+
+/// Statistical bench harness: warmup + repeated measurement with robust
+/// summary statistics, hardware-counter and allocation attribution, and
+/// a versioned JSON trajectory file (BENCH_<name>.json) that
+/// tools/bench_compare diffs across commits. Two usage modes share one
+/// schema:
+///
+///  * Closure mode — `suite.Run("gemm.256", fn)` runs warmup + reps of
+///    `fn`, each rep individually timed and counter-sampled.
+///  * Recording mode — `suite.RecordSample("privbayes", secs, &counters)`
+///    appends one externally timed sample (the paper-table benches,
+///    where a "rep" is minutes of training and sections are timed by
+///    bench::Section).
+///
+/// The suite is single-threaded by design: one driver thread measures,
+/// the measured code may be internally parallel.
+
+constexpr const char* kBenchSchemaVersion = "p3gm-bench-v1";
+
+struct BenchOptions {
+  int warmup = 1;
+  int reps = 5;
+  bool reject_outliers = true;
+  std::uint64_t bootstrap_seed = 42;
+  int bootstrap_reps = 2000;
+
+  /// Defaults overridden by P3GM_BENCH_REPS / P3GM_BENCH_WARMUP
+  /// (non-negative integers; invalid values are ignored).
+  static BenchOptions FromEnv();
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<double> samples_seconds;  // One entry per measured rep.
+  SampleStats stats;
+  perf::PerfSample counters;  // Accumulated over measured reps.
+  perf::AllocStats alloc;     // Accumulated over measured reps.
+};
+
+/// Provenance block serialized as "_runinfo" — the same sentinel the CSV
+/// provenance rows use. git sha / build type / flags are burned in at
+/// configure time; cpu model is read from /proc/cpuinfo; threads and
+/// wall_seconds are caller-set (the obs layer cannot depend on
+/// util::NumThreads without a cycle).
+struct RunInfo {
+  std::string suite;
+  std::string schema = kBenchSchemaVersion;
+  std::string git_sha;
+  std::string cpu_model;
+  std::string build_type;
+  std::string cxx_flags;
+  int threads = 0;
+  double wall_seconds = 0.0;
+  bool hw_counters = false;
+  bool alloc_tracking = false;
+};
+
+/// Fills the compile-time and probed fields for suite `name`.
+RunInfo CollectRunInfo(const std::string& name);
+
+class BenchSuite {
+ public:
+  explicit BenchSuite(std::string name);
+
+  /// Closure mode: warmup + reps of `fn`; returns the finished entry.
+  const BenchResult& Run(const std::string& bench_name,
+                         const std::function<void()>& fn,
+                         BenchOptions options = BenchOptions::FromEnv());
+
+  /// Closure mode over a whole suite, sampled in interleaved rounds:
+  /// after a warmup pass, round r measures every benchmark once before
+  /// any benchmark gets rep r+1. Each benchmark's samples therefore span
+  /// the full suite wall-window instead of one tight burst, so slow
+  /// phases of a noisy (shared/container) machine hit all benchmarks
+  /// alike — which is what lets a comparator cancel machine drift as a
+  /// common factor. Prefer this over per-bench Run() loops whenever all
+  /// closures are known upfront.
+  struct NamedBench {
+    std::string name;
+    std::function<void()> fn;
+  };
+  void RunInterleaved(const std::vector<NamedBench>& benches,
+                      BenchOptions options = BenchOptions::FromEnv());
+
+  /// Recording mode: appends one externally timed sample (creating the
+  /// entry on first use; stats are recomputed at export).
+  void RecordSample(const std::string& bench_name, double seconds,
+                    const perf::PerfSample* counters = nullptr,
+                    const perf::AllocStats* alloc = nullptr);
+
+  RunInfo& runinfo() { return runinfo_; }
+  const std::vector<BenchResult>& results() const { return results_; }
+  bool empty() const { return results_.empty(); }
+
+  /// The full BENCH_*.json document (schema above; see
+  /// docs/observability.md for the field reference).
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  BenchResult* FindOrCreate(const std::string& bench_name);
+
+  RunInfo runinfo_;
+  std::vector<BenchResult> results_;  // Insertion order.
+  BenchOptions stats_options_;        // Stats knobs for recorded samples.
+};
+
+/// Loaded-back view of a BENCH_*.json file, for comparison tooling.
+struct BenchFileData {
+  RunInfo runinfo;
+  std::vector<BenchResult> benchmarks;  // counters/alloc left empty.
+
+  const BenchResult* Find(const std::string& name) const;
+};
+
+/// Parses a BENCH_*.json document / file. Returns false with a message
+/// in `*error` on malformed input or a schema-version mismatch.
+bool ParseBenchJson(const std::string& text, BenchFileData* out,
+                    std::string* error);
+bool LoadBenchFile(const std::string& path, BenchFileData* out,
+                   std::string* error);
+
+}  // namespace bench
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_BENCH_HARNESS_H_

@@ -1,0 +1,110 @@
+#include "obs/bench/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace p3gm {
+namespace obs {
+namespace bench {
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for bootstrap index draws.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double MedianOfSorted(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return MedianOfSorted(v);
+}
+
+double Mad(const std::vector<double>& v, double center) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::fabs(x - center));
+  return Median(std::move(dev));
+}
+
+std::vector<double> RejectOutliers(const std::vector<double>& v, double k) {
+  if (v.size() < 3) return v;
+  const double med = Median(v);
+  const double scaled_mad = 1.4826 * Mad(v, med);
+  if (scaled_mad <= 0.0) return v;
+  std::vector<double> kept;
+  kept.reserve(v.size());
+  for (double x : v) {
+    if (std::fabs(x - med) <= k * scaled_mad) kept.push_back(x);
+  }
+  return kept;
+}
+
+Ci BootstrapMedianCi(const std::vector<double>& v, int reps, double conf,
+                     std::uint64_t seed) {
+  Ci ci;
+  const std::size_t n = v.size();
+  if (n == 0) return ci;
+  if (n == 1) {
+    ci.lo = ci.hi = v[0];
+    return ci;
+  }
+  std::uint64_t state = seed;
+  std::vector<double> medians;
+  medians.reserve(static_cast<std::size_t>(reps));
+  std::vector<double> resample(n);
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = v[SplitMix64(&state) % n];
+    }
+    medians.push_back(Median(resample));
+  }
+  std::sort(medians.begin(), medians.end());
+  const double tail = 0.5 * (1.0 - conf);
+  const auto rank = [&](double q) {
+    const double pos = q * static_cast<double>(medians.size() - 1);
+    return medians[static_cast<std::size_t>(pos + 0.5)];
+  };
+  ci.lo = rank(tail);
+  ci.hi = rank(1.0 - tail);
+  return ci;
+}
+
+SampleStats Summarize(const std::vector<double>& samples,
+                      bool reject_outliers, std::uint64_t bootstrap_seed,
+                      int bootstrap_reps) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  const std::vector<double> kept =
+      reject_outliers ? RejectOutliers(samples, 5.0) : samples;
+  stats.n = kept.size();
+  stats.rejected = samples.size() - kept.size();
+  stats.min = *std::min_element(kept.begin(), kept.end());
+  stats.max = *std::max_element(kept.begin(), kept.end());
+  double sum = 0.0;
+  for (double x : kept) sum += x;
+  stats.mean = sum / static_cast<double>(kept.size());
+  stats.median = Median(kept);
+  stats.mad = Mad(kept, stats.median);
+  const Ci ci =
+      BootstrapMedianCi(kept, bootstrap_reps, 0.95, bootstrap_seed);
+  stats.ci95_lo = ci.lo;
+  stats.ci95_hi = ci.hi;
+  return stats;
+}
+
+}  // namespace bench
+}  // namespace obs
+}  // namespace p3gm

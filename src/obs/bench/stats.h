@@ -1,0 +1,65 @@
+#ifndef P3GM_OBS_BENCH_STATS_H_
+#define P3GM_OBS_BENCH_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p3gm {
+namespace obs {
+namespace bench {
+
+/// Robust summary statistics for benchmark timing samples. Medians and
+/// MAD rather than mean/stddev because timing noise is one-sided (a
+/// descheduled rep only ever adds time); bootstrap confidence intervals
+/// because the sample counts are small and nothing here is normal.
+/// Everything is deterministic: the bootstrap uses a seeded splitmix64
+/// stream, never the global RNG.
+
+/// Median of `v` (averaged middle pair for even sizes). NaN when empty.
+double Median(std::vector<double> v);
+
+/// Median absolute deviation around `center`. NaN when empty.
+double Mad(const std::vector<double>& v, double center);
+
+/// Drops samples with |x - median| > k * 1.4826 * MAD (the
+/// normal-consistent MAD scale). With MAD == 0 (constant samples, or
+/// n < 3) nothing is dropped. Returns the kept samples in input order.
+std::vector<double> RejectOutliers(const std::vector<double>& v, double k);
+
+struct Ci {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile-bootstrap confidence interval for the median: `reps`
+/// resamples with replacement, interval between the (1-conf)/2 and
+/// 1-(1-conf)/2 empirical quantiles. Degenerates to [x, x] for n == 1.
+Ci BootstrapMedianCi(const std::vector<double>& v, int reps, double conf,
+                     std::uint64_t seed);
+
+/// Per-benchmark summary, as serialized into BENCH_*.json.
+struct SampleStats {
+  std::size_t n = 0;         // Samples summarized (after rejection).
+  std::size_t rejected = 0;  // Outliers dropped before summarizing.
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+  double ci95_lo = 0.0;
+  double ci95_hi = 0.0;
+};
+
+/// Outlier rejection (optional) followed by the full summary. Empty
+/// input returns a zero struct with n == 0.
+SampleStats Summarize(const std::vector<double>& samples,
+                      bool reject_outliers = true,
+                      std::uint64_t bootstrap_seed = 42,
+                      int bootstrap_reps = 2000);
+
+}  // namespace bench
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_BENCH_STATS_H_

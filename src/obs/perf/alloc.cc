@@ -1,0 +1,181 @@
+#include "obs/perf/alloc.h"
+
+#if P3GM_ALLOC_TRACKING_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#define P3GM_HAVE_USABLE_SIZE 1
+#else
+#define P3GM_HAVE_USABLE_SIZE 0
+#endif
+
+namespace p3gm {
+namespace obs {
+namespace perf {
+namespace {
+
+// Constant-initialized atomics: safe for allocations that happen during
+// static initialization, before any constructor runs.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_free_count{0};
+std::atomic<std::uint64_t> g_bytes_allocated{0};
+std::atomic<std::uint64_t> g_bytes_freed{0};
+std::atomic<std::uint64_t> g_live_bytes{0};
+std::atomic<std::uint64_t> g_peak_live_bytes{0};
+
+inline std::uint64_t UsableSize(void* p) {
+#if P3GM_HAVE_USABLE_SIZE
+  return static_cast<std::uint64_t>(malloc_usable_size(p));
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+inline void RecordAlloc(void* p) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t sz = UsableSize(p);
+  if (sz == 0) return;
+  g_bytes_allocated.fetch_add(sz, std::memory_order_relaxed);
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::uint64_t peak = g_peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_live_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void RecordFree(void* p) {
+  if (p == nullptr) return;
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t sz = UsableSize(p);
+  if (sz == 0) return;
+  g_bytes_freed.fetch_add(sz, std::memory_order_relaxed);
+  g_live_bytes.fetch_sub(sz, std::memory_order_relaxed);
+}
+
+void* TrackedNew(std::size_t size) {
+  if (size == 0) size = 1;
+  while (true) {
+    void* p = std::malloc(size);
+    if (p != nullptr) {
+      RecordAlloc(p);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+AllocStats CurrentAllocStats() {
+  AllocStats s;
+  s.alloc_count = g_alloc_count.load(std::memory_order_relaxed);
+  s.free_count = g_free_count.load(std::memory_order_relaxed);
+  s.bytes_allocated = g_bytes_allocated.load(std::memory_order_relaxed);
+  s.bytes_freed = g_bytes_freed.load(std::memory_order_relaxed);
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.peak_live_bytes = g_peak_live_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+AllocScope::AllocScope() : start_(CurrentAllocStats()) {
+  // Reset the window's high-water mark to the current live level so the
+  // reported peak is attributable to this region. Concurrent regions
+  // share the process-wide mark; last reset wins, which is the intended
+  // semantics for the single-threaded bench driver.
+  g_peak_live_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+}
+
+AllocStats AllocScope::Delta() const {
+  const AllocStats now = CurrentAllocStats();
+  AllocStats d;
+  d.alloc_count = now.alloc_count - start_.alloc_count;
+  d.free_count = now.free_count - start_.free_count;
+  d.bytes_allocated = now.bytes_allocated - start_.bytes_allocated;
+  d.bytes_freed = now.bytes_freed - start_.bytes_freed;
+  d.live_bytes =
+      now.live_bytes > start_.live_bytes ? now.live_bytes - start_.live_bytes
+                                         : 0;
+  d.peak_live_bytes = now.peak_live_bytes > start_.live_bytes
+                          ? now.peak_live_bytes - start_.live_bytes
+                          : 0;
+  return d;
+}
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace p3gm
+
+// Global operator new/delete replacements. Each simply wraps malloc/free
+// plus the relaxed-atomic bookkeeping above; size, alignment (default)
+// and failure semantics match the standard library's.
+
+void* operator new(std::size_t size) {
+  return p3gm::obs::perf::TrackedNew(size);
+}
+void* operator new[](std::size_t size) {
+  return p3gm::obs::perf::TrackedNew(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return p3gm::obs::perf::TrackedNew(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return p3gm::obs::perf::TrackedNew(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept {
+  p3gm::obs::perf::RecordFree(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  p3gm::obs::perf::RecordFree(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  p3gm::obs::perf::RecordFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  p3gm::obs::perf::RecordFree(p);
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  p3gm::obs::perf::RecordFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  p3gm::obs::perf::RecordFree(p);
+  std::free(p);
+}
+
+#else  // !P3GM_ALLOC_TRACKING_ENABLED
+
+namespace p3gm {
+namespace obs {
+namespace perf {
+
+AllocStats CurrentAllocStats() { return AllocStats(); }
+AllocScope::AllocScope() = default;
+AllocStats AllocScope::Delta() const { return AllocStats(); }
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_ALLOC_TRACKING_ENABLED

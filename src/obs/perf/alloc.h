@@ -1,0 +1,66 @@
+#ifndef P3GM_OBS_PERF_ALLOC_H_
+#define P3GM_OBS_PERF_ALLOC_H_
+
+#include <cstdint>
+
+/// Heap-allocation tracking behind -DP3GM_ALLOC_TRACKING (CMake option,
+/// default OFF). When ON, alloc.cc replaces the global operator
+/// new/delete family with counting wrappers (relaxed atomics, no
+/// allocation inside the hooks, safe before main). When OFF — the
+/// default — no operator is replaced, so the build is bit-identical to
+/// one that never heard of this header; only the inert query API below
+/// is compiled, mirroring the P3GM_OBSERVABILITY compile-out contract.
+///
+/// Tracking is strictly passive either way: it never changes an
+/// allocation's size, alignment or address, so enabling it cannot change
+/// any computed value.
+
+#ifndef P3GM_ALLOC_TRACKING_ENABLED
+#define P3GM_ALLOC_TRACKING_ENABLED 0
+#endif
+
+namespace p3gm {
+namespace obs {
+namespace perf {
+
+/// Monotone process-wide allocation totals. Byte figures use the
+/// allocator's usable size (malloc_usable_size) so frees can be
+/// attributed exactly; on libcs without it, byte fields stay zero and
+/// only the counts move.
+struct AllocStats {
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t bytes_freed = 0;
+  std::uint64_t live_bytes = 0;       // bytes_allocated - bytes_freed
+  std::uint64_t peak_live_bytes = 0;  // high-water mark of live_bytes
+};
+
+/// True when the hooks are compiled in (-DP3GM_ALLOC_TRACKING=ON).
+inline constexpr bool AllocTrackingCompiledIn() {
+  return P3GM_ALLOC_TRACKING_ENABLED != 0;
+}
+
+/// Current process-wide totals; all-zero when compiled out.
+AllocStats CurrentAllocStats();
+
+/// Measures the allocation activity of a region: Delta() returns the
+/// counts/bytes since construction, with `live_bytes` the net change
+/// (may wrap below zero conceptually — reported as 0 then) and
+/// `peak_live_bytes` the process high-water mark observed since
+/// construction minus the live bytes at construction (0 when the region
+/// never grew the heap). Zeros when compiled out.
+class AllocScope {
+ public:
+  AllocScope();
+  AllocStats Delta() const;
+
+ private:
+  AllocStats start_;
+};
+
+}  // namespace perf
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_PERF_ALLOC_H_

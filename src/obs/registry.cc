@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
+#include "obs/json.h"
 #include "util/check.h"
 
 namespace p3gm {
@@ -52,6 +54,37 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double HistogramSample::Quantile(double q) const {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (count == 0 || bounds.empty() ||
+      bucket_counts.size() != bounds.size() + 1) {
+    return nan;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank within the cumulative distribution, in [0, count].
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket > 0 &&
+        rank <= static_cast<double>(cumulative + in_bucket)) {
+      const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double upper = bounds[i];
+      const double into =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      // Rank 0 (q == 0 with a leading empty region) still lands at the
+      // bucket's lower edge, which is the most honest point estimate.
+      return lower + (upper - lower) * std::max(0.0, into);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls in the overflow bucket: the upper edge is unknown, so
+  // clamp to the largest finite bound.
+  return bounds.back();
 }
 
 void Histogram::Reset() {
@@ -120,7 +153,7 @@ std::string Snapshot::ToJson() const {
   bool first = true;
   for (const auto& c : counters) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + c.name + "\": " + FormatValue(c.value);
+    out += "    \"" + json::Escape(c.name) + "\": " + FormatValue(c.value);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -128,7 +161,7 @@ std::string Snapshot::ToJson() const {
   first = true;
   for (const auto& g : gauges) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + g.name + "\": " + FormatValue(g.value);
+    out += "    \"" + json::Escape(g.name) + "\": " + FormatValue(g.value);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";
@@ -136,7 +169,8 @@ std::string Snapshot::ToJson() const {
   first = true;
   for (const auto& h : histograms) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + h.name + "\": {\"count\": " + FormatValue(h.count) +
+    out += "    \"" + json::Escape(h.name) +
+           "\": {\"count\": " + FormatValue(h.count) +
            ", \"sum\": " + FormatValue(h.sum) + ", \"bounds\": [";
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) out += ", ";

@@ -104,6 +104,15 @@ struct HistogramSample {
   std::vector<std::uint64_t> bucket_counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts, with
+  /// linear interpolation inside the containing bucket (the Prometheus
+  /// histogram_quantile convention): the first bucket's lower edge is
+  /// min(0, bounds[0]), and any rank landing in the overflow bucket
+  /// clamps to bounds.back(). Returns NaN when the histogram is empty
+  /// (count == 0) or has no bounds (nothing to interpolate against), and
+  /// clamps q itself into [0, 1].
+  double Quantile(double q) const;
 };
 
 /// Point-in-time copy of every instrument, sorted by name (deterministic

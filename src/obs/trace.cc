@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/json.h"
+
 namespace p3gm {
 namespace obs {
 
@@ -101,11 +103,14 @@ std::string TraceRecorder::ToChromeJson() const {
   bool first = true;
   char buf[160];
   for (const Event& e : events) {
+    // Span names are string literals by contract, but harden the export
+    // anyway: a quote or backslash in a name must not corrupt the JSON.
+    const std::string name = json::Escape(e.name);
     std::snprintf(buf, sizeof buf,
                   "%s\n  {\"name\": \"%s\", \"cat\": \"p3gm\", "
                   "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
                   "\"ts\": %.3f, \"dur\": %.3f}",
-                  first ? "" : ",", e.name, e.tid,
+                  first ? "" : ",", name.c_str(), e.tid,
                   static_cast<double>(e.start_ns) * 1e-3,
                   static_cast<double>(e.end_ns - e.start_ns) * 1e-3);
     out += buf;

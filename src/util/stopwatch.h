@@ -23,7 +23,11 @@ class Stopwatch {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
+  // Timing must be monotonic: a wall-clock adjustment (NTP step, manual
+  // set) mid-measurement would corrupt bench samples and the telemetry
+  // ledger. steady_clock is guaranteed monotonic; keep it that way.
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "Stopwatch requires a monotonic clock");
   Clock::time_point start_;
 };
 

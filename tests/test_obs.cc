@@ -6,6 +6,7 @@
 // fixture below, which restores a clean disabled state.
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 
 #include "gtest/gtest.h"
 #include "dp/accountant.h"
+#include "obs/json.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
 #include "obs/registry.h"
@@ -123,6 +125,72 @@ TEST_F(ObsTest, HistogramBucketizesOnUpperBounds) {
   EXPECT_EQ(h->bucket_counts(), want);
 }
 
+TEST_F(ObsTest, HistogramQuantileInterpolatesExactly) {
+  // bounds {1,2,4} with observations {0.5, 1.0, 1.5, 3.0, 100.0}:
+  // buckets hold {2, 1, 1} plus 1 in overflow (count 5).
+  HistogramSample s;
+  s.bounds = {1.0, 2.0, 4.0};
+  s.bucket_counts = {2, 1, 1, 1};
+  s.count = 5;
+  s.sum = 106.0;
+  // q=0.5 -> rank 2.5 lands 0.5 into the (1, 2] bucket.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 1.5);
+  // q=0.2 -> rank 1.0, halfway through the first bucket whose lower
+  // edge is min(0, bounds[0]) = 0.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.2), 0.5);
+  // q=0 pins to the first bucket's lower edge.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  // q=1 -> rank 5 falls in the overflow bucket, which clamps to the
+  // largest finite bound.
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 4.0);
+  // q is clamped into [0, 1].
+  EXPECT_DOUBLE_EQ(s.Quantile(-3.0), s.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.Quantile(7.0), s.Quantile(1.0));
+}
+
+TEST_F(ObsTest, HistogramQuantileNegativeLowerEdge) {
+  // All-negative bounds: the first bucket's lower edge is
+  // min(0, bounds[0]) = bounds[0], so that bucket degenerates to the
+  // point -2 (the Prometheus convention — no fabricated range below the
+  // smallest bound). The second bucket interpolates normally.
+  HistogramSample s;
+  s.bounds = {-2.0, -1.0};
+  s.bucket_counts = {2, 2, 0};
+  s.count = 4;
+  // rank 1 lands in the first (point) bucket.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), -2.0);
+  // rank 3 is halfway into the (-2, -1] bucket.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.75), -1.5);
+  // rank 4 exhausts the second bucket: its upper edge.
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), -1.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileEmptyAndMalformedAreNaN) {
+  HistogramSample s;  // No bounds, no counts.
+  EXPECT_TRUE(std::isnan(s.Quantile(0.5)));
+  s.bounds = {1.0};
+  s.bucket_counts = {0, 0};
+  s.count = 0;  // Empty histogram.
+  EXPECT_TRUE(std::isnan(s.Quantile(0.5)));
+  s.count = 3;  // Size mismatch: counts must be bounds.size() + 1.
+  s.bucket_counts = {3};
+  EXPECT_TRUE(std::isnan(s.Quantile(0.5)));
+}
+
+TEST_F(ObsTest, LiveHistogramSnapshotQuantileMatchesHandComputed) {
+  Histogram* h =
+      Registry::Global().histogram("test.quantile.hist", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h->Observe(v);
+  const Snapshot snap = Registry::Global().TakeSnapshot();
+  const HistogramSample* s = nullptr;
+  for (const auto& hs : snap.histograms) {
+    if (hs.name == "test.quantile.hist") s = &hs;
+  }
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(s->Quantile(1.0), 4.0);
+}
+
 TEST_F(ObsTest, DisabledUpdatesAreNoOps) {
   Counter* c = Registry::Global().counter("test.disabled.counter");
   Gauge* g = Registry::Global().gauge("test.disabled.gauge");
@@ -217,6 +285,45 @@ TEST_F(ObsTest, ChromeJsonIsWellFormed) {
   EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
   // One complete ("X") event per recorded span.
   EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""), 3u);
+}
+
+TEST_F(ObsTest, ChromeJsonEscapesHostileSpanNames) {
+  // A span name containing quotes, backslashes and a newline must not
+  // break the trace JSON: chrome://tracing rejects the whole file on a
+  // single malformed string.
+  {
+    P3GM_TRACE_SPAN("test.\"quoted\"\\back\nslash");
+  }
+  const std::string out = TraceRecorder::Global().ToChromeJson();
+  // The raw bytes must carry the escape sequences...
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\\\\back"), std::string::npos) << out;
+  EXPECT_NE(out.find("\\n"), std::string::npos) << out;
+  // ...and a strict JSON parse must round-trip the original name.
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(out, &root, &error)) << error;
+  const json::Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const auto& e : events->items) {
+    if (e.StringOr("name", "") == "test.\"quoted\"\\back\nslash") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << out;
+}
+
+TEST_F(ObsTest, RegistryJsonEscapesHostileInstrumentNames) {
+  Registry& registry = Registry::Global();
+  registry.counter("test.\"evil\"\\name")->Add(3);
+  const std::string out = registry.TakeSnapshot().ToJson();
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(out, &root, &error)) << error;
+  const json::Value* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->NumberOr("test.\"evil\"\\name", -1.0), 3.0);
 }
 
 TEST_F(ObsTest, DisabledSpansRecordNothing) {

@@ -328,6 +328,30 @@ TEST(StopwatchTest, MeasuresElapsed) {
   EXPECT_LT(sw.ElapsedSeconds(), 1.0);
 }
 
+TEST(StopwatchTest, MonotonicNonDecreasing) {
+  // The stopwatch sits on steady_clock (enforced by a static_assert in
+  // the header), so successive reads can never go backwards — even if
+  // the system wall clock is stepped mid-run.
+  Stopwatch sw;
+  double prev = sw.ElapsedSeconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double now = sw.ElapsedSeconds();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_GE(sw.ElapsedMillis(), prev * 1e3);
+}
+
+TEST(StopwatchTest, RestartResetsOrigin) {
+  Stopwatch sw;
+  volatile double spin = 0.0;
+  while (sw.ElapsedSeconds() < 1e-4) spin = spin + 1.0;
+  (void)spin;
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1e-4 + 1.0);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
 // --------------------------------------------------------------- Logging
 
 TEST(LoggingTest, LevelFilterRoundTrip) {

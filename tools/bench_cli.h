@@ -1,0 +1,17 @@
+#ifndef P3GM_TOOLS_BENCH_CLI_H_
+#define P3GM_TOOLS_BENCH_CLI_H_
+
+namespace p3gm {
+namespace cli {
+
+/// `p3gm bench` subcommand: runs the substrate micro-suite (dense
+/// kernels, eigensolver, accountant, DP-SGD clip step) under the
+/// statistical harness in obs/bench and writes a BENCH_*.json
+/// trajectory file. `argv[start]` is the first argument after "bench".
+/// Returns a process exit code (0 ok, 1 runtime failure, 2 usage).
+int RunBenchCommand(int argc, char** argv, int start);
+
+}  // namespace cli
+}  // namespace p3gm
+
+#endif  // P3GM_TOOLS_BENCH_CLI_H_

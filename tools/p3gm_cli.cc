@@ -24,6 +24,7 @@
 #include "obs/observability.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "tools/bench_cli.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -53,6 +54,8 @@ int Usage() {
                "  p3gm train <data.csv> <model.release> [options]\n"
                "  p3gm generate <model.release> <out.csv> --n N [--seed S]\n"
                "  p3gm inspect <model.release>\n"
+               "  p3gm bench [--out FILE] [--filter SUBSTR] [--reps N]\n"
+               "             [--warmup N] [--smoke] [--list]\n"
                "\n"
                "train options:\n"
                "  --epsilon E          target epsilon (default 1.0)\n"
@@ -249,6 +252,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "inspect" && argc >= 3) {
     return CmdInspect(argv[2]);
+  }
+  if (cmd == "bench") {
+    return cli::RunBenchCommand(argc, argv, 2);
   }
   return Usage();
 }

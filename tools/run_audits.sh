@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Runs the full statistical audit suite, including the slow high-power
 # variants that the default ctest run skips, and (optionally) repeats it
 # under ASan+UBSan. See docs/testing.md for what each label covers.
@@ -9,9 +9,10 @@
 #       also configures build-asan/ with -DP3GM_SANITIZE=address,undefined
 #       and reruns the audit labels there.
 #
-# Exit status is nonzero if any audit fails.
+# Every suite runs even if an earlier one fails; the exit status is
+# nonzero if any audit failed.
 
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
@@ -22,13 +23,15 @@ if [ ! -f "$build_dir/CTestTestfile.cmake" ]; then
 fi
 cmake --build "$build_dir" -j
 
+failures=0
+
 echo "== audit suite (including slow high-power variants) =="
 P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$build_dir" -L audit \
-  --output-on-failure -j4
+  --output-on-failure -j4 || failures=$((failures + 1))
 
 echo "== golden trace =="
 P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$build_dir" -L golden \
-  --output-on-failure
+  --output-on-failure || failures=$((failures + 1))
 
 if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
   asan_dir="$repo_root/build-asan"
@@ -37,7 +40,11 @@ if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
     -DP3GM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
   cmake --build "$asan_dir" -j
   P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$asan_dir" -L audit \
-    --output-on-failure -j4
+    --output-on-failure -j4 || failures=$((failures + 1))
 fi
 
+if [ "$failures" -ne 0 ]; then
+  echo "run_audits.sh: $failures audit suite(s) FAILED" >&2
+  exit 1
+fi
 echo "run_audits.sh: all audits passed"
