@@ -71,6 +71,24 @@ util::Result<ReleasePackage> ReleasePackage::FromVae(Vae* model,
   return pkg;
 }
 
+util::Result<ReleasePackage> ReleasePackage::FromParts(
+    std::string name, std::size_t num_classes, DecoderType decoder,
+    stats::GaussianMixture prior, linalg::Matrix w1, linalg::Matrix b1,
+    linalg::Matrix w2, linalg::Matrix b2) {
+  P3GM_RETURN_NOT_OK(CheckWeights({w1, b1, w2, b2}));
+  ReleasePackage pkg;
+  pkg.name_ = std::move(name);
+  pkg.num_classes_ = num_classes;
+  pkg.decoder_type_ = decoder;
+  pkg.prior_ = std::move(prior);
+  pkg.w1_ = std::move(w1);
+  pkg.b1_ = std::move(b1);
+  pkg.w2_ = std::move(w2);
+  pkg.b2_ = std::move(b2);
+  P3GM_RETURN_NOT_OK(pkg.Validate());
+  return pkg;
+}
+
 util::Status ReleasePackage::Validate() const {
   if (w1_.empty() || w2_.empty()) {
     return util::Status::FailedPrecondition("ReleasePackage: empty decoder");
@@ -158,13 +176,18 @@ util::Result<ReleasePackage> ReleasePackage::Load(const std::string& path) {
   return pkg;
 }
 
-util::Result<data::Dataset> ReleasePackage::Generate(std::size_t n,
-                                                     util::Rng* rng) const {
+linalg::Matrix ReleasePackage::SampleLatent(std::size_t n,
+                                            util::Rng* rng) const {
+  return prior_.SampleN(n, rng);
+}
+
+util::Result<linalg::Matrix> ReleasePackage::DecodeLatent(
+    const linalg::Matrix& z) const {
   P3GM_RETURN_NOT_OK(Validate());
-  if (n == 0) {
-    return util::Status::InvalidArgument("ReleasePackage: n must be > 0");
+  if (z.cols() != latent_dim()) {
+    return util::Status::InvalidArgument(
+        "ReleasePackage: latent dimension mismatch");
   }
-  linalg::Matrix z = prior_.SampleN(n, rng);
   linalg::Matrix h = linalg::Matmul(z, w1_);
   linalg::AddRowVector(b1_.Row(0), &h);
   double* hd = h.data();
@@ -183,20 +206,35 @@ util::Result<data::Dataset> ReleasePackage::Generate(std::size_t n,
       ld[i] = std::clamp(ld[i], 0.0, 1.0);
     }
   }
+  return logits;
+}
 
+data::Dataset ReleasePackage::AssembleRows(linalg::Matrix outputs) const {
   data::Dataset out;
   out.name = name_;
+  const std::size_t n = outputs.rows();
   if (num_classes_ > 0) {
     out.num_classes = num_classes_;
-    data::LabeledRows rows = data::DetachLabels(logits, num_classes_);
+    data::LabeledRows rows = data::DetachLabels(outputs, num_classes_);
     out.features = std::move(rows.features);
     out.labels = std::move(rows.labels);
   } else {
     out.num_classes = 1;
-    out.features = std::move(logits);
+    out.features = std::move(outputs);
     out.labels.assign(n, 0);
   }
   return out;
+}
+
+util::Result<data::Dataset> ReleasePackage::Generate(std::size_t n,
+                                                     util::Rng* rng) const {
+  P3GM_RETURN_NOT_OK(Validate());
+  if (n == 0) {
+    return util::Status::InvalidArgument("ReleasePackage: n must be > 0");
+  }
+  P3GM_ASSIGN_OR_RETURN(linalg::Matrix outputs,
+                        DecodeLatent(SampleLatent(n, rng)));
+  return AssembleRows(std::move(outputs));
 }
 
 }  // namespace core

@@ -39,6 +39,15 @@ class ReleasePackage {
                                               std::size_t num_classes,
                                               std::string name);
 
+  /// Assembles a package from explicit parts (prior + decoder affines).
+  /// Shape contract: w1 (dl x h), b1 (1 x h), w2 (h x d), b2 (1 x d),
+  /// prior over dl dims. Exists for the serving/bench/test layers, which
+  /// need packages without running a training pipeline first.
+  static util::Result<ReleasePackage> FromParts(
+      std::string name, std::size_t num_classes, DecoderType decoder,
+      stats::GaussianMixture prior, linalg::Matrix w1, linalg::Matrix b1,
+      linalg::Matrix w2, linalg::Matrix b2);
+
   /// Writes the package to `path` (binary, versioned).
   util::Status Save(const std::string& path) const;
 
@@ -47,7 +56,23 @@ class ReleasePackage {
 
   /// Samples `n` rows: z ~ prior, x = sigmoid(W2 relu(W1 z + b1) + b2),
   /// labels decoded from the one-hot block when num_classes > 0.
+  /// Equivalent to AssembleRows(DecodeLatent(SampleLatent(n, rng))); the
+  /// three stages are public so a serving layer can batch the decoder
+  /// forward pass across requests while keeping per-request RNG streams.
   util::Result<data::Dataset> Generate(std::size_t n, util::Rng* rng) const;
+
+  /// Draws `n` latent rows z ~ prior, consuming `rng` sequentially.
+  linalg::Matrix SampleLatent(std::size_t n, util::Rng* rng) const;
+
+  /// Runs the decoder forward pass on latent rows `z` (n x latent_dim),
+  /// returning post-activation outputs (n x output_dim). Each output row
+  /// is a pure function of its input row, so decoding a stacked batch
+  /// yields bit-identical rows to decoding each slice separately.
+  util::Result<linalg::Matrix> DecodeLatent(const linalg::Matrix& z) const;
+
+  /// Splits decoded outputs into a Dataset (labels detached from the
+  /// trailing one-hot block when num_classes > 0).
+  data::Dataset AssembleRows(linalg::Matrix outputs) const;
 
   const std::string& name() const { return name_; }
   DecoderType decoder_type() const { return decoder_type_; }

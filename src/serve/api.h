@@ -1,0 +1,56 @@
+#ifndef P3GM_SERVE_API_H_
+#define P3GM_SERVE_API_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace serve {
+
+/// Wire schema of the /v1/* JSON API (docs/serving.md is the normative
+/// reference). Parsing is two-staged: the strict UTF-8 check runs before
+/// the JSON grammar (obs::json::Parse, which is already depth-limited),
+/// so no malformed byte sequence reaches value handling.
+
+/// True iff `s` is well-formed UTF-8: no truncated or overlong
+/// sequences, no surrogate code points, nothing above U+10FFFF.
+bool Utf8Valid(const std::string& s);
+
+/// A validated POST /v1/sample body.
+struct SampleRequest {
+  std::string model;
+  std::size_t n = 0;
+  /// Optional "seed": when present the response rows are a pure function
+  /// of (package, seed, n) — independent of batching, coalescing and
+  /// concurrent load. Seeded requests never touch the sample cache.
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  /// Optional "fresh": true bypasses the sample cache for this request.
+  bool fresh = false;
+};
+
+/// Parses and validates a sample-request body. Errors are
+/// InvalidArgument (malformed JSON / fields, maps to 400), OutOfRange
+/// (n outside [1, max_n], maps to 400) or NotFound is *not* produced
+/// here — model existence is the registry's call.
+util::Result<SampleRequest> ParseSampleRequest(const std::string& body,
+                                               std::size_t max_n);
+
+/// {"error": "<message>"} with proper escaping.
+std::string ErrorJson(const std::string& message);
+
+/// Response body for a sample request: row-major features, integer
+/// labels, and enough metadata for a client to interpret the shape.
+std::string SampleResponseJson(const std::string& model,
+                               std::uint64_t generation, bool cached,
+                               const data::Dataset& rows);
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_API_H_

@@ -1,0 +1,166 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace serve {
+
+Batcher::Batcher(BatcherOptions options, SampleCache* cache,
+                 Completion on_done)
+    : options_(options), cache_(cache), on_done_(std::move(on_done)) {}
+
+Batcher::~Batcher() { Stop(); }
+
+void Batcher::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void Batcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+bool Batcher::Enqueue(SampleJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || !started_ || queue_.size() >= options_.queue_limit) {
+      return false;
+    }
+    queue_.push_back(std::move(job));
+    static obs::Gauge* depth =
+        obs::Registry::Global().gauge("serve.queue.depth");
+    depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t Batcher::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::vector<SampleJob> Batcher::NextBatchLocked() {
+  std::vector<SampleJob> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const core::ReleasePackage* pkg = batch.front().package.get();
+  std::size_t rows = batch.front().fill_cache
+                         ? SampleCache::Bucket(batch.front().n)
+                         : batch.front().n;
+  // Coalesce FIFO-order neighbours on the same package. Jobs for other
+  // packages are skipped over, not reordered past their own kind, so
+  // per-model ordering is preserved.
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.max_batch_requests;) {
+    if (it->package.get() != pkg) {
+      ++it;
+      continue;
+    }
+    const std::size_t job_rows =
+        it->fill_cache ? SampleCache::Bucket(it->n) : it->n;
+    if (rows + job_rows > options_.max_batch_rows) break;
+    rows += job_rows;
+    batch.push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+  static obs::Gauge* depth =
+      obs::Registry::Global().gauge("serve.queue.depth");
+  depth->Set(static_cast<double>(queue_.size()));
+  return batch;
+}
+
+void Batcher::Loop() {
+  for (;;) {
+    std::vector<SampleJob> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained.
+      batch = NextBatchLocked();
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void Batcher::ExecuteBatch(std::vector<SampleJob> batch) {
+  P3GM_TRACE_SPAN("serve.batch");
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* batches = registry.counter("serve.batches");
+  static obs::Counter* rows_total = registry.counter("serve.sample.rows");
+  static obs::Histogram* batch_size = registry.histogram(
+      "serve.batch.requests", {1, 2, 4, 8, 16, 32, 64});
+  batches->Add();
+  batch_size->Observe(static_cast<double>(batch.size()));
+
+  const core::ReleasePackage& pkg = *batch.front().package;
+
+  // Stage 1 — per-request latent sampling. Each job draws from its own
+  // RNG (explicit seed, or a counter-derived stream for unseeded jobs),
+  // so the latents — and therefore the response — are independent of
+  // how jobs were coalesced.
+  std::vector<std::size_t> rows(batch.size());
+  std::size_t total_rows = 0;
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    rows[j] =
+        batch[j].fill_cache ? SampleCache::Bucket(batch[j].n) : batch[j].n;
+    total_rows += rows[j];
+  }
+  linalg::Matrix stacked(total_rows, pkg.latent_dim());
+  std::size_t offset = 0;
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    util::Rng rng = batch[j].has_seed
+                        ? util::Rng(batch[j].seed)
+                        : util::Rng::StreamAt(options_.server_seed,
+                                              batch[j].stream_index);
+    const linalg::Matrix z = pkg.SampleLatent(rows[j], &rng);
+    std::copy(z.data(), z.data() + z.size(),
+              stacked.data() + offset * pkg.latent_dim());
+    offset += rows[j];
+  }
+
+  // Stage 2 — one decoder forward pass over the stacked latents.
+  auto outputs = pkg.DecodeLatent(stacked);
+  if (!outputs.ok()) {
+    for (SampleJob& job : batch) on_done_(job.ticket, outputs.status());
+    return;
+  }
+  rows_total->Add(total_rows);
+
+  // Stage 3 — slice outputs back per request.
+  offset = 0;
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    linalg::Matrix slice(rows[j], outputs->cols());
+    std::copy(outputs->data() + offset * outputs->cols(),
+              outputs->data() + (offset + rows[j]) * outputs->cols(),
+              slice.data());
+    offset += rows[j];
+    data::Dataset block = pkg.AssembleRows(std::move(slice));
+    if (batch[j].fill_cache) {
+      cache_->Insert(batch[j].model, batch[j].generation, block);
+      on_done_(batch[j].ticket, block.Head(batch[j].n));
+    } else {
+      on_done_(batch[j].ticket, std::move(block));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace p3gm

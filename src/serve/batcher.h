@@ -1,0 +1,108 @@
+#ifndef P3GM_SERVE_BATCHER_H_
+#define P3GM_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/release.h"
+#include "data/dataset.h"
+#include "serve/sample_cache.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace serve {
+
+/// One queued sample request, carrying everything needed to execute it
+/// off the event-loop thread. The package shared_ptr pins the model
+/// across hot-reloads.
+struct SampleJob {
+  std::uint64_t ticket = 0;  // Server-side response correlation.
+  std::string model;
+  std::uint64_t generation = 0;
+  std::shared_ptr<const core::ReleasePackage> package;
+  std::size_t n = 0;
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  /// Per-request counter index for unseeded jobs: latents come from
+  /// util::Rng::StreamAt(server_seed, stream_index), so results do not
+  /// depend on batch composition or scheduling.
+  std::uint64_t stream_index = 0;
+  /// Generate a full cache bucket (next pow2 >= n) and insert it.
+  bool fill_cache = false;
+};
+
+struct BatcherOptions {
+  /// Most requests coalesced into one decoder forward pass. 1 disables
+  /// batching (every request decodes alone) — the bench_serve baseline.
+  std::size_t max_batch_requests = 8;
+  /// Row budget per coalesced pass, so one giant request cannot drag
+  /// every small neighbour's latency up.
+  std::size_t max_batch_rows = 8192;
+  /// Queue bound; Enqueue beyond it fails and the server answers 503.
+  std::size_t queue_limit = 256;
+  /// Stream family for unseeded requests.
+  std::uint64_t server_seed = 0;
+};
+
+/// Single-consumer batching executor: the event loop enqueues sample
+/// jobs; one worker thread pops them, coalesces consecutive jobs that
+/// target the same package into ONE decoder forward pass (per-request
+/// latent streams keep results bit-identical to unbatched execution —
+/// each output row depends only on its own input row), and reports each
+/// job's result through the completion callback. The decode itself runs
+/// on the calling worker but fans out internally through
+/// util::ParallelFor inside the gemm kernels, which is where batching
+/// wins: one 256-row pass engages the thread pool where eight 32-row
+/// passes mostly run serial.
+class Batcher {
+ public:
+  /// `on_done` is invoked from the batcher thread for every job —
+  /// including jobs drained during Stop() — exactly once.
+  using Completion =
+      std::function<void(std::uint64_t ticket, util::Result<data::Dataset>)>;
+
+  Batcher(BatcherOptions options, SampleCache* cache, Completion on_done);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  void Start();
+
+  /// Graceful drain: runs every queued job to completion, then joins.
+  void Stop();
+
+  /// False when the queue is at queue_limit or the batcher is stopping
+  /// (the caller answers 503 + Retry-After).
+  bool Enqueue(SampleJob job);
+
+  std::size_t QueueDepth() const;
+
+ private:
+  void Loop();
+  std::vector<SampleJob> NextBatchLocked();
+  void ExecuteBatch(std::vector<SampleJob> batch);
+
+  const BatcherOptions options_;
+  SampleCache* const cache_;  // May be disabled; never null.
+  const Completion on_done_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<SampleJob> queue_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_BATCHER_H_

@@ -1,0 +1,233 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/string_utils.h"
+
+namespace p3gm {
+namespace serve {
+
+namespace {
+
+bool IEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (IEquals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+util::Status HttpClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return util::Status::IoError("HttpClient: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return util::Status::InvalidArgument("HttpClient: bad host \"" + host +
+                                         "\"");
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    Close();
+    return util::Status::IoError("HttpClient: connect(" + host + ":" +
+                                 std::to_string(port) +
+                                 ") failed: " + std::strerror(errno));
+  }
+  buffer_.clear();
+  return util::Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+util::Status HttpClient::SendAll(const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return util::Status::IoError("HttpClient: send failed: " +
+                                 std::string(std::strerror(errno)));
+  }
+  return util::Status::OK();
+}
+
+util::Result<ClientResponse> HttpClient::Request(const std::string& method,
+                                                 const std::string& target,
+                                                 const std::string& body) {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("HttpClient: not connected");
+  }
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: p3gm\r\n";
+  if (!body.empty() || method == "POST") {
+    wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  P3GM_RETURN_NOT_OK(SendAll(wire));
+  return ReadResponse();
+}
+
+util::Result<ClientResponse> HttpClient::Raw(const std::string& bytes) {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("HttpClient: not connected");
+  }
+  P3GM_RETURN_NOT_OK(SendAll(bytes));
+  return ReadResponse();
+}
+
+util::Result<ClientResponse> HttpClient::ReadResponse() {
+  // Accumulate until we have the full header block, then read exactly
+  // Content-Length body bytes (the daemon always sets it).
+  auto read_more = [this]() -> int {
+    char buf[8192];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n > 0) {
+        buffer_.append(buf, static_cast<std::size_t>(n));
+        return 1;
+      }
+      if (n == 0) return 0;
+      if (errno == EINTR) continue;
+      return -1;
+    }
+  };
+
+  std::size_t header_end;
+  for (;;) {
+    header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    const int rc = read_more();
+    if (rc == 0) {
+      return util::Status::IoError("HttpClient: connection closed before "
+                                   "response headers");
+    }
+    if (rc < 0) {
+      return util::Status::IoError("HttpClient: recv failed: " +
+                                   std::string(std::strerror(errno)));
+    }
+    if (buffer_.size() > (8u << 20)) {
+      return util::Status::IoError("HttpClient: response headers too large");
+    }
+  }
+
+  ClientResponse response;
+  const std::string head = buffer_.substr(0, header_end);
+  std::size_t line_start = 0;
+  bool first_line = true;
+  while (line_start <= head.size()) {
+    std::size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    if (line.empty()) break;
+    if (first_line) {
+      first_line = false;
+      // "HTTP/1.1 200 OK"
+      const std::size_t sp1 = line.find(' ');
+      if (sp1 == std::string::npos) {
+        return util::Status::IoError("HttpClient: malformed status line: " +
+                                     line);
+      }
+      const std::size_t sp2 = line.find(' ', sp1 + 1);
+      const std::string code =
+          line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                        : sp2 - sp1 - 1);
+      std::uint64_t status = 0;
+      if (!util::ParseUint64(code, 100, 599, &status)) {
+        return util::Status::IoError("HttpClient: bad status code: " + line);
+      }
+      response.status = static_cast<int>(status);
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    response.headers.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::size_t body_len = 0;
+  if (const std::string* cl = response.FindHeader("Content-Length")) {
+    std::uint64_t parsed = 0;
+    if (!util::ParseUint64(*cl, 0, 64u << 20, &parsed)) {
+      return util::Status::IoError("HttpClient: bad Content-Length: " + *cl);
+    }
+    body_len = static_cast<std::size_t>(parsed);
+  }
+
+  const std::size_t body_start = header_end + 4;
+  while (buffer_.size() < body_start + body_len) {
+    const int rc = read_more();
+    if (rc == 0) {
+      return util::Status::IoError(
+          "HttpClient: connection closed mid-body (" +
+          std::to_string(buffer_.size() - body_start) + "/" +
+          std::to_string(body_len) + " bytes)");
+    }
+    if (rc < 0) {
+      return util::Status::IoError("HttpClient: recv failed: " +
+                                   std::string(std::strerror(errno)));
+    }
+  }
+  response.body = buffer_.substr(body_start, body_len);
+  buffer_.erase(0, body_start + body_len);
+  return response;
+}
+
+util::Result<ClientResponse> FetchOnce(const std::string& host, int port,
+                                       const std::string& method,
+                                       const std::string& target,
+                                       const std::string& body) {
+  HttpClient client;
+  P3GM_RETURN_NOT_OK(client.Connect(host, port));
+  return client.Request(method, target, body);
+}
+
+}  // namespace serve
+}  // namespace p3gm

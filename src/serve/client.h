@@ -1,0 +1,77 @@
+#ifndef P3GM_SERVE_CLIENT_H_
+#define P3GM_SERVE_CLIENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace p3gm {
+namespace serve {
+
+/// A parsed HTTP response as seen by the test client.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client used by the serve test suite and
+/// bench_serve. One connection per object; supports keep-alive request
+/// sequences on that connection. Not a general client — it exists so
+/// the e2e tests exercise the daemon over a real TCP socket without an
+/// external dependency.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to host:port (host is a dotted-quad IPv4 literal).
+  util::Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and blocks for the full response. `body` is only
+  /// sent (with Content-Length) when non-empty or the method is POST.
+  util::Result<ClientResponse> Request(const std::string& method,
+                                       const std::string& target,
+                                       const std::string& body = "");
+
+  util::Result<ClientResponse> Get(const std::string& target) {
+    return Request("GET", target);
+  }
+  util::Result<ClientResponse> Post(const std::string& target,
+                                    const std::string& body) {
+    return Request("POST", target, body);
+  }
+
+  /// Writes raw bytes verbatim (for malformed-input tests) and reads
+  /// until the peer closes or one full response arrives.
+  util::Result<ClientResponse> Raw(const std::string& bytes);
+
+ private:
+  util::Status SendAll(const std::string& data);
+  util::Result<ClientResponse> ReadResponse();
+
+  int fd_ = -1;
+  std::string buffer_;  // Bytes past the previous response (keep-alive).
+};
+
+/// One-shot convenience: connect, request, close.
+util::Result<ClientResponse> FetchOnce(const std::string& host, int port,
+                                       const std::string& method,
+                                       const std::string& target,
+                                       const std::string& body = "");
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_CLIENT_H_

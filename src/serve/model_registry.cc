@@ -1,0 +1,108 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+namespace p3gm {
+namespace serve {
+
+std::string ModelNameFromPath(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.erase(dot);
+  return base;
+}
+
+util::Result<ModelRegistry::ModelMap> ModelRegistry::BuildMap(
+    const std::vector<std::string>& paths) const {
+  if (paths.empty()) {
+    return util::Status::InvalidArgument(
+        "ModelRegistry: no package paths given");
+  }
+  ModelMap map;
+  for (const std::string& path : paths) {
+    auto pkg = core::ReleasePackage::Load(path);
+    if (!pkg.ok()) {
+      return util::Status(pkg.status().code(),
+                          path + ": " + pkg.status().message());
+    }
+    const std::string name = ModelNameFromPath(path);
+    auto [it, inserted] = map.emplace(
+        name,
+        Entry{std::make_shared<const core::ReleasePackage>(
+                  std::move(*pkg)),
+              path});
+    (void)it;
+    if (!inserted) {
+      return util::Status::AlreadyExists(
+          "ModelRegistry: duplicate serving name \"" + name + "\"");
+    }
+  }
+  return map;
+}
+
+util::Status ModelRegistry::LoadPaths(const std::vector<std::string>& paths) {
+  auto map = BuildMap(paths);
+  if (!map.ok()) return map.status();
+  auto fresh = std::make_shared<const ModelMap>(std::move(*map));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_ = std::move(fresh);
+    paths_ = paths;
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return util::Status::OK();
+}
+
+util::Status ModelRegistry::Reload() {
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paths = paths_;
+  }
+  return LoadPaths(paths);
+}
+
+std::shared_ptr<const core::ReleasePackage> ModelRegistry::Find(
+    const std::string& name) const {
+  std::shared_ptr<const ModelMap> map;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map = models_;
+  }
+  const auto it = map->find(name);
+  return it == map->end() ? nullptr : it->second.package;
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  std::shared_ptr<const ModelMap> map;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map = models_;
+  }
+  std::vector<ModelInfo> out;
+  out.reserve(map->size());
+  for (const auto& [name, entry] : *map) {
+    ModelInfo info;
+    info.name = name;
+    info.path = entry.path;
+    info.latent_dim = entry.package->latent_dim();
+    info.feature_dim = entry.package->feature_dim();
+    info.num_classes = entry.package->num_classes();
+    info.decoder =
+        entry.package->decoder_type() == core::DecoderType::kBernoulli
+            ? "bernoulli"
+            : "gaussian";
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_->size();
+}
+
+}  // namespace serve
+}  // namespace p3gm

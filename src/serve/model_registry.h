@@ -1,0 +1,80 @@
+#ifndef P3GM_SERVE_MODEL_REGISTRY_H_
+#define P3GM_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/release.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace serve {
+
+/// Everything a client needs to pick a model from GET /v1/models.
+struct ModelInfo {
+  std::string name;
+  std::string path;
+  std::size_t latent_dim = 0;
+  std::size_t feature_dim = 0;
+  std::size_t num_classes = 0;
+  std::string decoder;  // "bernoulli" | "gaussian".
+};
+
+/// The serving name for a package file: the basename without its final
+/// extension ("/a/b/adult.release" -> "adult").
+std::string ModelNameFromPath(const std::string& path);
+
+/// The set of ReleasePackages the daemon serves, with all-or-nothing
+/// hot-reload: LoadPaths/Reload build a complete replacement set off to
+/// the side and swap it in atomically only when every package loaded —
+/// a failed reload leaves the served set untouched (and running
+/// requests keep the shared_ptr of the set they started with, so a swap
+/// never invalidates an in-flight decode).
+class ModelRegistry {
+ public:
+  /// Loads every path (serving names must be unique) and swaps the set
+  /// in. Remembers `paths` for Reload().
+  util::Status LoadPaths(const std::vector<std::string>& paths);
+
+  /// Re-loads the last successful path set from disk (SIGHUP / POST
+  /// /v1/reload). Bumps generation() only on success.
+  util::Status Reload();
+
+  /// The current package for `name`; nullptr when absent. The returned
+  /// pointer pins the package across any concurrent reload.
+  std::shared_ptr<const core::ReleasePackage> Find(
+      const std::string& name) const;
+
+  std::vector<ModelInfo> List() const;
+  std::size_t size() const;
+
+  /// Monotonic set version; bumped by every successful LoadPaths/Reload.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::ReleasePackage> package;
+    std::string path;
+  };
+  using ModelMap = std::map<std::string, Entry>;
+
+  util::Result<ModelMap> BuildMap(
+      const std::vector<std::string>& paths) const;
+
+  mutable std::mutex mutex_;  // Guards models_ (pointer) and paths_.
+  std::shared_ptr<const ModelMap> models_ = std::make_shared<ModelMap>();
+  std::vector<std::string> paths_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_MODEL_REGISTRY_H_

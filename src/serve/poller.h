@@ -1,0 +1,53 @@
+#ifndef P3GM_SERVE_POLLER_H_
+#define P3GM_SERVE_POLLER_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace p3gm {
+namespace serve {
+
+/// Readiness-notification backend for the serve event loop: epoll on
+/// Linux, with a portable poll(2) implementation everywhere else. The
+/// environment variable P3GM_SERVE_FORCE_POLL=1 selects the poll
+/// backend at construction even where epoll is available, so both code
+/// paths stay exercised by the same test suite.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  // HUP / ERR — the connection should be torn down.
+  };
+
+  Poller();
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool ok() const { return ok_; }
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  void Add(int fd, bool want_read, bool want_write);
+  void Update(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  /// *out (cleared first). Returns the event count, 0 on timeout, -1 on
+  /// a poller error other than EINTR.
+  int Wait(std::vector<Event>* out, int timeout_ms);
+
+ private:
+  bool ok_ = false;
+  int epoll_fd_ = -1;  // -1 = poll backend.
+  /// Poll backend bookkeeping: fd -> requested events mask.
+  std::map<int, short> poll_interest_;
+};
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_POLLER_H_

@@ -1,0 +1,57 @@
+#include "serve/sample_cache.h"
+
+#include <utility>
+
+namespace p3gm {
+namespace serve {
+
+std::size_t SampleCache::Bucket(std::size_t n) {
+  std::size_t b = 1;
+  while (b < n) b <<= 1;
+  return b;
+}
+
+std::string SampleCache::Key(const std::string& model,
+                             std::uint64_t generation, std::size_t bucket) {
+  return model + '\0' + std::to_string(generation) + '\0' +
+         std::to_string(bucket);
+}
+
+bool SampleCache::Lookup(const std::string& model, std::uint64_t generation,
+                         std::size_t n, data::Dataset* out) {
+  if (!enabled()) return false;
+  const std::string key = Key(model, generation, Bucket(n));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
+  *out = it->second->block.Head(n);
+  return true;
+}
+
+void SampleCache::Insert(const std::string& model, std::uint64_t generation,
+                         data::Dataset block) {
+  if (!enabled()) return;
+  const std::string key = Key(model, generation, block.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->block = std::move(block);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{key, std::move(block)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::size_t SampleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace serve
+}  // namespace p3gm

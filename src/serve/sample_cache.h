@@ -1,0 +1,68 @@
+#ifndef P3GM_SERVE_SAMPLE_CACHE_H_
+#define P3GM_SERVE_SAMPLE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace p3gm {
+namespace serve {
+
+/// Per-model LRU cache of generated sample blocks, keyed by
+/// (model, registry generation, n-bucket). Requested sizes round up to
+/// the next power of two so nearby n values share one entry; a hit
+/// serves the first n rows of the stored block.
+///
+/// Semantics, documented rather than hidden: a hit returns rows the
+/// daemon has served before. That is sound — released-model samples are
+/// DP post-processing, and any window of them is as "synthetic" as any
+/// other — but it trades statistical freshness for latency, so the
+/// cache is OFF unless --cache is set, seeded requests always bypass
+/// it, and responses carry "cached": true. Keying on the registry
+/// generation makes a hot-reload an implicit full invalidation.
+class SampleCache {
+ public:
+  /// `capacity` = maximum stored blocks across all models; 0 disables.
+  explicit SampleCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// The block size a request for `n` rows is cached at: the next power
+  /// of two >= n (so at most 2x over-generation on a miss).
+  static std::size_t Bucket(std::size_t n);
+
+  /// On hit, copies the first `n` rows into *out and refreshes LRU.
+  bool Lookup(const std::string& model, std::uint64_t generation,
+              std::size_t n, data::Dataset* out);
+
+  /// Stores a block of Bucket-size rows, evicting the least recently
+  /// used entry when full.
+  void Insert(const std::string& model, std::uint64_t generation,
+              data::Dataset block);
+
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    std::string key;
+    data::Dataset block;
+  };
+
+  static std::string Key(const std::string& model, std::uint64_t generation,
+                         std::size_t bucket);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Slot> lru_;  // Front = most recently used.
+  std::map<std::string, std::list<Slot>::iterator> index_;
+};
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_SAMPLE_CACHE_H_

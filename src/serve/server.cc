@@ -1,0 +1,628 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/json.h"
+#include "obs/observability.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "serve/api.h"
+#include "util/logging.h"
+
+namespace p3gm {
+namespace serve {
+
+namespace {
+
+// Latency buckets from 100us to 3s; the histogram powers the /v1/metrics
+// p50/p99 readout and bench_serve's latency report.
+const std::vector<double> kLatencyBounds = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                            3e-2, 0.1,  0.3,  1.0,  3.0};
+
+int SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int StatusToHttp(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kInvalidArgument:
+    case util::StatusCode::kOutOfRange:
+      return 400;
+    case util::StatusCode::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+std::string ModelsJson(const ModelRegistry& registry) {
+  std::string out = "{\"generation\": " +
+                    std::to_string(registry.generation()) +
+                    ", \"models\": [";
+  bool first = true;
+  for (const ModelInfo& info : registry.List()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + obs::json::Escape(info.name) + "\"";
+    out += ", \"latent_dim\": " + std::to_string(info.latent_dim);
+    out += ", \"feature_dim\": " + std::to_string(info.feature_dim);
+    out += ", \"num_classes\": " + std::to_string(info.num_classes);
+    out += ", \"decoder\": \"" + info.decoder + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+// The one process-wide signal target. Handlers only touch atomics and a
+// pipe write, both async-signal-safe.
+std::atomic<Server*> g_signal_server{nullptr};
+
+void HandleStopSignal(int) {
+  if (Server* server = g_signal_server.load(std::memory_order_acquire)) {
+    server->RequestStop();
+  }
+}
+
+void HandleReloadSignal(int) {
+  if (Server* server = g_signal_server.load(std::memory_order_acquire)) {
+    server->RequestReload();
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_entries) {
+  BatcherOptions batch_options;
+  batch_options.max_batch_requests = std::max<std::size_t>(1,
+                                                           options_.max_batch);
+  batch_options.max_batch_rows = options_.max_batch_rows;
+  batch_options.queue_limit = options_.queue_limit;
+  batch_options.server_seed = options_.seed;
+  batcher_ = std::make_unique<Batcher>(
+      batch_options, &cache_,
+      [this](std::uint64_t ticket, util::Result<data::Dataset> result) {
+        {
+          std::lock_guard<std::mutex> lock(completions_mutex_);
+          completions_.push_back(Completion{ticket, std::move(result)});
+        }
+        Wake();
+      });
+}
+
+Server::~Server() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+util::Status Server::Init(const std::vector<std::string>& package_paths) {
+  if (initialized_) {
+    return util::Status::FailedPrecondition("Server: Init called twice");
+  }
+  P3GM_RETURN_NOT_OK(registry_.LoadPaths(package_paths));
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return util::Status::IoError("Server: pipe() failed");
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError("Server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("Server: bad host \"" +
+                                         options_.host + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return util::Status::IoError("Server: bind(" + options_.host + ":" +
+                                 std::to_string(options_.port) +
+                                 ") failed: " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return util::Status::IoError("Server: listen() failed");
+  }
+  SetNonBlocking(listen_fd_);
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  initialized_ = true;
+  return util::Status::OK();
+}
+
+util::Status Server::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!initialized_) {
+    return util::Status::FailedPrecondition("Server: Start before Init");
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition("Server: already running");
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  poller_ = std::make_unique<Poller>();
+  poller_->Add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+  poller_->Add(wake_read_fd_, /*want_read=*/true, /*want_write=*/false);
+  batcher_->Start();
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  P3GM_LOG(Info) << "p3gm serve: listening on " << options_.host << ":"
+                 << bound_port_ << " ("
+                 << (poller_->using_epoll() ? "epoll" : "poll")
+                 << " backend)";
+  return util::Status::OK();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!loop_thread_.joinable()) return;
+  RequestStop();
+  loop_thread_.join();
+  batcher_->Stop();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::WaitUntilStopped() {
+  // The loop thread clears running_ as it exits; joining happens in
+  // Stop() (or the destructor), so this only has to watch the flag.
+  while (running_.load(std::memory_order_acquire)) {
+    struct timespec ts = {0, 50 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+  }
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Server::RequestReload() {
+  reload_requested_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Server::InstallSignalHandlers(Server* server) {
+  g_signal_server.store(server, std::memory_order_release);
+  if (server == nullptr) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = HandleReloadSignal;
+  ::sigaction(SIGHUP, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Server::Wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 'w';
+  // Non-blocking; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::LoopThread() {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Gauge* active = registry.gauge("serve.connections.active");
+  std::vector<Poller::Event> events;
+  const std::uint64_t drain_deadline_budget_ns =
+      static_cast<std::uint64_t>(std::max(0, options_.drain_timeout_ms)) *
+      1000000ull;
+  std::uint64_t drain_started_ns = 0;
+  bool accepting = true;
+
+  for (;;) {
+    const bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (stopping && accepting) {
+      accepting = false;
+      poller_->Remove(listen_fd_);
+      drain_started_ns = obs::NowNs();
+    }
+    if (stopping) {
+      bool pending_out = false;
+      for (const auto& [fd, conn] : connections_) {
+        if (conn->out_offset < conn->out.size() || conn->awaiting_sample) {
+          pending_out = true;
+          break;
+        }
+      }
+      const bool pending = pending_out || !ticket_to_fd_.empty();
+      const bool deadline_hit =
+          obs::NowNs() - drain_started_ns > drain_deadline_budget_ns;
+      if (!pending || deadline_hit) break;
+    }
+
+    const int n = poller_->Wait(&events, /*timeout_ms=*/50);
+    if (n < 0) break;
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == listen_fd_) {
+        if (accepting && ev.readable) AcceptNewConnections();
+        continue;
+      }
+      if (ev.fd == wake_read_fd_) {
+        char buf[64];
+        while (::read(wake_read_fd_, buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      const auto it = connections_.find(ev.fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if (ev.readable) HandleReadable(conn);
+      if (connections_.count(ev.fd) == 0) continue;  // Closed above.
+      if (ev.writable) HandleWritable(conn);
+      if (connections_.count(ev.fd) == 0) continue;
+      if (ev.error && !ev.readable) CloseConnection(ev.fd);
+    }
+    if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
+      HttpResponse ignored = ReloadNow();
+      (void)ignored;
+    }
+    DrainCompletions();
+    active->Set(static_cast<double>(connections_.size()));
+  }
+
+  // Teardown: force-close whatever is left.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) CloseConnection(fd);
+  ticket_to_fd_.clear();
+  active->Set(0.0);
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::AcceptNewConnections() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error — try next wakeup.
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (connections_.size() >= options_.max_connections) {
+      static obs::Counter* overload =
+          obs::Registry::Global().counter("serve.overload");
+      overload->Add();
+      HttpResponse busy;
+      busy.status = 503;
+      busy.extra_headers.emplace_back("Retry-After", "1");
+      busy.body = ErrorJson("connection limit reached");
+      busy.close_connection = true;
+      const std::string wire = busy.Serialize();
+      ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>(fd, options_.http);
+    poller_->Add(fd, /*want_read=*/true, /*want_write=*/false);
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  char buf[8192];
+  for (;;) {
+    const ssize_t got = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (got > 0) {
+      conn->parser.Feed(buf, static_cast<std::size_t>(got));
+      if (conn->parser.failed()) break;
+      if (static_cast<std::size_t>(got) < sizeof buf) break;
+      continue;
+    }
+    if (got == 0) {  // Peer closed.
+      CloseConnection(conn->fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->fd);
+    return;
+  }
+  PumpRequests(conn);
+}
+
+void Server::PumpRequests(Connection* conn) {
+  if (conn->parser.failed()) {
+    static obs::Counter* bad =
+        obs::Registry::Global().counter("serve.responses.4xx");
+    bad->Add();
+    HttpResponse response;
+    response.status = conn->parser.error_status();
+    response.body = ErrorJson(conn->parser.error_message());
+    response.close_connection = true;
+    Respond(conn, std::move(response));
+    return;
+  }
+  // Serve pipelined requests until the parser runs dry or a sample
+  // request parks the connection.
+  while (!conn->awaiting_sample && conn->parser.done() &&
+         !conn->close_after_write) {
+    conn->request_start_ns = obs::NowNs();
+    ProcessRequest(conn);
+    if (connections_.count(conn->fd) == 0) return;  // Closed.
+    if (conn->awaiting_sample) break;
+    conn->parser.ResetForNext();
+    if (conn->parser.failed()) {
+      PumpRequests(conn);  // Report the pipelined parse error.
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void Server::ProcessRequest(Connection* conn) {
+  P3GM_TRACE_SPAN("serve.request");
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* total = registry.counter("serve.requests_total");
+  total->Add();
+
+  const HttpRequest& req = conn->parser.request();
+  conn->close_after_write = !req.KeepAlive();
+
+  if (req.method == "GET") {
+    if (req.target == "/healthz") {
+      Respond(conn, JsonResponse(
+                        200, "{\"status\": \"ok\", \"models\": " +
+                                 std::to_string(registry_.size()) +
+                                 ", \"generation\": " +
+                                 std::to_string(registry_.generation()) +
+                                 "}"));
+      return;
+    }
+    if (req.target == "/v1/models") {
+      Respond(conn, JsonResponse(200, ModelsJson(registry_)));
+      return;
+    }
+    if (req.target == "/v1/metrics") {
+      Respond(conn, JsonResponse(
+                        200, obs::Registry::Global().TakeSnapshot().ToJson()));
+      return;
+    }
+    Respond(conn, JsonResponse(404, ErrorJson("no such endpoint: " +
+                                              req.target)));
+    return;
+  }
+  if (req.method == "POST") {
+    if (req.target == "/v1/sample") {
+      HandleSample(conn, req);
+      return;
+    }
+    if (req.target == "/v1/reload") {
+      Respond(conn, ReloadNow());
+      return;
+    }
+    Respond(conn, JsonResponse(404, ErrorJson("no such endpoint: " +
+                                              req.target)));
+    return;
+  }
+  HttpResponse response;
+  response.status = 405;
+  response.extra_headers.emplace_back("Allow", "GET, POST");
+  response.body = ErrorJson("method not allowed: " + req.method);
+  Respond(conn, std::move(response));
+}
+
+void Server::HandleSample(Connection* conn, const HttpRequest& req) {
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* samples = registry.counter("serve.sample.requests");
+  samples->Add();
+
+  auto parsed = ParseSampleRequest(req.body, options_.max_n);
+  if (!parsed.ok()) {
+    Respond(conn, JsonResponse(StatusToHttp(parsed.status()),
+                               ErrorJson(parsed.status().message())));
+    return;
+  }
+  const SampleRequest& sample = *parsed;
+  std::shared_ptr<const core::ReleasePackage> package =
+      registry_.Find(sample.model);
+  if (package == nullptr) {
+    Respond(conn, JsonResponse(404, ErrorJson("unknown model \"" +
+                                              sample.model + "\"")));
+    return;
+  }
+  const std::uint64_t generation = registry_.generation();
+
+  // Cache fast path: unseeded, cache-eligible requests may be answered
+  // without touching the batcher at all.
+  const bool cacheable = cache_.enabled() && !sample.has_seed &&
+                         !sample.fresh;
+  if (cacheable) {
+    data::Dataset rows;
+    if (cache_.Lookup(sample.model, generation, sample.n, &rows)) {
+      static obs::Counter* hits = registry.counter("serve.cache.hits");
+      hits->Add();
+      Respond(conn, JsonResponse(200, SampleResponseJson(
+                                          sample.model, generation,
+                                          /*cached=*/true, rows)));
+      return;
+    }
+    static obs::Counter* misses = registry.counter("serve.cache.misses");
+    misses->Add();
+  }
+
+  SampleJob job;
+  job.ticket = next_ticket_++;
+  job.model = sample.model;
+  job.generation = generation;
+  job.package = std::move(package);
+  job.n = sample.n;
+  job.has_seed = sample.has_seed;
+  job.seed = sample.seed;
+  job.stream_index = next_stream_index_++;
+  job.fill_cache = cacheable;
+  const std::uint64_t ticket = job.ticket;
+  if (!batcher_->Enqueue(std::move(job))) {
+    static obs::Counter* overload = registry.counter("serve.overload");
+    overload->Add();
+    HttpResponse response;
+    response.status = 503;
+    response.extra_headers.emplace_back("Retry-After", "1");
+    response.body = ErrorJson("sample queue full, retry later");
+    Respond(conn, std::move(response));
+    return;
+  }
+  conn->awaiting_sample = true;
+  conn->ticket = ticket;
+  conn->model = sample.model;
+  conn->generation = generation;
+  ticket_to_fd_[ticket] = conn->fd;
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    const auto it = ticket_to_fd_.find(done.ticket);
+    if (it == ticket_to_fd_.end()) continue;  // Connection went away.
+    const int fd = it->second;
+    ticket_to_fd_.erase(it);
+    const auto conn_it = connections_.find(fd);
+    if (conn_it == connections_.end()) continue;
+    Connection* conn = conn_it->second.get();
+    if (!conn->awaiting_sample || conn->ticket != done.ticket) continue;
+    conn->awaiting_sample = false;
+    if (done.result.ok()) {
+      Respond(conn, JsonResponse(
+                        200, SampleResponseJson(conn->model,
+                                                conn->generation,
+                                                /*cached=*/false,
+                                                *done.result)));
+    } else {
+      Respond(conn, JsonResponse(StatusToHttp(done.result.status()),
+                                 ErrorJson(done.result.status().message())));
+    }
+    if (connections_.count(fd) == 0) continue;
+    // The parked connection may hold a pipelined follow-up request.
+    conn->parser.ResetForNext();
+    PumpRequests(conn);
+  }
+}
+
+HttpResponse Server::ReloadNow() {
+  static obs::Counter* reloads =
+      obs::Registry::Global().counter("serve.reloads");
+  const util::Status status = registry_.Reload();
+  if (!status.ok()) {
+    P3GM_LOG(Warning) << "p3gm serve: reload failed: " << status;
+    return JsonResponse(500, ErrorJson("reload failed: " +
+                                       status.message()));
+  }
+  reloads->Add();
+  P3GM_LOG(Info) << "p3gm serve: reloaded " << registry_.size()
+                 << " model(s), generation " << registry_.generation();
+  return JsonResponse(
+      200, "{\"status\": \"reloaded\", \"generation\": " +
+               std::to_string(registry_.generation()) + ", \"models\": " +
+               std::to_string(registry_.size()) + "}");
+}
+
+void Server::Respond(Connection* conn, HttpResponse response) {
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* ok2xx = registry.counter("serve.responses.2xx");
+  static obs::Counter* err4xx = registry.counter("serve.responses.4xx");
+  static obs::Counter* err5xx = registry.counter("serve.responses.5xx");
+  static obs::Histogram* latency = registry.histogram(
+      "serve.request.latency_seconds", kLatencyBounds);
+  if (response.status < 400) {
+    ok2xx->Add();
+  } else if (response.status < 500) {
+    err4xx->Add();
+  } else {
+    err5xx->Add();
+  }
+  if (conn->request_start_ns != 0) {
+    latency->Observe(
+        static_cast<double>(obs::NowNs() - conn->request_start_ns) * 1e-9);
+    conn->request_start_ns = 0;
+  }
+  if (response.close_connection) conn->close_after_write = true;
+  response.close_connection = conn->close_after_write;
+  conn->out += response.Serialize();
+  HandleWritable(conn);
+}
+
+void Server::HandleWritable(Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t sent =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn->out_offset += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (sent < 0 && errno == EINTR) continue;
+    CloseConnection(conn->fd);
+    return;
+  }
+  if (conn->out_offset >= conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+    if (conn->close_after_write) {
+      CloseConnection(conn->fd);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void Server::UpdateInterest(Connection* conn) {
+  const bool want_write = conn->out_offset < conn->out.size();
+  // While a sample is in flight we stop reading: backpressure, and the
+  // parked request's response must go out before the next one is read.
+  const bool want_read = !conn->awaiting_sample;
+  poller_->Update(conn->fd, want_read, want_write);
+}
+
+void Server::CloseConnection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second->awaiting_sample) {
+    ticket_to_fd_.erase(it->second->ticket);
+  }
+  poller_->Remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace serve
+}  // namespace p3gm

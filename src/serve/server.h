@@ -1,0 +1,160 @@
+#ifndef P3GM_SERVE_SERVER_H_
+#define P3GM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/batcher.h"
+#include "serve/http.h"
+#include "serve/model_registry.h"
+#include "serve/poller.h"
+#include "serve/sample_cache.h"
+#include "util/result.h"
+
+namespace p3gm {
+namespace serve {
+
+/// Tuning knobs for the daemon. The defaults suit the e2e tests; the
+/// CLI maps its --flags onto this struct after strict validation.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (query via port()).
+  std::size_t max_connections = 256;
+  /// Request batching (1 = off) — see BatcherOptions.
+  std::size_t max_batch = 8;
+  std::size_t max_batch_rows = 8192;
+  std::size_t queue_limit = 256;
+  /// Sample-cache entries (0 = off).
+  std::size_t cache_entries = 0;
+  /// Upper bound on "n" per sample request.
+  std::size_t max_n = 100000;
+  /// Stream family for unseeded requests (Rng::StreamAt(seed, i)).
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// How long Stop() waits for in-flight work and unflushed responses
+  /// before force-closing stragglers.
+  int drain_timeout_ms = 5000;
+  HttpLimits http;
+};
+
+/// The `p3gm serve` daemon: a single-threaded epoll/poll event loop
+/// (accept, parse, route, write) plus one batching executor thread that
+/// runs coalesced decoder passes (which in turn fan out through
+/// util::ThreadPool inside the gemm kernels). Sample requests park
+/// their connection until the batcher completes them via the wakeup
+/// pipe; every other endpoint answers inline. See docs/serving.md for
+/// the HTTP API and operational semantics.
+///
+/// Lifecycle: Init (bind + load packages) -> Start (spawn threads) ->
+/// Stop (graceful drain; also run by the destructor). Stop() stops
+/// accepting, lets queued sample jobs finish, flushes response buffers
+/// (bounded by drain_timeout_ms), then joins both threads.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listen socket and loads every package path (serving name
+  /// = file basename sans extension). Call once before Start.
+  util::Status Init(const std::vector<std::string>& package_paths);
+
+  util::Status Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Blocks until the event loop exits (Stop() or a signal-requested
+  /// stop). For CLI use after InstallSignalHandlers.
+  void WaitUntilStopped();
+
+  /// The bound TCP port (after Init).
+  int port() const { return bound_port_; }
+
+  ModelRegistry& registry() { return registry_; }
+
+  /// Thread-safe asynchronous requests; both just set a flag and wake
+  /// the loop, so they are also async-signal-safe.
+  void RequestStop();
+  void RequestReload();
+
+  /// Routes SIGTERM/SIGINT to RequestStop and SIGHUP to RequestReload
+  /// for `server` (one process-wide slot; pass nullptr to detach).
+  static void InstallSignalHandlers(Server* server);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    HttpParser parser;
+    std::string out;            // Serialized, not yet written.
+    std::size_t out_offset = 0;
+    bool close_after_write = false;
+    bool awaiting_sample = false;
+    std::uint64_t ticket = 0;
+    // Context of the in-flight sample request, for response assembly.
+    std::string model;
+    std::uint64_t generation = 0;
+    std::uint64_t request_start_ns = 0;
+
+    Connection(int fd_in, HttpLimits limits)
+        : fd(fd_in), parser(limits) {}
+  };
+
+  struct Completion {
+    std::uint64_t ticket = 0;
+    util::Result<data::Dataset> result;
+  };
+
+  void LoopThread();
+  void Wake();
+  void AcceptNewConnections();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  void PumpRequests(Connection* conn);
+  void ProcessRequest(Connection* conn);
+  void HandleSample(Connection* conn, const HttpRequest& req);
+  void Respond(Connection* conn, HttpResponse response);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(int fd);
+  void DrainCompletions();
+  HttpResponse ReloadNow();
+
+  const ServerOptions options_;
+  ModelRegistry registry_;
+  SampleCache cache_;
+  std::unique_ptr<Batcher> batcher_;
+  std::unique_ptr<Poller> poller_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int bound_port_ = 0;
+
+  std::map<int, std::unique_ptr<Connection>> connections_;  // By fd.
+  std::map<std::uint64_t, int> ticket_to_fd_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t next_stream_index_ = 0;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> reload_requested_{false};
+  std::atomic<bool> running_{false};
+  bool initialized_ = false;
+  std::mutex lifecycle_mutex_;  // Serializes Start/Stop.
+  std::thread loop_thread_;
+};
+
+}  // namespace serve
+}  // namespace p3gm
+
+#endif  // P3GM_SERVE_SERVER_H_

@@ -62,5 +62,23 @@ std::string Pad(const std::string& s, int width) {
   return left ? pad + s : s + pad;
 }
 
+bool ParseUint64(const std::string& text, std::uint64_t min,
+                 std::uint64_t max, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  // Manual accumulation instead of strtoull: strtoull skips leading
+  // whitespace, accepts a sign, and saturates on overflow — all three
+  // would turn garbage into a "valid" option value.
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // Overflow.
+    value = value * 10 + digit;
+  }
+  if (value < min || value > max) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace util
 }  // namespace p3gm

@@ -1,6 +1,7 @@
 #ifndef P3GM_UTIL_STRING_UTILS_H_
 #define P3GM_UTIL_STRING_UTILS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,17 @@ std::string FormatDouble(double value, int digits = 4);
 /// Left-pads (positive width) or right-pads (negative width) `s` with
 /// spaces to the given absolute width; used by the table printers.
 std::string Pad(const std::string& s, int width);
+
+/// Strict unsigned-integer parse for option/env values. Accepts only a
+/// complete plain decimal integer ("0" .. "18446744073709551615"): no
+/// sign, no leading/trailing whitespace, no hex, no exponent. Returns
+/// true and stores the value iff the text parses AND lies in
+/// [min, max]; on any failure *out is untouched. This is the
+/// reject-don't-default contract the P3GM_NUM_THREADS fix established —
+/// CLI flags route through it so "--port 80x0" is a usage error rather
+/// than a silent fallback.
+bool ParseUint64(const std::string& text, std::uint64_t min,
+                 std::uint64_t max, std::uint64_t* out);
 
 }  // namespace util
 }  // namespace p3gm

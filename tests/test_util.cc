@@ -372,6 +372,47 @@ TEST(LoggingTest, StreamFormatsMixedTypes) {
   SetLogLevel(original);
 }
 
+TEST(ParseUint64Test, AcceptsPlainDecimals) {
+  std::uint64_t out = 99;
+  EXPECT_TRUE(ParseUint64("0", 0, 10, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ParseUint64("8080", 1, 65535, &out));
+  EXPECT_EQ(out, 8080u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", 0, UINT64_MAX, &out));
+  EXPECT_EQ(out, UINT64_MAX);
+  EXPECT_TRUE(ParseUint64("007", 0, 10, &out));  // Leading zeros are fine.
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(ParseUint64Test, RejectsNonNumeric) {
+  std::uint64_t out = 42;
+  const char* bad[] = {"",     "abc",  "12abc", "abc12", "1.5", "1e3",
+                       "-1",   "+1",   " 1",    "1 ",    "0x10"};
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseUint64(text, 0, UINT64_MAX, &out)) << text;
+    EXPECT_EQ(out, 42u) << "*out must be untouched on failure: " << text;
+  }
+}
+
+TEST(ParseUint64Test, RejectsOverflow) {
+  std::uint64_t out = 42;
+  // One past UINT64_MAX, and a 21-digit value.
+  EXPECT_FALSE(ParseUint64("18446744073709551616", 0, UINT64_MAX, &out));
+  EXPECT_FALSE(ParseUint64("999999999999999999999", 0, UINT64_MAX, &out));
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(ParseUint64Test, EnforcesRange) {
+  std::uint64_t out = 42;
+  EXPECT_FALSE(ParseUint64("0", 1, 65535, &out));      // Below min.
+  EXPECT_FALSE(ParseUint64("65536", 1, 65535, &out));  // Above max.
+  EXPECT_EQ(out, 42u);
+  EXPECT_TRUE(ParseUint64("1", 1, 65535, &out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_TRUE(ParseUint64("65535", 1, 65535, &out));
+  EXPECT_EQ(out, 65535u);
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace p3gm

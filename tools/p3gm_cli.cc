@@ -24,8 +24,10 @@
 #include "obs/observability.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "tools/bench_cli.h"
 #include "util/stopwatch.h"
+#include "util/string_utils.h"
 
 namespace {
 
@@ -56,6 +58,7 @@ int Usage() {
                "  p3gm inspect <model.release>\n"
                "  p3gm bench [--out FILE] [--filter SUBSTR] [--reps N]\n"
                "             [--warmup N] [--smoke] [--list]\n"
+               "  p3gm serve <model.release>... [serve options]\n"
                "\n"
                "train options:\n"
                "  --epsilon E          target epsilon (default 1.0)\n"
@@ -74,7 +77,26 @@ int Usage() {
                "  --obs PREFIX         export training telemetry to\n"
                "                       PREFIX_metrics.{json,csv},\n"
                "                       PREFIX_trace.json (chrome://tracing)\n"
-               "                       and PREFIX_ledger.{json,csv}\n");
+               "                       and PREFIX_ledger.{json,csv}\n"
+               "\n"
+               "serve options (see docs/serving.md):\n"
+               "  --port P             TCP port, 1-65535 (default 8080)\n"
+               "  --host H             bind address (default 127.0.0.1)\n"
+               "  --max-batch N        coalesce up to N sample requests per\n"
+               "                       decoder pass, 1-1024 (default 8)\n"
+               "  --queue-limit N      pending sample jobs before 503,\n"
+               "                       0-65536 (default 256)\n"
+               "  --cache N            LRU sample-cache entries, 0 = off\n"
+               "                       (default 0)\n"
+               "  --max-n N            per-request row ceiling (default\n"
+               "                       100000)\n"
+               "  --seed S             stream seed for unseeded requests\n"
+               "  --no-obs             disable the metrics registry\n"
+               "                       (/v1/metrics reports zeros)\n"
+               "\n"
+               "serve answers POST /v1/sample, GET /v1/models, GET\n"
+               "/v1/metrics, GET /healthz and POST /v1/reload; SIGHUP also\n"
+               "hot-reloads packages and SIGTERM/SIGINT drain gracefully.\n");
   return 2;
 }
 
@@ -236,6 +258,110 @@ int CmdInspect(const std::string& pkg_path) {
   return 0;
 }
 
+
+// Strict numeric flag parsing for the daemon (mirrors the
+// P3GM_NUM_THREADS hardening): non-numeric, negative, overflowing or
+// out-of-range values are a usage error, never silently truncated the
+// way train/generate's atof-based flags are.
+bool ParseServeUintFlag(const char* flag, const char* text,
+                        std::uint64_t min, std::uint64_t max,
+                        std::uint64_t* out) {
+  if (!util::ParseUint64(text, min, max, out)) {
+    std::fprintf(stderr,
+                 "invalid value for %s: \"%s\" (expected integer in "
+                 "[%llu, %llu])\n",
+                 flag, text, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  return true;
+}
+
+int CmdServe(int argc, char** argv) {
+  serve::ServerOptions options;
+  options.port = 8080;
+  bool obs_enabled = true;
+  std::vector<std::string> packages;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t v = 0;
+    if (arg == "--port") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--port", text, 1, 65535, &v)) {
+        return Usage();
+      }
+      options.port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--host") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      options.host = text;
+    } else if (arg == "--max-batch") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--max-batch", text, 1, 1024, &v)) {
+        return Usage();
+      }
+      options.max_batch = static_cast<std::size_t>(v);
+    } else if (arg == "--queue-limit") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--queue-limit", text, 0, 65536, &v)) {
+        return Usage();
+      }
+      options.queue_limit = static_cast<std::size_t>(v);
+    } else if (arg == "--cache") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--cache", text, 0, 65536, &v)) {
+        return Usage();
+      }
+      options.cache_entries = static_cast<std::size_t>(v);
+    } else if (arg == "--max-n") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--max-n", text, 1, 100000000, &v)) {
+        return Usage();
+      }
+      options.max_n = static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--seed", text, 0, UINT64_MAX, &v)) {
+        return Usage();
+      }
+      options.seed = v;
+    } else if (arg == "--no-obs") {
+      obs_enabled = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      packages.push_back(arg);
+    }
+  }
+  if (packages.empty()) {
+    std::fprintf(stderr, "serve: at least one <model.release> required\n");
+    return Usage();
+  }
+  obs::SetEnabled(obs_enabled);
+
+  serve::Server server(options);
+  if (auto st = server.Init(packages); !st.ok()) return Fail(st);
+  serve::Server::InstallSignalHandlers(&server);
+  if (auto st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("p3gm serve: %zu model(s) on %s:%d\n",
+              server.registry().size(), options.host.c_str(),
+              server.port());
+  server.WaitUntilStopped();
+  serve::Server::InstallSignalHandlers(nullptr);
+  server.Stop();
+  std::printf("p3gm serve: stopped\n");
+  return 0;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +381,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "bench") {
     return cli::RunBenchCommand(argc, argv, 2);
+  }
+  if (cmd == "serve") {
+    return CmdServe(argc, argv);
   }
   return Usage();
 }
