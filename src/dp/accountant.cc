@@ -24,6 +24,37 @@ RdpAccountant::RdpAccountant(std::vector<double> orders)
   for (double a : orders_) P3GM_CHECK(a > 1.0);
 }
 
+RdpAccountant::RdpAccountant(const RdpAccountant& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  orders_ = other.orders_;
+  rdp_ = other.rdp_;
+  ledger_enabled_ = other.ledger_enabled_;
+  run_ = other.run_;
+}
+
+RdpAccountant& RdpAccountant::operator=(const RdpAccountant& other) {
+  if (this == &other) return *this;
+  // Snapshot the source first so the two locks are never held together
+  // (no ordering to get wrong, no deadlock with a concurrent copy in
+  // the other direction).
+  std::vector<double> orders, rdp;
+  bool ledger_enabled;
+  std::uint64_t run;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    orders = other.orders_;
+    rdp = other.rdp_;
+    ledger_enabled = other.ledger_enabled_;
+    run = other.run_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  orders_ = std::move(orders);
+  rdp_ = std::move(rdp);
+  ledger_enabled_ = ledger_enabled;
+  run_ = run;
+  return *this;
+}
+
 void RdpAccountant::AddGaussian(double sigma, std::size_t count,
                                 const char* mechanism) {
   MechanismEvent event;
@@ -112,6 +143,10 @@ void RdpAccountant::AddEvent(const MechanismEvent& event,
   if (event.count == 0) return;
   if (audit::DropAccountantEvents()) return;
   const double n = static_cast<double>(event.count);
+  // One lock covers both the accumulation and the cumulative-guarantee
+  // read below, so a ledger entry always reflects a consistent state
+  // even with concurrent writers (DP-SGD steps on worker threads).
+  std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = 0; i < orders_.size(); ++i) {
     rdp_[i] += n * per_invocation_cost[i];
   }
@@ -131,13 +166,14 @@ void RdpAccountant::AddEvent(const MechanismEvent& event,
     entry.rdp_cost[i] = n * per_invocation_cost[i];
   }
   entry.delta = ledger.delta();
-  const DpGuarantee cumulative = GetEpsilon(entry.delta);
+  const DpGuarantee cumulative = GetEpsilonLocked(entry.delta);
   entry.cumulative_epsilon = cumulative.epsilon;
   entry.best_order = cumulative.best_order;
   ledger.Record(std::move(entry));
 }
 
 void RdpAccountant::set_ledger_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ledger_enabled_ = enabled;
   if (enabled && run_ == 0) {
     static std::atomic<std::uint64_t> next_run{1};
@@ -145,7 +181,27 @@ void RdpAccountant::set_ledger_enabled(bool enabled) {
   }
 }
 
+bool RdpAccountant::ledger_enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ledger_enabled_;
+}
+
+std::uint64_t RdpAccountant::run_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return run_;
+}
+
+std::vector<double> RdpAccountant::rdp() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rdp_;
+}
+
 DpGuarantee RdpAccountant::GetEpsilon(double delta) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetEpsilonLocked(delta);
+}
+
+DpGuarantee RdpAccountant::GetEpsilonLocked(double delta) const {
   P3GM_CHECK(delta > 0.0 && delta < 1.0);
   DpGuarantee out;
   out.delta = delta;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "dp/rdp.h"
@@ -43,6 +44,12 @@ class RdpAccountant {
   /// Uses DefaultRdpOrders() when `orders` is empty.
   explicit RdpAccountant(std::vector<double> orders = {});
 
+  /// Copyable: copies the accounting state (orders, accumulated RDP,
+  /// ledger settings) under the source's lock; each instance has its own
+  /// lock. Vae/Pgm hold accountants by value and rely on this.
+  RdpAccountant(const RdpAccountant& other);
+  RdpAccountant& operator=(const RdpAccountant& other);
+
   /// Composes `count` releases of the plain Gaussian mechanism with noise
   /// multiplier `sigma`.
   void AddGaussian(double sigma, std::size_t count = 1,
@@ -78,7 +85,9 @@ class RdpAccountant {
   /// Core composition primitive (every Add* funnels through here):
   /// accumulates event.count * per_invocation_cost onto the RDP state
   /// and, when the ledger hook is on, appends a ledger entry carrying
-  /// this accountant's cumulative guarantee.
+  /// this accountant's cumulative guarantee. Thread-safe: concurrent
+  /// AddEvent / GetEpsilon / rdp() calls on one accountant are
+  /// serialized by an internal lock.
   void AddEvent(const MechanismEvent& event,
                 const std::vector<double>& per_invocation_cost);
 
@@ -87,21 +96,26 @@ class RdpAccountant {
   /// accountant a process-unique run id for ledger attribution; entries
   /// are still only recorded while obs::Enabled().
   void set_ledger_enabled(bool enabled);
-  bool ledger_enabled() const { return ledger_enabled_; }
-  std::uint64_t run_id() const { return run_; }
+  bool ledger_enabled() const;
+  std::uint64_t run_id() const;
 
   /// Converts the accumulated RDP to (epsilon, delta)-DP, minimizing over
   /// the order grid. Requires 0 < delta < 1.
   DpGuarantee GetEpsilon(double delta) const;
 
   const std::vector<double>& orders() const { return orders_; }
-  const std::vector<double>& rdp() const { return rdp_; }
+  /// Copy of the accumulated per-order RDP (a snapshot, so concurrent
+  /// writers cannot race the read).
+  std::vector<double> rdp() const;
 
  private:
-  std::vector<double> orders_;
-  std::vector<double> rdp_;
+  DpGuarantee GetEpsilonLocked(double delta) const;
+
+  std::vector<double> orders_;  // Immutable after construction.
+  std::vector<double> rdp_;     // Guarded by mutex_.
   bool ledger_enabled_ = false;
   std::uint64_t run_ = 0;
+  mutable std::mutex mutex_;
 };
 
 /// All privacy knobs of one P3GM run (Algorithm 1 / Theorem 4).

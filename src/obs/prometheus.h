@@ -1,0 +1,51 @@
+#ifndef P3GM_OBS_PROMETHEUS_H_
+#define P3GM_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace p3gm {
+namespace obs {
+
+/// Prometheus text exposition format v0.0.4 for a registry Snapshot.
+///
+/// Registry names may carry labels in the canonical form produced by
+/// LabeledName ("base{k=\"v\",...}"); the exporter splits the base name
+/// from the label set, sanitizes the base to the Prometheus charset
+/// ([a-zA-Z0-9_:], '.' and '-' become '_'), escapes label values, and
+/// groups all series of one base name under a single # TYPE line.
+/// Histograms expand to cumulative `le` buckets (ending with +Inf) plus
+/// the `_sum` and `_count` series.
+std::string ToPrometheusText(const Snapshot& snapshot);
+
+/// The Content-Type a scrape endpoint must answer with for this format.
+const char* PrometheusContentType();
+
+/// Canonical labeled series name: `base{k1="v1",k2="v2"}` with label
+/// values escaped. Use this to key registry instruments that carry
+/// labels so JSON export stays flat while the Prometheus exporter can
+/// recover the label set:
+///
+///   static obs::Histogram* h = obs::Registry::Global().histogram(
+///       obs::LabeledName("serve.request.latency_seconds",
+///                        {{"endpoint", "/v1/sample"}}), bounds);
+std::string LabeledName(
+    const std::string& base,
+    const std::vector<std::pair<std::string, std::string>>& labels);
+
+/// Prometheus metric-name sanitization: '.' and every other character
+/// outside [a-zA-Z0-9_:] maps to '_'; a leading digit gains a '_'
+/// prefix. Exposed for tests.
+std::string SanitizeMetricName(const std::string& name);
+
+/// Label-value escaping per the text format: backslash, double-quote
+/// and newline are escaped. Exposed for tests.
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_PROMETHEUS_H_

@@ -38,6 +38,11 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 
 void TraceRecorder::Append(const char* name, std::uint64_t start_ns,
                            std::uint64_t end_ns) {
+  Append(name, start_ns, end_ns, TraceContext{});
+}
+
+void TraceRecorder::Append(const char* name, std::uint64_t start_ns,
+                           std::uint64_t end_ns, const TraceContext& ctx) {
   ThreadBuffer* buffer = BufferForThisThread();
   const std::size_t capacity =
       capacity_per_thread_.load(std::memory_order_relaxed);
@@ -46,7 +51,14 @@ void TraceRecorder::Append(const char* name, std::uint64_t start_ns,
     ++buffer->dropped;
     return;
   }
-  buffer->events.push_back({name, start_ns, end_ns, buffer->tid});
+  buffer->events.push_back({name, start_ns, end_ns, buffer->tid,
+                            ctx.trace_hi, ctx.trace_lo, ctx.span_id,
+                            ctx.parent_span_id});
+}
+
+const char* TraceRecorder::InternName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  return interned_names_.insert(name).first->c_str();
 }
 
 std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
@@ -101,19 +113,32 @@ std::string TraceRecorder::ToChromeJson() const {
   const std::vector<Event> events = Events();
   std::string out = "{\"traceEvents\": [";
   bool first = true;
-  char buf[160];
+  char buf[320];
   for (const Event& e : events) {
-    // Span names are string literals by contract, but harden the export
-    // anyway: a quote or backslash in a name must not corrupt the JSON.
+    // Span names are string literals (or interned) by contract, but
+    // harden the export anyway: a quote or backslash in a name must not
+    // corrupt the JSON.
     const std::string name = json::Escape(e.name);
     std::snprintf(buf, sizeof buf,
                   "%s\n  {\"name\": \"%s\", \"cat\": \"p3gm\", "
                   "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                  "\"ts\": %.3f, \"dur\": %.3f}",
+                  "\"ts\": %.3f, \"dur\": %.3f",
                   first ? "" : ",", name.c_str(), e.tid,
                   static_cast<double>(e.start_ns) * 1e-3,
                   static_cast<double>(e.end_ns - e.start_ns) * 1e-3);
     out += buf;
+    if (e.has_context()) {
+      TraceContext ctx;
+      ctx.trace_hi = e.trace_hi;
+      ctx.trace_lo = e.trace_lo;
+      std::snprintf(buf, sizeof buf,
+                    ", \"args\": {\"trace_id\": \"%s\", \"span_id\": "
+                    "\"%s\", \"parent_id\": \"%s\"}",
+                    TraceIdHex(ctx).c_str(), SpanIdHex(e.span_id).c_str(),
+                    SpanIdHex(e.parent_id).c_str());
+      out += buf;
+    }
+    out += '}';
     first = false;
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";

@@ -7,9 +7,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/observability.h"
+#include "obs/trace_context.h"
 
 namespace p3gm {
 namespace obs {
@@ -39,6 +41,16 @@ class TraceRecorder {
     std::uint64_t start_ns;
     std::uint64_t end_ns;
     std::uint32_t tid;  // Stable per-thread display index.
+    // Request attribution (all zero for spans outside a request scope):
+    // the owning trace id, this span's id, and its parent span id —
+    // exported as chrome-JSON "args" so a batched decode span links back
+    // to every coalesced request in the Perfetto view.
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;
+
+    bool has_context() const { return (trace_hi | trace_lo) != 0; }
   };
 
   /// The process-wide recorder (never destroyed).
@@ -48,6 +60,16 @@ class TraceRecorder {
   /// counts) events beyond the per-thread capacity.
   void Append(const char* name, std::uint64_t start_ns,
               std::uint64_t end_ns);
+
+  /// As above, stamped with an explicit trace context: the span records
+  /// ctx's trace id and span id, and parent_id = ctx.parent_span_id.
+  void Append(const char* name, std::uint64_t start_ns,
+              std::uint64_t end_ns, const TraceContext& ctx);
+
+  /// Interns a dynamic span name (e.g. "serve.decode:alpha") so it can
+  /// be stored by pointer like a literal. Idempotent per distinct string;
+  /// interned names live for the process lifetime.
+  const char* InternName(const std::string& name);
 
   /// Copies out every buffered event, ordered by (tid, start).
   std::vector<Event> Events() const;
@@ -81,20 +103,28 @@ class TraceRecorder {
   mutable std::mutex mutex_;  // Guards the buffer list, not the buffers.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<std::size_t> capacity_per_thread_{1 << 20};
+
+  // Interned dynamic span names; unordered_set node storage keeps the
+  // c_str() pointers stable across rehash, and entries are never erased.
+  std::mutex intern_mutex_;
+  std::unordered_set<std::string> interned_names_;
 };
 
-/// RAII span; prefer the P3GM_TRACE_SPAN macro.
+/// RAII span; prefer the P3GM_TRACE_SPAN macro. Spans opened inside a
+/// RequestScope inherit the scope's trace context automatically, so
+/// existing instrumentation gains request attribution for free.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
     if (Enabled()) {
       name_ = name;
+      ctx_ = CurrentContext();
       start_ns_ = NowNs();
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      TraceRecorder::Global().Append(name_, start_ns_, NowNs());
+      TraceRecorder::Global().Append(name_, start_ns_, NowNs(), ctx_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -103,6 +133,7 @@ class TraceSpan {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  TraceContext ctx_;
 };
 
 }  // namespace obs

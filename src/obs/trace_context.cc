@@ -1,0 +1,157 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace p3gm {
+namespace obs {
+
+namespace {
+
+// Id entropy is deliberately NOT util::Rng: trace ids must never consume
+// model randomness. A per-thread splitmix64 stream seeded from the
+// clock, a process-wide counter and the thread id gives unique,
+// unpredictable-enough ids with one add + a few shifts per draw.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t ThreadSeed() {
+  static std::atomic<std::uint64_t> counter{0x9e3779b97f4a7c15ULL};
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto wall = std::chrono::system_clock::now().time_since_epoch();
+  std::uint64_t seed = counter.fetch_add(0xd1b54a32d192ed03ULL,
+                                         std::memory_order_relaxed);
+  seed ^= static_cast<std::uint64_t>(now.count());
+  seed ^= static_cast<std::uint64_t>(wall.count()) << 17;
+  seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return seed;
+}
+
+std::uint64_t NextId() {
+  thread_local std::uint64_t state = ThreadSeed();
+  std::uint64_t id;
+  do {
+    id = SplitMix64(&state);
+  } while (id == 0);  // Zero means "absent" on the wire.
+  return id;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;  // Uppercase is invalid in traceparent per the W3C spec.
+}
+
+// Parses exactly `digits` lowercase hex chars; false on any bad byte.
+bool ParseHex(const char* s, int digits, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < digits; ++i) {
+    const int nibble = HexNibble(s[i]);
+    if (nibble < 0) return false;
+    v = (v << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  *out = v;
+  return true;
+}
+
+void AppendHex(std::string* out, std::uint64_t v, int digits) {
+  static const char* kHex = "0123456789abcdef";
+  for (int i = digits - 1; i >= 0; --i) {
+    out->push_back(kHex[(v >> (4 * i)) & 0xf]);
+  }
+}
+
+thread_local TraceContext t_current;
+
+}  // namespace
+
+TraceContext MakeRootContext() {
+  TraceContext ctx;
+  ctx.trace_hi = NextId();
+  ctx.trace_lo = NextId();
+  ctx.span_id = NextId();
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+TraceContext ChildOf(const TraceContext& parent) {
+  if (!parent.valid()) return MakeRootContext();
+  TraceContext ctx;
+  ctx.trace_hi = parent.trace_hi;
+  ctx.trace_lo = parent.trace_lo;
+  ctx.span_id = NextId();
+  ctx.parent_span_id = parent.span_id;
+  return ctx;
+}
+
+std::uint64_t NextSpanId() { return NextId(); }
+
+bool ParseTraceparent(const std::string& header, TraceContext* out) {
+  // 00-<32 hex trace id>-<16 hex parent id>-<2 hex flags>[-...].
+  // Version ff is forbidden; any other version is accepted as long as
+  // the 00-prefix layout holds (future versions may only append fields).
+  if (header.size() < 55) return false;
+  if (header.size() > 55 && header[55] != '-') return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  std::uint64_t version = 0, hi = 0, lo = 0, parent = 0, flags = 0;
+  if (!ParseHex(header.data(), 2, &version) || version == 0xff) {
+    return false;
+  }
+  if (!ParseHex(header.data() + 3, 16, &hi) ||
+      !ParseHex(header.data() + 19, 16, &lo) ||
+      !ParseHex(header.data() + 36, 16, &parent) ||
+      !ParseHex(header.data() + 53, 2, &flags)) {
+    return false;
+  }
+  if ((hi | lo) == 0 || parent == 0) return false;  // All-zero = invalid.
+  out->trace_hi = hi;
+  out->trace_lo = lo;
+  out->span_id = NextId();  // Our own span within the remote trace.
+  out->parent_span_id = parent;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  AppendHex(&out, ctx.trace_hi, 16);
+  AppendHex(&out, ctx.trace_lo, 16);
+  out += '-';
+  AppendHex(&out, ctx.span_id, 16);
+  out += "-01";
+  return out;
+}
+
+std::string TraceIdHex(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(32);
+  AppendHex(&out, ctx.trace_hi, 16);
+  AppendHex(&out, ctx.trace_lo, 16);
+  return out;
+}
+
+std::string SpanIdHex(std::uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex(&out, span_id, 16);
+  return out;
+}
+
+const TraceContext& CurrentContext() { return t_current; }
+
+RequestScope::RequestScope(const TraceContext& ctx) : saved_(t_current) {
+  t_current = ctx;
+}
+
+RequestScope::~RequestScope() { t_current = saved_; }
+
+}  // namespace obs
+}  // namespace p3gm

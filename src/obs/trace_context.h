@@ -1,0 +1,87 @@
+#ifndef P3GM_OBS_TRACE_CONTEXT_H_
+#define P3GM_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/observability.h"
+
+namespace p3gm {
+namespace obs {
+
+/// Request-scoped trace identity, propagated through the serving path
+/// (accept -> parse -> queue -> batch -> decode -> respond) so one
+/// coalesced decoder pass can be attributed back to every request it
+/// served. The wire format is W3C Trace Context ("traceparent"):
+///
+///   00-0123456789abcdef0123456789abcdef-0123456789abcdef-01
+///      \______ 128-bit trace id ______/ \_ 64-bit span _/
+///
+/// Identity generation is independent of util::Rng — creating a context
+/// never consumes model randomness, so tracing cannot perturb sampled
+/// output (the determinism contract of obs/observability.h). The ids
+/// themselves are protocol-level plumbing and stay functional in
+/// -DP3GM_OBSERVABILITY=OFF builds (the daemon still answers with an
+/// X-Request-Id); only span *recording* compiles out.
+
+struct TraceContext {
+  /// 128-bit trace id, split big-endian: hex = hi then lo. All-zero is
+  /// "absent" (per the W3C spec, an invalid trace id).
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  /// This unit of work's span id; 0 = absent.
+  std::uint64_t span_id = 0;
+  /// Enclosing span (the ingested remote parent, or a local parent span);
+  /// 0 = this is a root span.
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0 && span_id != 0; }
+};
+
+/// A fresh root context: new 128-bit trace id, new span id, no parent.
+TraceContext MakeRootContext();
+
+/// A child of `parent`: same trace id, fresh span id, parent_span_id =
+/// parent.span_id. Given an invalid parent, equivalent to
+/// MakeRootContext().
+TraceContext ChildOf(const TraceContext& parent);
+
+/// A fresh process-unique nonzero span id.
+std::uint64_t NextSpanId();
+
+/// Parses a W3C traceparent header value (version 00; future versions
+/// are accepted if they carry the same prefix layout, per spec). On
+/// success fills *out with the header's trace id, a FRESH local span id,
+/// and parent_span_id = the header's parent-id field. Returns false (and
+/// leaves *out untouched) on malformed input or all-zero ids.
+bool ParseTraceparent(const std::string& header, TraceContext* out);
+
+/// Serializes `ctx` as a version-00 traceparent value (sampled flag 01).
+std::string FormatTraceparent(const TraceContext& ctx);
+
+/// Lowercase hex forms: 32 chars for the trace id, 16 for a span id.
+std::string TraceIdHex(const TraceContext& ctx);
+std::string SpanIdHex(std::uint64_t span_id);
+
+/// The calling thread's innermost active request context (invalid when
+/// outside any RequestScope). util::LogMessage reads this to attach
+/// trace/span ids to every record emitted inside a request scope.
+const TraceContext& CurrentContext();
+
+/// RAII: makes `ctx` the calling thread's current context for the
+/// lifetime of the scope (nestable; restores the previous context).
+class RequestScope {
+ public:
+  explicit RequestScope(const TraceContext& ctx);
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_TRACE_CONTEXT_H_

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -47,6 +48,9 @@ bool Batcher::Enqueue(SampleJob job) {
     static obs::Gauge* depth =
         obs::Registry::Global().gauge("serve.queue.depth");
     depth->Set(static_cast<double>(queue_.size()));
+    obs::FlightRecorder::Global().Record(
+        obs::FlightRecorder::EventKind::kQueueDepth, "serve.queue.depth",
+        queue_.size(), options_.queue_limit);
   }
   cv_.notify_one();
   return true;
@@ -84,6 +88,9 @@ std::vector<SampleJob> Batcher::NextBatchLocked() {
   static obs::Gauge* depth =
       obs::Registry::Global().gauge("serve.queue.depth");
   depth->Set(static_cast<double>(queue_.size()));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightRecorder::EventKind::kQueueDepth, "serve.queue.depth",
+      queue_.size(), options_.queue_limit);
   return batch;
 }
 
@@ -102,6 +109,13 @@ void Batcher::Loop() {
 
 void Batcher::ExecuteBatch(std::vector<SampleJob> batch) {
   P3GM_TRACE_SPAN("serve.batch");
+  // The coalesced pass gets its own trace identity; each job later
+  // records a slice span in its *request's* trace whose parent is the
+  // request span, so batch and requests cross-reference in the viewer.
+  const obs::TraceContext batch_ctx = obs::MakeRootContext();
+  obs::FlightRecorder::Global().Record(
+      obs::FlightRecorder::EventKind::kRequest, "serve.batch.begin",
+      batch_ctx.span_id, batch.size());
   obs::Registry& registry = obs::Registry::Global();
   static obs::Counter* batches = registry.counter("serve.batches");
   static obs::Counter* rows_total = registry.counter("serve.sample.rows");
@@ -137,7 +151,23 @@ void Batcher::ExecuteBatch(std::vector<SampleJob> batch) {
   }
 
   // Stage 2 — one decoder forward pass over the stacked latents.
+  const std::uint64_t decode_start_ns = obs::NowNs();
   auto outputs = pkg.DecodeLatent(stacked);
+  const std::uint64_t decode_end_ns = obs::NowNs();
+  if (obs::Enabled()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    recorder.Append("serve.batch.decode", decode_start_ns, decode_end_ns,
+                    batch_ctx);
+    // One slice span per coalesced request, inside the decode window and
+    // parented on the request's own span: a decode's children enumerate
+    // every request span id it served, and each request's trace reaches
+    // into the shared decode.
+    for (const SampleJob& job : batch) {
+      if (!job.trace.valid()) continue;
+      recorder.Append("serve.batch.slice", decode_start_ns, decode_end_ns,
+                      obs::ChildOf(job.trace));
+    }
+  }
   if (!outputs.ok()) {
     for (SampleJob& job : batch) on_done_(job.ticket, outputs.status());
     return;

@@ -13,6 +13,7 @@
 
 #include "core/release.h"
 #include "data/dataset.h"
+#include "obs/trace_context.h"
 #include "serve/sample_cache.h"
 #include "util/result.h"
 
@@ -36,6 +37,10 @@ struct SampleJob {
   std::uint64_t stream_index = 0;
   /// Generate a full cache bucket (next pow2 >= n) and insert it.
   bool fill_cache = false;
+  /// The originating request's trace context; the coalesced decode pass
+  /// records one child slice span per job so the batch links back to
+  /// every request it served.
+  obs::TraceContext trace;
 };
 
 struct BatcherOptions {

@@ -50,6 +50,13 @@ const std::string* HttpRequest::FindHeader(const std::string& name) const {
   return nullptr;
 }
 
+const std::string* HttpRequest::QueryParam(const std::string& key) const {
+  for (const auto& [name, value] : query_params) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
 bool HttpRequest::KeepAlive() const {
   const std::string* connection = FindHeader("Connection");
   if (connection != nullptr) {
@@ -190,6 +197,31 @@ bool HttpParser::ParseHeaderBlock(std::size_t block_end) {
     if (u <= 0x20 || u == 0x7f) {
       Fail(400, "control byte in request target");
       return false;
+    }
+  }
+  // Split path from query so routing matches "/v1/metrics" regardless of
+  // "?format=...". Parameters keep their raw bytes (no percent decoding).
+  const std::size_t qmark = request_.target.find('?');
+  if (qmark == std::string::npos) {
+    request_.path = request_.target;
+  } else {
+    request_.path = request_.target.substr(0, qmark);
+    request_.query = request_.target.substr(qmark + 1);
+    std::size_t start = 0;
+    while (start <= request_.query.size() && !request_.query.empty()) {
+      std::size_t amp = request_.query.find('&', start);
+      if (amp == std::string::npos) amp = request_.query.size();
+      const std::string pair = request_.query.substr(start, amp - start);
+      if (!pair.empty()) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          request_.query_params.emplace_back(pair, "");
+        } else {
+          request_.query_params.emplace_back(pair.substr(0, eq),
+                                             pair.substr(eq + 1));
+        }
+      }
+      start = amp + 1;
     }
   }
   if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {

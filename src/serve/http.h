@@ -30,13 +30,22 @@ struct HttpLimits {
 
 struct HttpRequest {
   std::string method;   // Uppercase token, e.g. "GET".
-  std::string target;   // Origin-form path, e.g. "/v1/sample".
+  std::string target;   // Origin-form target, e.g. "/v1/metrics?format=x".
+  std::string path;     // Target up to (not including) any '?'.
+  std::string query;    // Raw query string after '?', "" when absent.
   std::string version;  // "HTTP/1.0" or "HTTP/1.1".
   std::vector<std::pair<std::string, std::string>> headers;
+  /// Split "k1=v1&k2=v2" pairs from `query` (no percent decoding — the
+  /// keys and values this server defines are plain tokens).
+  std::vector<std::pair<std::string, std::string>> query_params;
   std::string body;
 
   /// Case-insensitive header lookup; nullptr when absent.
   const std::string* FindHeader(const std::string& name) const;
+
+  /// Exact-match query parameter lookup; nullptr when absent. A bare
+  /// "k" (no '=') yields an empty value.
+  const std::string* QueryParam(const std::string& key) const;
 
   /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or 1.0
   /// without "keep-alive") opts out.

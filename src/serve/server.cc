@@ -13,10 +13,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/observability.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serve/api.h"
 #include "util/logging.h"
 
@@ -369,12 +372,15 @@ void Server::PumpRequests(Connection* conn) {
     return;
   }
   // Serve pipelined requests until the parser runs dry or a sample
-  // request parks the connection.
+  // request parks the connection. ProcessRequest can close (and free)
+  // the connection when a close-marked response flushes inline, so the
+  // liveness check must key on the fd captured before the call.
+  const int fd = conn->fd;
   while (!conn->awaiting_sample && conn->parser.done() &&
          !conn->close_after_write) {
     conn->request_start_ns = obs::NowNs();
     ProcessRequest(conn);
-    if (connections_.count(conn->fd) == 0) return;  // Closed.
+    if (connections_.count(fd) == 0) return;  // Closed.
     if (conn->awaiting_sample) break;
     conn->parser.ResetForNext();
     if (conn->parser.failed()) {
@@ -386,16 +392,32 @@ void Server::PumpRequests(Connection* conn) {
 }
 
 void Server::ProcessRequest(Connection* conn) {
+  const HttpRequest& req = conn->parser.request();
+
+  // Trace identity first: ingest a W3C traceparent if the client sent a
+  // valid one (joining its trace with a fresh local span), else mint a
+  // root context. The scope makes it ambient for every span and log
+  // record emitted while this request is on the stack.
+  const std::string* traceparent = req.FindHeader("traceparent");
+  if (traceparent == nullptr ||
+      !obs::ParseTraceparent(*traceparent, &conn->trace)) {
+    conn->trace = obs::MakeRootContext();
+  }
+  obs::RequestScope request_scope(conn->trace);
+  obs::FlightRecorder::Global().Record(
+      obs::FlightRecorder::EventKind::kRequest, "serve.request.begin",
+      conn->trace.span_id, 0);
   P3GM_TRACE_SPAN("serve.request");
+
   obs::Registry& registry = obs::Registry::Global();
   static obs::Counter* total = registry.counter("serve.requests_total");
   total->Add();
 
-  const HttpRequest& req = conn->parser.request();
   conn->close_after_write = !req.KeepAlive();
 
   if (req.method == "GET") {
-    if (req.target == "/healthz") {
+    if (req.path == "/healthz") {
+      conn->endpoint = "/healthz";
       Respond(conn, JsonResponse(
                         200, "{\"status\": \"ok\", \"models\": " +
                                  std::to_string(registry_.size()) +
@@ -404,13 +426,14 @@ void Server::ProcessRequest(Connection* conn) {
                                  "}"));
       return;
     }
-    if (req.target == "/v1/models") {
+    if (req.path == "/v1/models") {
+      conn->endpoint = "/v1/models";
       Respond(conn, JsonResponse(200, ModelsJson(registry_)));
       return;
     }
-    if (req.target == "/v1/metrics") {
-      Respond(conn, JsonResponse(
-                        200, obs::Registry::Global().TakeSnapshot().ToJson()));
+    if (req.path == "/v1/metrics") {
+      conn->endpoint = "/v1/metrics";
+      Respond(conn, MetricsResponse(req));
       return;
     }
     Respond(conn, JsonResponse(404, ErrorJson("no such endpoint: " +
@@ -418,11 +441,13 @@ void Server::ProcessRequest(Connection* conn) {
     return;
   }
   if (req.method == "POST") {
-    if (req.target == "/v1/sample") {
+    if (req.path == "/v1/sample") {
+      conn->endpoint = "/v1/sample";
       HandleSample(conn, req);
       return;
     }
-    if (req.target == "/v1/reload") {
+    if (req.path == "/v1/reload") {
+      conn->endpoint = "/v1/reload";
       Respond(conn, ReloadNow());
       return;
     }
@@ -435,6 +460,34 @@ void Server::ProcessRequest(Connection* conn) {
   response.extra_headers.emplace_back("Allow", "GET, POST");
   response.body = ErrorJson("method not allowed: " + req.method);
   Respond(conn, std::move(response));
+}
+
+HttpResponse Server::MetricsResponse(const HttpRequest& req) {
+  obs::Registry& registry = obs::Registry::Global();
+  // Surface silent-loss counts right before the snapshot so a scrape
+  // always sees current values.
+  registry.gauge("obs.trace.dropped_events")
+      ->Set(static_cast<double>(obs::TraceRecorder::Global().DroppedCount()));
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  registry.gauge("obs.flight.recorded_events")
+      ->Set(static_cast<double>(flight.RecordedCount()));
+  registry.gauge("obs.flight.overwritten_events")
+      ->Set(static_cast<double>(flight.OverwrittenCount()));
+
+  const obs::Snapshot snapshot = registry.TakeSnapshot();
+  const std::string* format = req.QueryParam("format");
+  if (format != nullptr && *format == "prometheus") {
+    HttpResponse response;
+    response.content_type = obs::PrometheusContentType();
+    response.body = obs::ToPrometheusText(snapshot);
+    return response;
+  }
+  if (format != nullptr && *format != "json") {
+    return JsonResponse(
+        400, ErrorJson("unknown metrics format \"" + *format +
+                       "\" (want json or prometheus)"));
+  }
+  return JsonResponse(200, snapshot.ToJson());
 }
 
 void Server::HandleSample(Connection* conn, const HttpRequest& req) {
@@ -467,6 +520,7 @@ void Server::HandleSample(Connection* conn, const HttpRequest& req) {
     if (cache_.Lookup(sample.model, generation, sample.n, &rows)) {
       static obs::Counter* hits = registry.counter("serve.cache.hits");
       hits->Add();
+      conn->cache_hit = true;
       Respond(conn, JsonResponse(200, SampleResponseJson(
                                           sample.model, generation,
                                           /*cached=*/true, rows)));
@@ -486,6 +540,7 @@ void Server::HandleSample(Connection* conn, const HttpRequest& req) {
   job.seed = sample.seed;
   job.stream_index = next_stream_index_++;
   job.fill_cache = cacheable;
+  job.trace = conn->trace;
   const std::uint64_t ticket = job.ticket;
   if (!batcher_->Enqueue(std::move(job))) {
     static obs::Counter* overload = registry.counter("serve.overload");
@@ -520,6 +575,9 @@ void Server::DrainCompletions() {
     Connection* conn = conn_it->second.get();
     if (!conn->awaiting_sample || conn->ticket != done.ticket) continue;
     conn->awaiting_sample = false;
+    // Re-enter the request's trace scope: the response (headers, slow
+    // log, latency attribution) belongs to the span that parked here.
+    obs::RequestScope request_scope(conn->trace);
     if (done.result.ok()) {
       Respond(conn, JsonResponse(
                         200, SampleResponseJson(conn->model,
@@ -569,11 +627,50 @@ void Server::Respond(Connection* conn, HttpResponse response) {
   } else {
     err5xx->Add();
   }
+  // Every response names its request: parse failures and early
+  // rejections reach here without ProcessRequest having minted an id,
+  // so mint one now. Echoing traceparent lets a propagating client
+  // stitch our server span into its own trace.
+  if (!conn->trace.valid()) conn->trace = obs::MakeRootContext();
+  response.extra_headers.emplace_back("X-Request-Id",
+                                      obs::TraceIdHex(conn->trace));
+  response.extra_headers.emplace_back("traceparent",
+                                      obs::FormatTraceparent(conn->trace));
   if (conn->request_start_ns != 0) {
-    latency->Observe(
-        static_cast<double>(obs::NowNs() - conn->request_start_ns) * 1e-9);
+    const double seconds =
+        static_cast<double>(obs::NowNs() - conn->request_start_ns) * 1e-9;
+    latency->Observe(seconds);
+    registry
+        .histogram(obs::LabeledName("serve.request.latency_seconds",
+                                    {{"endpoint", conn->endpoint}}),
+                   kLatencyBounds)
+        ->Observe(seconds);
+    if (std::strcmp(conn->endpoint, "/v1/sample") == 0) {
+      registry
+          .histogram(
+              obs::LabeledName("serve.request.latency_seconds",
+                               {{"endpoint", conn->endpoint},
+                                {"result",
+                                 conn->cache_hit ? "hit" : "fresh"}}),
+              kLatencyBounds)
+          ->Observe(seconds);
+    }
+    obs::FlightRecorder::Global().Record(
+        obs::FlightRecorder::EventKind::kRequest, "serve.respond",
+        conn->trace.span_id, static_cast<std::uint64_t>(response.status));
+    if (options_.slow_request_ms > 0 &&
+        seconds * 1000.0 >= static_cast<double>(options_.slow_request_ms)) {
+      obs::RequestScope slow_scope(conn->trace);
+      P3GM_LOG(Warning) << "p3gm serve: slow request " << conn->endpoint
+                        << " status " << response.status << " took "
+                        << static_cast<std::uint64_t>(seconds * 1000.0)
+                        << " ms (threshold " << options_.slow_request_ms
+                        << " ms)";
+    }
     conn->request_start_ns = 0;
   }
+  conn->endpoint = "other";
+  conn->cache_hit = false;
   if (response.close_connection) conn->close_after_write = true;
   response.close_connection = conn->close_after_write;
   conn->out += response.Serialize();

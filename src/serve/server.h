@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "obs/trace_context.h"
 #include "serve/batcher.h"
 #include "serve/http.h"
 #include "serve/model_registry.h"
@@ -41,6 +42,9 @@ struct ServerOptions {
   /// How long Stop() waits for in-flight work and unflushed responses
   /// before force-closing stragglers.
   int drain_timeout_ms = 5000;
+  /// Requests slower than this log one WARN record with the request's
+  /// trace id, endpoint, status and latency. 0 disables the log.
+  int slow_request_ms = 0;
   HttpLimits http;
 };
 
@@ -103,6 +107,12 @@ class Server {
     std::string model;
     std::uint64_t generation = 0;
     std::uint64_t request_start_ns = 0;
+    // Current request's trace identity (ingested from a traceparent
+    // header or freshly minted) plus latency-attribution facets; all
+    // reset per request by Respond.
+    obs::TraceContext trace;
+    const char* endpoint = "other";  // Static strings only.
+    bool cache_hit = false;
 
     Connection(int fd_in, HttpLimits limits)
         : fd(fd_in), parser(limits) {}
@@ -126,6 +136,7 @@ class Server {
   void CloseConnection(int fd);
   void DrainCompletions();
   HttpResponse ReloadNow();
+  HttpResponse MetricsResponse(const HttpRequest& req);
 
   const ServerOptions options_;
   ModelRegistry registry_;

@@ -8,17 +8,25 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "dp/accountant.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace p3gm {
 namespace obs {
@@ -549,6 +557,291 @@ TEST_F(ObsTest, CompiledOutLayerIsInert) {
 }
 
 #endif  // P3GM_OBSERVABILITY_ENABLED
+
+// ------------------------------------------------------ trace context
+// Request identity is protocol-level plumbing: everything below works
+// identically in ON and OFF builds (only span *recording* compiles out).
+
+TEST(TraceContextTest, RootContextsAreValidAndDistinct) {
+  const TraceContext a = MakeRootContext();
+  const TraceContext b = MakeRootContext();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(a.parent_span_id, 0u);
+  EXPECT_FALSE(a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo);
+  EXPECT_NE(a.span_id, b.span_id);
+}
+
+TEST(TraceContextTest, ChildKeepsTraceIdAndParentsOnTheSpan) {
+  const TraceContext parent = MakeRootContext();
+  const TraceContext child = ChildOf(parent);
+  EXPECT_EQ(child.trace_hi, parent.trace_hi);
+  EXPECT_EQ(child.trace_lo, parent.trace_lo);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+  EXPECT_NE(child.span_id, parent.span_id);
+  EXPECT_NE(child.span_id, 0u);
+  // An invalid parent degrades to a fresh root.
+  const TraceContext orphan = ChildOf(TraceContext{});
+  EXPECT_TRUE(orphan.valid());
+  EXPECT_EQ(orphan.parent_span_id, 0u);
+}
+
+TEST(TraceContextTest, NextSpanIdIsNonzeroAndDistinct) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = NextSpanId();
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(TraceContextTest, FormatAndHexFormsAreExact) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  ctx.span_id = 0x00000000000000aaULL;
+  EXPECT_EQ(FormatTraceparent(ctx),
+            "00-0123456789abcdeffedcba9876543210-00000000000000aa-01");
+  EXPECT_EQ(TraceIdHex(ctx), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(SpanIdHex(ctx.span_id), "00000000000000aa");
+}
+
+TEST(TraceContextTest, ParseAdoptsTraceIdMintsLocalSpan) {
+  TraceContext ctx;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0123456789abcdeffedcba9876543210-00000000000000aa-01", &ctx));
+  EXPECT_EQ(ctx.trace_hi, 0x0123456789abcdefULL);
+  EXPECT_EQ(ctx.trace_lo, 0xfedcba9876543210ULL);
+  // The header's parent-id becomes our parent; our span id is fresh.
+  EXPECT_EQ(ctx.parent_span_id, 0xaaULL);
+  EXPECT_NE(ctx.span_id, 0u);
+  EXPECT_NE(ctx.span_id, 0xaaULL);
+}
+
+TEST(TraceContextTest, ParseToleratesFutureVersions) {
+  // Per the W3C spec, an unknown (non-ff) version with the same prefix
+  // layout parses; trailing fields are ignored.
+  TraceContext ctx;
+  EXPECT_TRUE(ParseTraceparent(
+      "01-0123456789abcdeffedcba9876543210-00000000000000aa-01-extra",
+      &ctx));
+  EXPECT_EQ(ctx.trace_lo, 0xfedcba9876543210ULL);
+}
+
+TEST(TraceContextTest, ParseRejectsMalformedAndLeavesOutUntouched) {
+  const char* bad[] = {
+      "",
+      "00",
+      "00-0123456789abcdeffedcba9876543210-00000000000000aa",  // Short.
+      "00-0123456789abcdeffedcba9876543210_00000000000000aa-01",
+      "00-00000000000000000000000000000000-00000000000000aa-01",
+      "00-0123456789abcdeffedcba9876543210-0000000000000000-01",
+      "ff-0123456789abcdeffedcba9876543210-00000000000000aa-01",
+      "00-0123456789ABCDEFFEDCBA9876543210-00000000000000aa-01",  // Case.
+      "00-0123456789abcdeffedcba987654321g-00000000000000aa-01",
+      "00-0123456789abcdeffedcba9876543210-00000000000000aa-01x",
+  };
+  for (const char* header : bad) {
+    TraceContext ctx;
+    ctx.trace_hi = 7;
+    ctx.trace_lo = 8;
+    ctx.span_id = 9;
+    ctx.parent_span_id = 10;
+    EXPECT_FALSE(ParseTraceparent(header, &ctx)) << header;
+    EXPECT_EQ(ctx.trace_hi, 7u) << header;
+    EXPECT_EQ(ctx.span_id, 9u) << header;
+  }
+}
+
+TEST(TraceContextTest, RequestScopeNestsAndRestores) {
+  EXPECT_FALSE(CurrentContext().valid());
+  const TraceContext outer = MakeRootContext();
+  {
+    RequestScope outer_scope(outer);
+    EXPECT_EQ(CurrentContext().span_id, outer.span_id);
+    const TraceContext inner = ChildOf(outer);
+    {
+      RequestScope inner_scope(inner);
+      EXPECT_EQ(CurrentContext().span_id, inner.span_id);
+    }
+    EXPECT_EQ(CurrentContext().span_id, outer.span_id);
+  }
+  EXPECT_FALSE(CurrentContext().valid());
+}
+
+#if P3GM_OBSERVABILITY_ENABLED
+
+TEST_F(ObsTest, SpansInsideRequestScopeCarryTheContext) {
+  const TraceContext ctx = ChildOf(MakeRootContext());
+  {
+    RequestScope scope(ctx);
+    P3GM_TRACE_SPAN("ctx.stamped");
+  }
+  {
+    P3GM_TRACE_SPAN("ctx.naked");  // Outside any scope: no attribution.
+  }
+  bool saw_stamped = false, saw_naked = false;
+  for (const auto& event : TraceRecorder::Global().Events()) {
+    if (std::string(event.name) == "ctx.stamped") {
+      saw_stamped = true;
+      EXPECT_TRUE(event.has_context());
+      EXPECT_EQ(event.trace_hi, ctx.trace_hi);
+      EXPECT_EQ(event.trace_lo, ctx.trace_lo);
+      EXPECT_EQ(event.span_id, ctx.span_id);
+      EXPECT_EQ(event.parent_id, ctx.parent_span_id);
+    } else if (std::string(event.name) == "ctx.naked") {
+      saw_naked = true;
+      EXPECT_FALSE(event.has_context());
+    }
+  }
+  EXPECT_TRUE(saw_stamped);
+  EXPECT_TRUE(saw_naked);
+  // The chrome export carries the ids as span args.
+  const std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"trace_id\": \"" + TraceIdHex(ctx) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\": \"" + SpanIdHex(ctx.parent_span_id)),
+            std::string::npos);
+  EXPECT_TRUE(JsonBalanced(json));
+}
+
+TEST_F(ObsTest, InternedNamesAreStableAndDeduplicated) {
+  const std::string dynamic = "serve.decode:" + std::string("alpha");
+  const char* a = TraceRecorder::Global().InternName(dynamic);
+  const char* b = TraceRecorder::Global().InternName("serve.decode:alpha");
+  EXPECT_EQ(a, b);  // Same pointer: safe to store by address.
+  EXPECT_STREQ(a, "serve.decode:alpha");
+  TraceRecorder::Global().Append(a, 10, 20);
+  const auto events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "serve.decode:alpha");
+}
+
+#endif  // P3GM_OBSERVABILITY_ENABLED
+
+// ---------------------------------------------------- flight recorder
+// Not gated on obs::Enabled(): the black box records in OFF builds too.
+
+TEST(FlightRecorderTest, RecordsEventsAndDumpsThem) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  const std::uint64_t before = flight.RecordedCount();
+  flight.Record(FlightRecorder::EventKind::kRequest, "test.flight.evt",
+                0xabcdULL, 2);
+  flight.Record(FlightRecorder::EventKind::kQueueDepth,
+                "test.flight.queue", 3, 256);
+  EXPECT_GE(flight.RecordedCount(), before + 2);
+
+  const std::string path = ::testing::TempDir() + "p3gm_flight_ut.dump";
+  ASSERT_TRUE(flight.DumpToFile(path.c_str()));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("=== p3gm flight recorder ==="), std::string::npos);
+  EXPECT_NE(dump.find("request test.flight.evt a=000000000000abcd"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("queue test.flight.queue a=3"), std::string::npos);
+  EXPECT_NE(dump.find("=== end flight recorder ==="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, LogEventsKeepAMessagePrefix) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  const char msg[] = "hello flight recorder test";
+  flight.RecordLog("INFO", msg, sizeof(msg) - 1);
+  const std::string path = ::testing::TempDir() + "p3gm_flight_log.dump";
+  ASSERT_TRUE(flight.DumpToFile(path.c_str()));
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  // The two payload words hold the first 16 bytes of the message.
+  EXPECT_NE(buffer.str().find("log INFO \"hello flight rec\""),
+            std::string::npos)
+      << buffer.str();
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  flight.SetEnabled(false);
+  const std::uint64_t before = flight.RecordedCount();
+  flight.Record(FlightRecorder::EventKind::kRequest, "test.flight.off");
+  EXPECT_EQ(flight.RecordedCount(), before);
+  flight.SetEnabled(true);
+}
+
+TEST(FlightRecorderTest, RingWrapCountsOverwrites) {
+  FlightRecorder& flight = FlightRecorder::Global();
+  // Capacity applies to threads that have not recorded yet, so use a
+  // fresh thread for the tiny ring.
+  flight.SetCapacityPerThread(64);
+  const std::uint64_t before = flight.OverwrittenCount();
+  std::thread writer([&flight] {
+    for (int i = 0; i < 200; ++i) {
+      flight.Record(FlightRecorder::EventKind::kRequest, "test.wrap",
+                    static_cast<std::uint64_t>(i));
+    }
+  });
+  writer.join();
+  EXPECT_GE(flight.OverwrittenCount(), before + (200 - 64));
+  flight.SetCapacityPerThread(4096);
+}
+
+// --------------------------------------------------------- prometheus
+
+TEST(PrometheusTest, SanitizesNamesAndEscapesLabelValues) {
+  EXPECT_EQ(SanitizeMetricName("serve.request.latency_seconds"),
+            "serve_request_latency_seconds");
+  EXPECT_EQ(SanitizeMetricName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(SanitizeMetricName("7zip"), "_7zip");
+  EXPECT_EQ(SanitizeMetricName("ok:name_09"), "ok:name_09");
+  EXPECT_EQ(EscapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+}
+
+TEST(PrometheusTest, LabeledNameComposesCanonically) {
+  EXPECT_EQ(LabeledName("base", {}), "base");
+  EXPECT_EQ(LabeledName("base", {{"k", "v"}}), "base{k=\"v\"}");
+  EXPECT_EQ(
+      LabeledName("serve.x", {{"endpoint", "/v1/sample"}, {"r", "a\"b"}}),
+      "serve.x{endpoint=\"/v1/sample\",r=\"a\\\"b\"}");
+}
+
+TEST(PrometheusTest, ContentTypeIsTheV004TextFormat) {
+  EXPECT_STREQ(PrometheusContentType(),
+               "text/plain; version=0.0.4; charset=utf-8");
+}
+
+// Full exposition pinned against a golden fixture: TYPE grouping across
+// label variants, sanitized bases, escaped label values, cumulative le
+// buckets with +Inf, and _sum/_count series.
+TEST(PrometheusTest, ExpositionMatchesGoldenFixture) {
+  Snapshot snapshot;
+  snapshot.counters.push_back({"serve.requests", 42});
+  snapshot.counters.push_back(
+      {LabeledName("serve.sample.results", {{"result", "hit"}}), 7});
+  snapshot.counters.push_back(
+      {LabeledName("serve.sample.results", {{"result", "fresh"}}), 3});
+  snapshot.gauges.push_back({"obs.flight.recorded_events", 128.0});
+  snapshot.gauges.push_back({"7seas.depth", 1.5});
+  HistogramSample h;
+  h.name = LabeledName("serve.request.latency_seconds",
+                       {{"endpoint", "/v1/sample"}, {"path", "a\"b\\c"}});
+  h.bounds = {0.001, 0.01, 0.1};
+  h.bucket_counts = {1, 2, 3, 4};  // Final entry = overflow bucket.
+  h.count = 10;
+  h.sum = 0.625;
+  snapshot.histograms.push_back(h);
+
+  std::ifstream in(std::string(P3GM_GOLDEN_DIR) + "/prometheus_small.txt",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(ToPrometheusText(snapshot), golden.str());
+}
 
 }  // namespace
 }  // namespace obs

@@ -1,9 +1,13 @@
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/trace_context.h"
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/result.h"
@@ -370,6 +374,153 @@ TEST(LoggingTest, StreamFormatsMixedTypes) {
   SetLogLevel(LogLevel::kError);  // Keep the test run quiet.
   P3GM_LOG(Info) << "x=" << 1.5 << " y=" << 7 << " z=" << std::string("s");
   SetLogLevel(original);
+}
+
+// Captures complete records via the test sink and restores the previous
+// logging state (level, format, sink, env vars) on destruction.
+class LogCapture {
+ public:
+  LogCapture()
+      : level_(GetLogLevel()), format_(GetLogFormat()) {
+    SetLogSinkForTest([this](LogLevel level, const std::string& record) {
+      levels.push_back(level);
+      records.push_back(record);
+    });
+  }
+  ~LogCapture() {
+    SetLogSinkForTest(nullptr);
+    SetLogLevel(level_);
+    SetLogFormat(format_);
+    ::unsetenv("P3GM_LOG_LEVEL");
+    ::unsetenv("P3GM_LOG_FORMAT");
+  }
+
+  std::vector<LogLevel> levels;
+  std::vector<std::string> records;
+
+ private:
+  LogLevel level_;
+  LogFormat format_;
+};
+
+TEST(LoggingTest, ParseLogLevelAcceptsEverySpelling) {
+  struct Case {
+    const char* text;
+    LogLevel want;
+  } cases[] = {
+      {"debug", LogLevel::kDebug},   {"DEBUG", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},     {"Info", LogLevel::kInfo},
+      {"warn", LogLevel::kWarning},  {"warning", LogLevel::kWarning},
+      {"WARNING", LogLevel::kWarning}, {"error", LogLevel::kError},
+      {"ERROR", LogLevel::kError},
+  };
+  for (const Case& c : cases) {
+    LogLevel out = LogLevel::kInfo;
+    EXPECT_TRUE(ParseLogLevel(c.text, &out)) << c.text;
+    EXPECT_EQ(out, c.want) << c.text;
+  }
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsJunkUntouched) {
+  const char* bad[] = {"", "verbose", "warn ", " info", "2", "infoo"};
+  for (const char* text : bad) {
+    LogLevel out = LogLevel::kError;
+    EXPECT_FALSE(ParseLogLevel(text, &out)) << text;
+    EXPECT_EQ(out, LogLevel::kError) << "*out must stay untouched";
+  }
+}
+
+TEST(LoggingTest, ParseLogFormatRoundTrip) {
+  LogFormat out = LogFormat::kText;
+  EXPECT_TRUE(ParseLogFormat("json", &out));
+  EXPECT_EQ(out, LogFormat::kJson);
+  EXPECT_TRUE(ParseLogFormat("TEXT", &out));
+  EXPECT_EQ(out, LogFormat::kText);
+  out = LogFormat::kJson;
+  EXPECT_FALSE(ParseLogFormat("yaml", &out));
+  EXPECT_FALSE(ParseLogFormat("", &out));
+  EXPECT_EQ(out, LogFormat::kJson);
+}
+
+TEST(LoggingTest, EnvVarsApplyOnInit) {
+  LogCapture capture;
+  ::setenv("P3GM_LOG_LEVEL", "warn", 1);
+  ::setenv("P3GM_LOG_FORMAT", "json", 1);
+  InitLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kJson);
+  EXPECT_TRUE(capture.records.empty());  // Valid values: no diagnostics.
+}
+
+TEST(LoggingTest, InvalidEnvValuesAreRejectedLoudly) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kText);
+  ::setenv("P3GM_LOG_LEVEL", "verbose", 1);
+  ::setenv("P3GM_LOG_FORMAT", "yaml", 1);
+  InitLoggingFromEnv();
+  // The current settings survive...
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kText);
+  // ...and each bad value produced one diagnostic naming it.
+  ASSERT_EQ(capture.records.size(), 2u);
+  EXPECT_NE(capture.records[0].find("P3GM_LOG_LEVEL"), std::string::npos);
+  EXPECT_NE(capture.records[0].find("\"verbose\""), std::string::npos);
+  EXPECT_NE(capture.records[1].find("P3GM_LOG_FORMAT"), std::string::npos);
+  EXPECT_NE(capture.records[1].find("\"yaml\""), std::string::npos);
+}
+
+TEST(LoggingTest, JsonRecordsCarryLevelAndMessage) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kJson);
+  P3GM_LOG(Warning) << "he said \"hi\"";
+  ASSERT_EQ(capture.records.size(), 1u);
+  const std::string& record = capture.records[0];
+  EXPECT_EQ(record.front(), '{');
+  EXPECT_EQ(record.back(), '}');
+  EXPECT_NE(record.find("\"level\":\"WARN\""), std::string::npos) << record;
+  // The message is escaped into a valid JSON string.
+  EXPECT_NE(record.find("\"msg\":\"he said \\\"hi\\\"\""),
+            std::string::npos)
+      << record;
+  EXPECT_NE(record.find("\"ts\":\""), std::string::npos);
+  EXPECT_EQ(record.find("\"trace_id\""), std::string::npos)
+      << "no trace fields outside a request scope: " << record;
+}
+
+TEST(LoggingTest, RecordsInsideRequestScopeCarryTraceIds) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  const obs::TraceContext ctx = obs::MakeRootContext();
+
+  SetLogFormat(LogFormat::kJson);
+  {
+    obs::RequestScope scope(ctx);
+    P3GM_LOG(Info) << "inside";
+  }
+  SetLogFormat(LogFormat::kText);
+  {
+    obs::RequestScope scope(ctx);
+    P3GM_LOG(Info) << "inside text";
+  }
+  P3GM_LOG(Info) << "outside";
+
+  ASSERT_EQ(capture.records.size(), 3u);
+  EXPECT_NE(capture.records[0].find("\"trace_id\":\"" +
+                                    obs::TraceIdHex(ctx) + "\""),
+            std::string::npos)
+      << capture.records[0];
+  EXPECT_NE(capture.records[0].find("\"span_id\":\"" +
+                                    obs::SpanIdHex(ctx.span_id) + "\""),
+            std::string::npos);
+  EXPECT_NE(capture.records[1].find("[trace:" + obs::TraceIdHex(ctx) +
+                                    " span:" + obs::SpanIdHex(ctx.span_id) +
+                                    "]"),
+            std::string::npos)
+      << capture.records[1];
+  EXPECT_EQ(capture.records[2].find("[trace:"), std::string::npos)
+      << capture.records[2];
 }
 
 TEST(ParseUint64Test, AcceptsPlainDecimals) {

@@ -40,6 +40,8 @@
 #include "nn/dp_sgd.h"
 #include "nn/linear.h"
 #include "obs/bench/harness.h"
+#include "obs/flight_recorder.h"
+#include "obs/prometheus.h"
 #include "pca/pca.h"
 #include "stats/gmm.h"
 #include "util/rng.h"
@@ -298,6 +300,38 @@ std::vector<MicroBench> BuildSuite(bool smoke) {
           };
         });
   }
+
+  // Observability hot paths: one flight-recorder append (the per-event
+  // cost every request pays several times) and one Prometheus encode of
+  // a serve-shaped snapshot (the cost of a scrape).
+  add("obs.flight_append", []() {
+    return [] {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightRecorder::EventKind::kRequest, "bench.flight", 1, 2);
+      Keep(1.0);
+    };
+  });
+  add("obs.prom_encode", []() {
+    auto snapshot = std::make_shared<obs::Snapshot>();
+    for (int i = 0; i < 16; ++i) {
+      snapshot->counters.push_back(
+          {"serve.bench.counter_" + std::to_string(i),
+           static_cast<std::uint64_t>(i * 1000)});
+    }
+    for (int i = 0; i < 8; ++i) {
+      obs::HistogramSample h;
+      h.name = "serve.bench.latency_seconds{endpoint=\"/v1/bench_" +
+               std::to_string(i) + "\"}";
+      h.bounds = {1e-4, 1e-3, 1e-2, 0.1, 1.0};
+      h.bucket_counts = {5, 10, 20, 40, 80, 3};
+      h.count = 158;
+      h.sum = 12.5;
+      snapshot->histograms.push_back(std::move(h));
+    }
+    return [snapshot] {
+      Keep(static_cast<double>(obs::ToPrometheusText(*snapshot).size()));
+    };
+  });
 
   return benches;
 }

@@ -20,12 +20,14 @@
 #include "core/release.h"
 #include "core/synthesizer.h"
 #include "data/csv_loader.h"
+#include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "tools/bench_cli.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_utils.h"
 
@@ -91,12 +93,19 @@ int Usage() {
                "  --max-n N            per-request row ceiling (default\n"
                "                       100000)\n"
                "  --seed S             stream seed for unseeded requests\n"
+               "  --slow-ms N          WARN-log requests slower than N ms,\n"
+               "                       0 = off (default 0)\n"
+               "  --flight-dump PATH   flight-recorder dump file for\n"
+               "                       SIGQUIT and fatal signals (default\n"
+               "                       p3gm_flight.dump)\n"
                "  --no-obs             disable the metrics registry\n"
                "                       (/v1/metrics reports zeros)\n"
                "\n"
                "serve answers POST /v1/sample, GET /v1/models, GET\n"
-               "/v1/metrics, GET /healthz and POST /v1/reload; SIGHUP also\n"
-               "hot-reloads packages and SIGTERM/SIGINT drain gracefully.\n");
+               "/v1/metrics[?format=prometheus], GET /healthz and POST\n"
+               "/v1/reload; SIGHUP also hot-reloads packages, SIGQUIT dumps\n"
+               "the flight recorder, SIGTERM/SIGINT drain gracefully.\n"
+               "P3GM_LOG_LEVEL / P3GM_LOG_FORMAT (json) configure logging.\n");
   return 2;
 }
 
@@ -281,6 +290,7 @@ int CmdServe(int argc, char** argv) {
   serve::ServerOptions options;
   options.port = 8080;
   bool obs_enabled = true;
+  std::string flight_dump_path = "p3gm_flight.dump";
   std::vector<std::string> packages;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -334,6 +344,17 @@ int CmdServe(int argc, char** argv) {
         return Usage();
       }
       options.seed = v;
+    } else if (arg == "--slow-ms") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--slow-ms", text, 0, 3600000, &v)) {
+        return Usage();
+      }
+      options.slow_request_ms = static_cast<int>(v);
+    } else if (arg == "--flight-dump") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      flight_dump_path = text;
     } else if (arg == "--no-obs") {
       obs_enabled = false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -348,6 +369,8 @@ int CmdServe(int argc, char** argv) {
     return Usage();
   }
   obs::SetEnabled(obs_enabled);
+  util::InitLoggingFromEnv();
+  obs::InstallFlightDumpHandlers(flight_dump_path);
 
   serve::Server server(options);
   if (auto st = server.Init(packages); !st.ok()) return Fail(st);
