@@ -5,7 +5,11 @@
 #include <sstream>
 
 #include "core/pgm.h"
+#include "core/release.h"
+#include "data/dataset.h"
 #include "linalg/matrix.h"
+#include "stats/gmm.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace p3gm {
@@ -14,7 +18,102 @@ namespace audit {
 namespace {
 
 constexpr char kHeader[] = "# p3gm golden trace v1";
+constexpr char kDecodeHeader[] = "# p3gm golden decode v1";
 constexpr double kDelta = 1e-5;
+
+// Shared line-by-line comparison: regenerated `fresh` lines against the
+// checked-in file at `path`, reporting the first mismatch with a
+// regeneration hint.
+GoldenCompareResult CompareLinesAgainstFile(
+    const std::vector<std::string>& fresh, const std::string& path) {
+  GoldenCompareResult result;
+  std::ifstream in(path);
+  if (!in) {
+    result.message = "cannot open golden file: " + path +
+                     " (generate it with build/tools/regen_golden)";
+    return result;
+  }
+  std::vector<std::string> golden;
+  for (std::string line; std::getline(in, line);) golden.push_back(line);
+
+  const std::size_t n = std::min(golden.size(), fresh.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (golden[i] != fresh[i]) {
+      std::ostringstream msg;
+      msg << "golden mismatch at line " << (i + 1) << ":\n  golden: "
+          << golden[i] << "\n  fresh:  " << fresh[i]
+          << "\nIf the numeric change is intentional, regenerate with "
+             "build/tools/regen_golden (see tools/regen_golden.cc) and "
+             "commit the updated "
+          << path;
+      result.message = msg.str();
+      return result;
+    }
+  }
+  if (golden.size() != fresh.size()) {
+    std::ostringstream msg;
+    msg << "golden length mismatch: golden has " << golden.size()
+        << " lines, fresh run has " << fresh.size()
+        << ". Regenerate with build/tools/regen_golden " << path;
+    result.message = msg.str();
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+// "tag,i,v0,v1,..." with every double at %.17g (bit round-trip).
+std::string FormatValueRow(const char* tag, std::size_t i, const double* v,
+                           std::size_t n) {
+  std::ostringstream os;
+  os << tag << ',' << i;
+  char buf[40];
+  for (std::size_t j = 0; j < n; ++j) {
+    std::snprintf(buf, sizeof(buf), ",%.17g", v[j]);
+    os << buf;
+  }
+  return os.str();
+}
+
+// The canonical decode package: explicit deterministic weights, no
+// training. Distinct from the serve-test fixture so the two suites pin
+// different numeric surfaces. latent 4 -> hidden 16 -> output 10 with a
+// 2-class one-hot block, 3-component MoG prior.
+core::ReleasePackage GoldenDecodePackage() {
+  const std::size_t dl = 4, h = 16, d = 10;
+  linalg::Matrix w1(dl, h), b1(1, h), w2(h, d), b2(1, d);
+  for (std::size_t i = 0; i < dl; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      w1(i, j) = 0.07 * (static_cast<double>((i * h + j) % 11) - 5.0);
+    }
+  }
+  for (std::size_t j = 0; j < h; ++j) b1(0, j) = 0.015 * j - 0.05;
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      w2(i, j) = 0.05 * (static_cast<double>((3 * i + 2 * j) % 9) - 4.0);
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) b2(0, j) = 0.01 * (j % 4) - 0.02;
+
+  linalg::Matrix means(3, dl), variances(3, dl);
+  for (std::size_t j = 0; j < dl; ++j) {
+    means(0, j) = -1.5 + 0.1 * j;
+    means(1, j) = 0.2;
+    means(2, j) = 1.1 - 0.2 * j;
+    variances(0, j) = 0.6;
+    variances(1, j) = 0.4;
+    variances(2, j) = 0.8;
+  }
+  auto prior =
+      stats::GaussianMixture::Create({0.25, 0.35, 0.4}, means, variances);
+  P3GM_CHECK(prior.ok());
+  auto pkg = core::ReleasePackage::FromParts(
+      "golden_decode", /*num_classes=*/2, core::DecoderType::kBernoulli,
+      std::move(*prior), std::move(w1), std::move(b1), std::move(w2),
+      std::move(b2));
+  P3GM_CHECK(pkg.ok());
+  return std::move(*pkg);
+}
 
 }  // namespace
 
@@ -82,40 +181,64 @@ bool WriteGoldenTrace(const std::string& path) {
 }
 
 GoldenCompareResult CompareGoldenTrace(const std::string& path) {
-  GoldenCompareResult result;
-  std::ifstream in(path);
-  if (!in) {
-    result.message = "cannot open golden file: " + path +
-                     " (generate it with build/tools/regen_golden)";
-    return result;
-  }
-  std::vector<std::string> golden;
-  for (std::string line; std::getline(in, line);) golden.push_back(line);
+  return CompareLinesAgainstFile(GoldenPgmTraceLines(), path);
+}
 
-  const std::vector<std::string> fresh = GoldenPgmTraceLines();
-  const std::size_t n = std::min(golden.size(), fresh.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (golden[i] != fresh[i]) {
-      std::ostringstream msg;
-      msg << "golden trace mismatch at line " << (i + 1) << ":\n  golden: "
-          << golden[i] << "\n  fresh:  " << fresh[i]
-          << "\nIf the numeric change is intentional, regenerate with "
-             "build/tools/regen_golden "
-          << path;
-      result.message = msg.str();
-      return result;
+std::vector<std::string> GoldenDecodeLines() {
+  const core::ReleasePackage pkg = GoldenDecodePackage();
+  std::vector<std::string> lines;
+  lines.emplace_back(kDecodeHeader);
+
+  // A deterministic latent grid spanning both signs and magnitudes past
+  // the prior means, decoded directly: pins the decoder forward pass
+  // alone, independent of the prior sampler.
+  linalg::Matrix z(6, pkg.latent_dim());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    for (std::size_t j = 0; j < z.cols(); ++j) {
+      z(i, j) = -2.0 + 0.7 * static_cast<double>(i) +
+                0.35 * static_cast<double>(j);
     }
   }
-  if (golden.size() != fresh.size()) {
-    std::ostringstream msg;
-    msg << "golden trace length mismatch: golden has " << golden.size()
-        << " lines, fresh run has " << fresh.size()
-        << ". Regenerate with build/tools/regen_golden " << path;
-    result.message = msg.str();
-    return result;
+  const util::Result<linalg::Matrix> decoded = pkg.DecodeLatent(z);
+  if (!decoded.ok()) {
+    lines.push_back(std::string("error,") + decoded.status().message());
+    return lines;
   }
-  result.ok = true;
-  return result;
+  for (std::size_t i = 0; i < decoded->rows(); ++i) {
+    lines.push_back(FormatValueRow("decode", i,
+                                   decoded->data() + i * decoded->cols(),
+                                   decoded->cols()));
+  }
+
+  // Fixed-seed end-to-end synthesis: prior draws + decode + one-hot
+  // label split, exactly what `p3gm serve` runs per request.
+  util::Rng rng(7777);
+  const util::Result<data::Dataset> generated = pkg.Generate(12, &rng);
+  if (!generated.ok()) {
+    lines.push_back(std::string("error,") + generated.status().message());
+    return lines;
+  }
+  const linalg::Matrix& f = generated->features;
+  for (std::size_t i = 0; i < f.rows(); ++i) {
+    lines.push_back(
+        FormatValueRow("sample", i, f.data() + i * f.cols(), f.cols()));
+  }
+  std::ostringstream labels;
+  labels << "labels";
+  for (const std::size_t l : generated->labels) labels << ',' << l;
+  lines.push_back(labels.str());
+  return lines;
+}
+
+bool WriteGoldenDecode(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const std::string& line : GoldenDecodeLines()) out << line << "\n";
+  return static_cast<bool>(out);
+}
+
+GoldenCompareResult CompareGoldenDecode(const std::string& path) {
+  return CompareLinesAgainstFile(GoldenDecodeLines(), path);
 }
 
 }  // namespace audit

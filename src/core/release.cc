@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "data/transforms.h"
+#include "infer/plan.h"
 #include "linalg/ops.h"
 #include "nn/activations.h"
+#include "util/check.h"
 #include "util/serialize.h"
 
 namespace p3gm {
@@ -46,6 +48,7 @@ util::Result<ReleasePackage> ReleasePackage::FromPgm(Pgm* model,
   pkg.w2_ = std::move(w[2]);
   pkg.b2_ = std::move(w[3]);
   P3GM_RETURN_NOT_OK(pkg.Validate());
+  pkg.CompilePlan();
   return pkg;
 }
 
@@ -68,6 +71,7 @@ util::Result<ReleasePackage> ReleasePackage::FromVae(Vae* model,
   pkg.w2_ = std::move(w[2]);
   pkg.b2_ = std::move(w[3]);
   P3GM_RETURN_NOT_OK(pkg.Validate());
+  pkg.CompilePlan();
   return pkg;
 }
 
@@ -86,7 +90,21 @@ util::Result<ReleasePackage> ReleasePackage::FromParts(
   pkg.w2_ = std::move(w2);
   pkg.b2_ = std::move(b2);
   P3GM_RETURN_NOT_OK(pkg.Validate());
+  pkg.CompilePlan();
   return pkg;
+}
+
+void ReleasePackage::CompilePlan() {
+  // hidden = relu(z W1 + b1); output = head(h W2 + b2), where the head
+  // matches DecodeLatent's reference epilogue for this decoder type.
+  const infer::Activation head = decoder_type_ == DecoderType::kBernoulli
+                                     ? infer::Activation::kSigmoid
+                                     : infer::Activation::kClamp01;
+  util::Result<infer::DecoderPlan> plan = infer::DecoderPlan::Compile(
+      {{&w1_, &b1_, infer::Activation::kRelu}, {&w2_, &b2_, head}});
+  P3GM_CHECK_MSG(plan.ok(), "ReleasePackage: decoder plan compilation failed");
+  plan_ = std::make_shared<const infer::DecoderPlan>(
+      std::move(plan).ValueOrDie());
 }
 
 util::Status ReleasePackage::Validate() const {
@@ -173,6 +191,7 @@ util::Result<ReleasePackage> ReleasePackage::Load(const std::string& path) {
   P3GM_RETURN_NOT_OK(read_matrix(&pkg.w2_));
   P3GM_RETURN_NOT_OK(read_matrix(&pkg.b2_));
   P3GM_RETURN_NOT_OK(pkg.Validate());
+  pkg.CompilePlan();
   return pkg;
 }
 
@@ -183,10 +202,28 @@ linalg::Matrix ReleasePackage::SampleLatent(std::size_t n,
 
 util::Result<linalg::Matrix> ReleasePackage::DecodeLatent(
     const linalg::Matrix& z) const {
+  linalg::Matrix out;
+  P3GM_RETURN_NOT_OK(DecodeLatentInto(z, &out));
+  return out;
+}
+
+util::Status ReleasePackage::DecodeLatentInto(const linalg::Matrix& z,
+                                              linalg::Matrix* out) const {
+  P3GM_CHECK(out != nullptr);
   P3GM_RETURN_NOT_OK(Validate());
   if (z.cols() != latent_dim()) {
     return util::Status::InvalidArgument(
         "ReleasePackage: latent dimension mismatch");
+  }
+  // Planned path: the pre-compiled infer::DecoderPlan runs the same
+  // forward pass through packed weights, arena buffers, and fused
+  // kernels. Bit-identical to the reference sequence below by the
+  // accumulation-order contract (docs/inference.md); the reference is
+  // kept as the escape hatch (`p3gm serve --no-planned-decode`,
+  // P3GM_NO_PLANNED_DECODE=1) and as the oracle the equivalence suite
+  // pins the planned runtime against.
+  if (plan_ != nullptr && infer::PlannedDecodeEnabled() && z.rows() > 0) {
+    return plan_->Execute(z, out);
   }
   linalg::Matrix h = linalg::Matmul(z, w1_);
   linalg::AddRowVector(b1_.Row(0), &h);
@@ -206,7 +243,8 @@ util::Result<linalg::Matrix> ReleasePackage::DecodeLatent(
       ld[i] = std::clamp(ld[i], 0.0, 1.0);
     }
   }
-  return logits;
+  *out = std::move(logits);
+  return util::Status::OK();
 }
 
 data::Dataset ReleasePackage::AssembleRows(linalg::Matrix outputs) const {

@@ -1,6 +1,7 @@
 #ifndef P3GM_CORE_RELEASE_H_
 #define P3GM_CORE_RELEASE_H_
 
+#include <memory>
 #include <string>
 
 #include "core/pgm.h"
@@ -12,6 +13,11 @@
 #include "util/rng.h"
 
 namespace p3gm {
+
+namespace infer {
+class DecoderPlan;
+}  // namespace infer
+
 namespace core {
 
 /// The shareable artifact of Fig. 1: a trained decoder plus the latent
@@ -70,6 +76,15 @@ class ReleasePackage {
   /// yields bit-identical rows to decoding each slice separately.
   util::Result<linalg::Matrix> DecodeLatent(const linalg::Matrix& z) const;
 
+  /// DecodeLatent variant that writes into a caller-owned buffer,
+  /// reallocating only on shape mismatch. Bit-identical to DecodeLatent
+  /// under either decode runtime; it exists so a steady-state serving
+  /// loop can reuse one output buffer across batches instead of paying
+  /// a multi-megabyte allocation plus zero-fill (and, at those sizes,
+  /// an mmap/page-fault round trip) on every decode.
+  util::Status DecodeLatentInto(const linalg::Matrix& z,
+                                linalg::Matrix* out) const;
+
   /// Splits decoded outputs into a Dataset (labels detached from the
   /// trailing one-hot block when num_classes > 0).
   data::Dataset AssembleRows(linalg::Matrix outputs) const;
@@ -83,8 +98,19 @@ class ReleasePackage {
   std::size_t num_classes() const { return num_classes_; }
   const stats::GaussianMixture& prior() const { return prior_; }
 
+  /// The compiled forward-execution plan (src/infer) DecodeLatent runs
+  /// through when infer::PlannedDecodeEnabled(). Compiled eagerly by
+  /// every factory; null only for a default-constructed package. The
+  /// plan is immutable and shared by copies of the package.
+  const infer::DecoderPlan* plan() const { return plan_.get(); }
+
  private:
   util::Status Validate() const;
+
+  /// Packs the decoder weights into a DecoderPlan. Called by the
+  /// factories after Validate(); fatal on failure (validated weights
+  /// always compile).
+  void CompilePlan();
 
   std::string name_;
   std::size_t num_classes_ = 0;
@@ -92,6 +118,7 @@ class ReleasePackage {
   stats::GaussianMixture prior_;
   // Decoder affine weights: hidden = relu(z W1 + b1); logits = h W2 + b2.
   linalg::Matrix w1_, b1_, w2_, b2_;
+  std::shared_ptr<const infer::DecoderPlan> plan_;
 };
 
 }  // namespace core

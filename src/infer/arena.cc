@@ -1,0 +1,39 @@
+#include "infer/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "util/check.h"
+
+namespace p3gm {
+namespace infer {
+
+namespace {
+constexpr std::size_t kAlignment = 64;
+}  // namespace
+
+Arena::~Arena() {
+  if (data_ != nullptr) std::free(data_);
+}
+
+double* Arena::Reserve(std::size_t doubles) {
+  if (doubles == 0) doubles = 1;
+  if (doubles > capacity_) {
+    // Grow geometrically so a batch-size ramp settles after O(log)
+    // reallocations instead of one per batch.
+    std::size_t want = capacity_ == 0 ? doubles : capacity_;
+    while (want < doubles) want += want;
+    std::size_t bytes = want * sizeof(double);
+    // aligned_alloc requires size to be a multiple of the alignment.
+    bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    double* grown = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
+    P3GM_CHECK_MSG(grown != nullptr, "infer::Arena allocation failed");
+    if (data_ != nullptr) std::free(data_);
+    data_ = grown;
+    capacity_ = bytes / sizeof(double);
+  }
+  return data_;
+}
+
+}  // namespace infer
+}  // namespace p3gm

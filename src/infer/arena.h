@@ -1,0 +1,47 @@
+#ifndef P3GM_INFER_ARENA_H_
+#define P3GM_INFER_ARENA_H_
+
+#include <cstddef>
+
+namespace p3gm {
+namespace infer {
+
+/// Grow-only 64-byte-aligned scratch buffer for the planned decoder
+/// runtime: one Reserve per batch covers every intermediate layer
+/// buffer (the plan hands out offsets into it), so a forward pass makes
+/// zero per-layer allocations. Capacity never shrinks; a thread that
+/// decodes repeatedly reuses the same mapping, so steady-state batches
+/// allocate nothing at all.
+///
+/// Alignment is a performance property only — the kernels use unaligned
+/// loads/stores throughout, and the unit tests deliberately feed them
+/// odd offsets.
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a buffer of at least `doubles` doubles, reallocating only
+  /// when the request exceeds the current capacity. Contents are
+  /// unspecified. Returns a valid (non-null, aligned) pointer even for
+  /// a zero-sized request.
+  double* Reserve(std::size_t doubles);
+
+  /// Current capacity in doubles.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Current capacity in bytes (what the obs gauge reports).
+  std::size_t capacity_bytes() const { return capacity_ * sizeof(double); }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace infer
+}  // namespace p3gm
+
+#endif  // P3GM_INFER_ARENA_H_

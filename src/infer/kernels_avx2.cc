@@ -1,0 +1,404 @@
+// AVX2 tier of the fused decoder layer. Compiled as its own TU with
+// -mavx2 -ffp-contract=off (see src/infer/CMakeLists.txt): the
+// accumulation-order contract (docs/inference.md) requires every
+// partial product to be rounded by a separate multiply and add — a
+// fused multiply-add rounds once and would diverge from the scalar
+// reference in the last ulp. -ffp-contract=off makes it impossible for
+// the compiler to fuse the _mm256_mul_pd/_mm256_add_pd pairs below even
+// though the CPU offers FMA.
+//
+// Vectorization is across output columns only: lane j of an
+// accumulator register is exactly the scalar accumulator of output
+// element (i, j), updated for k = 0, 1, ..., K-1 in ascending order, so
+// the result is bit-identical to the scalar tier by construction.
+//
+// Two code paths, chosen per call by a density probe of the input
+// block (bit-neutral either way — rows are independent and each output
+// element sees the same ascending-k term sequence):
+//
+//  * Dense: a register tile of MR (<=4) rows by one 8-column panel.
+//    The accumulators are individually named __m256d locals (8 live
+//    accumulators + 2 panel loads + 1 broadcast inside the 16 ymm
+//    registers) — an earlier array-of-__m256d formulation made the
+//    compiler keep the tile on the stack, turning every accumulator
+//    update into a load + store round-trip and halving throughput. The
+//    k loop is blocked at kKc so one panel's k-slab (8 cols * kKc *
+//    8 B = 32 KB) stays L1-resident while a row block streams over it,
+//    and the accumulator spills to the arena scratch row between k
+//    blocks (exact double stores/loads, so splitting k changes
+//    nothing).
+//
+//  * Sparse: decoder hidden activations sit behind ReLU, so typically
+//    half the input block is exactly 0.0 — terms the reference gemm
+//    skips outright (`if (av == 0.0) continue`). When a pre-pass finds
+//    the block sparse enough, each row's nonzero (value, panel-offset)
+//    pairs are gathered once and every panel replays only those
+//    entries, in the original ascending-k order. Skipping an exact
+//    zero is bit-neutral for finite inputs (x + (+/-0.0 * b) == x for
+//    every finite x accumulated from +0.0), the same finite-only
+//    contract the dense path already relies on in reverse (it *adds*
+//    the zero terms the scalar tier skips). See docs/inference.md.
+
+#include "infer/kernels.h"
+
+#if defined(P3GM_INFER_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p3gm {
+namespace infer {
+namespace internal {
+
+namespace {
+
+constexpr std::size_t kKc = 512;  // k-block: 32 KB of panel slab.
+
+// The pure-arithmetic activations can be applied in-register to an
+// accumulator pair just before its store, which lets a single-k-pass
+// layer skip the scratch round trip and the separate epilogue sweep.
+// kSigmoid/kTanh call scalar libm and stay on the scratch + EpilogueRow
+// path.
+inline bool FusableAct(Activation act) {
+  return act == Activation::kIdentity || act == Activation::kRelu ||
+         act == Activation::kClamp01;
+}
+
+// In-register replica of EpilogueRow's activation formulas for one
+// 8-column accumulator pair. Bit-identical to the scalar code including
+// signed zeros and NaNs: relu's `v < 0.0 ? 0.0 : v` and std::clamp's
+// ordered compares are reproduced with explicit compare + blend —
+// max/min instructions have different zero-sign and NaN conventions
+// and would diverge on those inputs.
+inline void ApplyActPair(Activation act, __m256d* lo, __m256d* hi) {
+  const __m256d zero = _mm256_setzero_pd();
+  if (act == Activation::kRelu) {
+    *lo = _mm256_blendv_pd(*lo, zero, _mm256_cmp_pd(*lo, zero, _CMP_LT_OQ));
+    *hi = _mm256_blendv_pd(*hi, zero, _mm256_cmp_pd(*hi, zero, _CMP_LT_OQ));
+  } else if (act == Activation::kClamp01) {
+    const __m256d one = _mm256_set1_pd(1.0);
+    *lo = _mm256_blendv_pd(*lo, zero, _mm256_cmp_pd(*lo, zero, _CMP_LT_OQ));
+    *lo = _mm256_blendv_pd(*lo, one, _mm256_cmp_pd(one, *lo, _CMP_LT_OQ));
+    *hi = _mm256_blendv_pd(*hi, zero, _mm256_cmp_pd(*hi, zero, _CMP_LT_OQ));
+    *hi = _mm256_blendv_pd(*hi, one, _mm256_cmp_pd(one, *hi, _CMP_LT_OQ));
+  }
+}
+
+// One register tile: MR rows x 8 columns of panel `pbase`, accumulating
+// a[k] * b[k] for k in [kc, kc + klen). `first` selects zeroed
+// accumulators (kc == 0) vs. continuing from the scratch row. Every
+// accumulator is a distinct named local so the compiler keeps the whole
+// tile in ymm registers.
+// `fuse_bias`/`act` mirror SparseRowTile's fused epilogue; callers pass
+// a non-null bias only on the k pass that completes the accumulation.
+template <int MR>
+inline void Tile(const double* a, std::size_t a_stride, const double* pbase,
+                 std::size_t kc, std::size_t klen, bool first, double* c,
+                 std::size_t c_stride, const double* fuse_bias = nullptr,
+                 Activation act = Activation::kIdentity) {
+  __m256d acc0l = _mm256_setzero_pd(), acc0h = _mm256_setzero_pd();
+  __m256d acc1l = acc0l, acc1h = acc0l;
+  __m256d acc2l = acc0l, acc2h = acc0l;
+  __m256d acc3l = acc0l, acc3h = acc0l;
+  if (!first) {
+    acc0l = _mm256_loadu_pd(c);
+    acc0h = _mm256_loadu_pd(c + 4);
+    if constexpr (MR > 1) {
+      acc1l = _mm256_loadu_pd(c + c_stride);
+      acc1h = _mm256_loadu_pd(c + c_stride + 4);
+    }
+    if constexpr (MR > 2) {
+      acc2l = _mm256_loadu_pd(c + 2 * c_stride);
+      acc2h = _mm256_loadu_pd(c + 2 * c_stride + 4);
+    }
+    if constexpr (MR > 3) {
+      acc3l = _mm256_loadu_pd(c + 3 * c_stride);
+      acc3h = _mm256_loadu_pd(c + 3 * c_stride + 4);
+    }
+  }
+  const double* bp = pbase + kc * kPanelWidth;
+  const double* arow = a + kc;
+  for (std::size_t k = 0; k < klen; ++k) {
+    const __m256d b_lo = _mm256_loadu_pd(bp);
+    const __m256d b_hi = _mm256_loadu_pd(bp + 4);
+    bp += kPanelWidth;
+    __m256d av = _mm256_broadcast_sd(arow + k);
+    acc0l = _mm256_add_pd(acc0l, _mm256_mul_pd(av, b_lo));
+    acc0h = _mm256_add_pd(acc0h, _mm256_mul_pd(av, b_hi));
+    if constexpr (MR > 1) {
+      av = _mm256_broadcast_sd(arow + a_stride + k);
+      acc1l = _mm256_add_pd(acc1l, _mm256_mul_pd(av, b_lo));
+      acc1h = _mm256_add_pd(acc1h, _mm256_mul_pd(av, b_hi));
+    }
+    if constexpr (MR > 2) {
+      av = _mm256_broadcast_sd(arow + 2 * a_stride + k);
+      acc2l = _mm256_add_pd(acc2l, _mm256_mul_pd(av, b_lo));
+      acc2h = _mm256_add_pd(acc2h, _mm256_mul_pd(av, b_hi));
+    }
+    if constexpr (MR > 3) {
+      av = _mm256_broadcast_sd(arow + 3 * a_stride + k);
+      acc3l = _mm256_add_pd(acc3l, _mm256_mul_pd(av, b_lo));
+      acc3h = _mm256_add_pd(acc3h, _mm256_mul_pd(av, b_hi));
+    }
+  }
+  if (fuse_bias != nullptr) {
+    const __m256d b_lo = _mm256_loadu_pd(fuse_bias);
+    const __m256d b_hi = _mm256_loadu_pd(fuse_bias + 4);
+    acc0l = _mm256_add_pd(acc0l, b_lo);
+    acc0h = _mm256_add_pd(acc0h, b_hi);
+    ApplyActPair(act, &acc0l, &acc0h);
+    if constexpr (MR > 1) {
+      acc1l = _mm256_add_pd(acc1l, b_lo);
+      acc1h = _mm256_add_pd(acc1h, b_hi);
+      ApplyActPair(act, &acc1l, &acc1h);
+    }
+    if constexpr (MR > 2) {
+      acc2l = _mm256_add_pd(acc2l, b_lo);
+      acc2h = _mm256_add_pd(acc2h, b_hi);
+      ApplyActPair(act, &acc2l, &acc2h);
+    }
+    if constexpr (MR > 3) {
+      acc3l = _mm256_add_pd(acc3l, b_lo);
+      acc3h = _mm256_add_pd(acc3h, b_hi);
+      ApplyActPair(act, &acc3l, &acc3h);
+    }
+  }
+  _mm256_storeu_pd(c, acc0l);
+  _mm256_storeu_pd(c + 4, acc0h);
+  if constexpr (MR > 1) {
+    _mm256_storeu_pd(c + c_stride, acc1l);
+    _mm256_storeu_pd(c + c_stride + 4, acc1h);
+  }
+  if constexpr (MR > 2) {
+    _mm256_storeu_pd(c + 2 * c_stride, acc2l);
+    _mm256_storeu_pd(c + 2 * c_stride + 4, acc2h);
+  }
+  if constexpr (MR > 3) {
+    _mm256_storeu_pd(c + 3 * c_stride, acc3l);
+    _mm256_storeu_pd(c + 3 * c_stride + 4, acc3h);
+  }
+}
+
+// Gathered nonzeros of the current input block, row-major with ragged
+// row boundaries. Values and panel offsets (k * kPanelWidth doubles,
+// which fits uint32 because the sparse path requires k_dim <= kKc) are
+// parallel arrays rather than an array of structs: the panel loop
+// re-streams this data padded_out/8 times, and the split layout cuts
+// the stream from 16 to 12 bytes per entry — a measurable win in a
+// loop that is otherwise bound by issue width. Thread-local: each
+// ParallelFor worker gathers its own block, and the buffers reach
+// steady-state capacity after the first pass.
+struct SparseBlock {
+  std::vector<double> values;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::size_t> row_end;  // entries index one past row i.
+};
+
+// Gathers the nonzeros of a[0..rows) x [0..k_dim) and reports whether
+// the sparse path pays: below ~3/4 density the skipped multiplies beat
+// the gather pre-pass (one read of the block, amortized over
+// padded_out/8 panel replays).
+//
+// A cheap probe of the first few rows rejects dense inputs (e.g. the
+// latent layer, whose Gaussian draws are never exactly zero) before
+// paying for a full gather. The probe is only a heuristic: whichever
+// path it picks, the result is bit-identical, so a misjudged block
+// costs speed, never correctness. The gather itself is branchless —
+// post-ReLU zeros are data-random, and a mispredicted branch per
+// element would cost more than the gather's arithmetic.
+bool GatherSparse(const double* a, std::size_t a_stride, std::size_t rows,
+                  std::size_t k_dim, SparseBlock* block) {
+  const std::size_t probe_rows = std::min<std::size_t>(rows, 8);
+  std::size_t probe_nnz = 0;
+  for (std::size_t i = 0; i < probe_rows; ++i) {
+    const double* arow = a + i * a_stride;
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      probe_nnz += (arow[k] != 0.0);
+    }
+  }
+  if (probe_nnz * 4 >= probe_rows * k_dim * 3) return false;
+
+  // Never shrink the buffers: the block is thread-local, and holding
+  // steady-state capacity keeps every later gather allocation-free.
+  if (block->values.size() < rows * k_dim) {
+    block->values.resize(rows * k_dim);
+    block->offsets.resize(rows * k_dim);
+  }
+  block->row_end.resize(rows);
+  double* values = block->values.data();
+  std::uint32_t* offsets = block->offsets.data();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* arow = a + i * a_stride;
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      values[n] = arow[k];
+      offsets[n] = static_cast<std::uint32_t>(k * kPanelWidth);
+      n += (arow[k] != 0.0);
+    }
+    block->row_end[i] = n;
+  }
+  return n * 4 < rows * k_dim * 3;
+}
+
+// One row x one panel over the row's nonzero entries, ascending k.
+// Unrolled by four: the loop body is a handful of micro-ops around two
+// mul/add pairs, so shaving the per-entry loop overhead matters.
+// Unrolling does not touch the accumulation order — the same two
+// accumulator chains see the same terms in the same ascending-k
+// sequence. When `fuse_bias` is non-null the bias add and a fusable
+// activation are applied in-register before the store (the single
+// bias add EpilogueRow would have done, in the same place in the
+// term sequence: after the full k accumulation).
+inline void SparseRowTile(const double* v, const std::uint32_t* o,
+                          std::size_t n, const double* pbase, double* c,
+                          const double* fuse_bias = nullptr,
+                          Activation act = Activation::kIdentity) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d av = _mm256_broadcast_sd(v + i);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i])));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i] + 4)));
+    av = _mm256_broadcast_sd(v + i + 1);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i + 1])));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i + 1] + 4)));
+    av = _mm256_broadcast_sd(v + i + 2);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i + 2])));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i + 2] + 4)));
+    av = _mm256_broadcast_sd(v + i + 3);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i + 3])));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i + 3] + 4)));
+  }
+  for (; i < n; ++i) {
+    const __m256d av = _mm256_broadcast_sd(v + i);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i])));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(av, _mm256_loadu_pd(pbase + o[i] + 4)));
+  }
+  if (fuse_bias != nullptr) {
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_loadu_pd(fuse_bias));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_loadu_pd(fuse_bias + 4));
+    ApplyActPair(act, &acc_lo, &acc_hi);
+  }
+  _mm256_storeu_pd(c, acc_lo);
+  _mm256_storeu_pd(c + 4, acc_hi);
+}
+
+}  // namespace
+
+void FusedLayerAvx2(const double* a, std::size_t a_stride, std::size_t rows,
+                    const PackedLayer& layer, double* scratch,
+                    std::size_t c_stride, double* dst,
+                    std::size_t dst_stride) {
+  const std::size_t k_dim = layer.in;
+  const std::size_t num_panels = layer.padded_out / kPanelWidth;
+
+  // Sparse only when one k block covers the layer (the entry list then
+  // never has to split at a spill boundary); k_dim == 0 stays on the
+  // dense path, whose zeroing pass defines the output.
+  static thread_local SparseBlock sparse_block;
+  const bool sparse = k_dim > 0 && k_dim <= kKc &&
+                      GatherSparse(a, a_stride, rows, k_dim, &sparse_block);
+
+  // Fused-epilogue selection (bit-neutral either way — the fused store
+  // applies the identical bias add and activation EpilogueRow would,
+  // at the same point in each element's term sequence):
+  //  * sparse: every full panel (all 8 columns inside layer.out) writes
+  //    dst directly; only a ragged tail panel still accumulates in
+  //    scratch and takes a partial EpilogueRow sweep.
+  //  * dense: when one k pass covers the layer and dst doubles as the
+  //    accumulator (the in-place configuration, padded == out so no
+  //    tail exists), the tile stores carry the whole epilogue.
+  // Skipping the scratch round trip and the separate sweep is worth a
+  // few percent on the serving-size decode; kSigmoid/kTanh keep the
+  // scratch + EpilogueRow path (scalar libm in the sweep).
+  const bool fusable = FusableAct(layer.act);
+  const bool fuse_sparse = sparse && fusable;
+  const bool fuse_dense = !sparse && fusable && k_dim <= kKc &&
+                          dst == scratch && dst_stride == c_stride &&
+                          layer.padded_out == layer.out;
+
+  for (std::size_t p = 0; p < num_panels; ++p) {
+    const double* pbase = layer.panels() + p * k_dim * kPanelWidth;
+    double* cpanel = scratch + p * kPanelWidth;
+    if (sparse) {
+      const double* values = sparse_block.values.data();
+      const std::uint32_t* offsets = sparse_block.offsets.data();
+      const bool full_panel =
+          fuse_sparse && (p + 1) * kPanelWidth <= layer.out;
+      const double* fuse_bias =
+          full_panel ? layer.bias.data() + p * kPanelWidth : nullptr;
+      double* const out_panel =
+          full_panel ? dst + p * kPanelWidth : cpanel;
+      const std::size_t out_stride = full_panel ? dst_stride : c_stride;
+      std::size_t begin = 0;
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::size_t end = sparse_block.row_end[i];
+        SparseRowTile(values + begin, offsets + begin, end - begin, pbase,
+                      out_panel + i * out_stride, fuse_bias, layer.act);
+        begin = end;
+      }
+    } else {
+      // At least one k pass even when k_dim == 0, so the first/zeroing
+      // pass always runs and the scratch panel is well-defined.
+      std::size_t kc = 0;
+      bool first = true;
+      do {
+        const std::size_t klen = std::min(kKc, k_dim - kc);
+        // Fused epilogue only on the pass that completes the
+        // accumulation (with fuse_dense that is the only pass).
+        const double* fuse_bias =
+            fuse_dense ? layer.bias.data() + p * kPanelWidth : nullptr;
+        std::size_t i = 0;
+        for (; i + 4 <= rows; i += 4) {
+          Tile<4>(a + i * a_stride, a_stride, pbase, kc, klen, first,
+                  cpanel + i * c_stride, c_stride, fuse_bias, layer.act);
+        }
+        switch (rows - i) {
+          case 3:
+            Tile<3>(a + i * a_stride, a_stride, pbase, kc, klen, first,
+                    cpanel + i * c_stride, c_stride, fuse_bias, layer.act);
+            break;
+          case 2:
+            Tile<2>(a + i * a_stride, a_stride, pbase, kc, klen, first,
+                    cpanel + i * c_stride, c_stride, fuse_bias, layer.act);
+            break;
+          case 1:
+            Tile<1>(a + i * a_stride, a_stride, pbase, kc, klen, first,
+                    cpanel + i * c_stride, c_stride, fuse_bias, layer.act);
+            break;
+          default:
+            break;
+        }
+        kc += klen;
+        first = false;
+      } while (kc < k_dim);
+    }
+  }
+  if (fuse_dense) return;  // Every column already has bias + activation.
+  // Fused bias + activation, one sweep per row after every panel has
+  // accumulated. Panels touch disjoint columns, so running the epilogue
+  // after the panel loop instead of inside it reorders nothing — and
+  // one inlined call per row beats padded_out/8 calls of 8 columns each
+  // by a wide margin (the sweep auto-vectorizes for the pure-arithmetic
+  // activations). When the sparse path fused its full panels, only the
+  // ragged tail columns remain.
+  const std::size_t epi_begin =
+      fuse_sparse ? (layer.out / kPanelWidth) * kPanelWidth : 0;
+  if (epi_begin >= layer.out) return;
+  for (std::size_t i = 0; i < rows; ++i) {
+    EpilogueRow(layer.act, scratch + i * c_stride + epi_begin,
+                layer.bias.data() + epi_begin, layer.out - epi_begin,
+                dst + i * dst_stride + epi_begin);
+  }
+}
+
+}  // namespace internal
+}  // namespace infer
+}  // namespace p3gm
+
+#endif  // P3GM_INFER_HAVE_AVX2

@@ -150,9 +150,11 @@ void Batcher::ExecuteBatch(std::vector<SampleJob> batch) {
     offset += rows[j];
   }
 
-  // Stage 2 — one decoder forward pass over the stacked latents.
+  // Stage 2 — one decoder forward pass over the stacked latents, into
+  // the batcher's reused output buffer (allocation-free once warm).
   const std::uint64_t decode_start_ns = obs::NowNs();
-  auto outputs = pkg.DecodeLatent(stacked);
+  const util::Status decode_status =
+      pkg.DecodeLatentInto(stacked, &decode_out_);
   const std::uint64_t decode_end_ns = obs::NowNs();
   if (obs::Enabled()) {
     obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
@@ -168,18 +170,19 @@ void Batcher::ExecuteBatch(std::vector<SampleJob> batch) {
                       obs::ChildOf(job.trace));
     }
   }
-  if (!outputs.ok()) {
-    for (SampleJob& job : batch) on_done_(job.ticket, outputs.status());
+  if (!decode_status.ok()) {
+    for (SampleJob& job : batch) on_done_(job.ticket, decode_status);
     return;
   }
   rows_total->Add(total_rows);
 
   // Stage 3 — slice outputs back per request.
+  const linalg::Matrix& outputs = decode_out_;
   offset = 0;
   for (std::size_t j = 0; j < batch.size(); ++j) {
-    linalg::Matrix slice(rows[j], outputs->cols());
-    std::copy(outputs->data() + offset * outputs->cols(),
-              outputs->data() + (offset + rows[j]) * outputs->cols(),
+    linalg::Matrix slice(rows[j], outputs.cols());
+    std::copy(outputs.data() + offset * outputs.cols(),
+              outputs.data() + (offset + rows[j]) * outputs.cols(),
               slice.data());
     offset += rows[j];
     data::Dataset block = pkg.AssembleRows(std::move(slice));

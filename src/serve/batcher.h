@@ -105,6 +105,11 @@ class Batcher {
   bool stop_ = false;
   bool started_ = false;
   std::thread worker_;
+
+  /// Decoder output buffer, reused across batches via
+  /// ReleasePackage::DecodeLatentInto so the steady-state decode path is
+  /// allocation-free. Touched only by the worker thread.
+  linalg::Matrix decode_out_;
 };
 
 }  // namespace serve

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <utility>
 
+#include "infer/plan.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -123,6 +125,11 @@ Server::~Server() {
 util::Status Server::Init(const std::vector<std::string>& package_paths) {
   if (initialized_) {
     return util::Status::FailedPrecondition("Server: Init called twice");
+  }
+  // Escape hatch only: never force-enable here, so an operator's
+  // P3GM_NO_PLANNED_DECODE=1 environment survives the default options.
+  if (!options_.planned_decode) {
+    infer::SetPlannedDecodeEnabled(false);
   }
   P3GM_RETURN_NOT_OK(registry_.LoadPaths(package_paths));
 

@@ -45,6 +45,12 @@ struct ServerOptions {
   /// Requests slower than this log one WARN record with the request's
   /// trace id, endpoint, status and latency. 0 disables the log.
   int slow_request_ms = 0;
+  /// Decode through the compiled infer::DecoderPlan (packed weights,
+  /// arena buffers, SIMD kernels). false routes every decode through the
+  /// reference nn/linalg path instead — the `--no-planned-decode`
+  /// escape hatch; outputs are bit-identical either way (see
+  /// docs/inference.md).
+  bool planned_decode = true;
   HttpLimits http;
 };
 

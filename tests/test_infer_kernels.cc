@@ -1,0 +1,391 @@
+// Unit tests for the infer kernel layer: packed layout, arena, edge
+// shapes (0/1 dims, remainder tiles on every edge), unaligned buffers,
+// scalar/SIMD tier agreement, plan-compile validation, and the fatal
+// aliasing check. The oracle is an in-test naive implementation of the
+// accumulation-order contract, written against linalg::Matmul's
+// semantics rather than the kernel's own panel loop.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "infer/arena.h"
+#include "infer/kernels.h"
+#include "infer/plan.h"
+#include "linalg/matrix.h"
+#include "nn/activations.h"
+#include "util/rng.h"
+
+namespace p3gm {
+namespace {
+
+using infer::Activation;
+using infer::KernelTier;
+using infer::PackedLayer;
+
+linalg::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                            util::Rng* rng, double zero_fraction = 0.0) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Uniform() < zero_fraction ? 0.0 : rng->Normal();
+  }
+  return m;
+}
+
+double ApplyAct(Activation act, double v) {
+  switch (act) {
+    case Activation::kIdentity:
+      return v;
+    case Activation::kRelu:
+      return v < 0.0 ? 0.0 : v;
+    case Activation::kSigmoid:
+      return nn::SigmoidScalar(v);
+    case Activation::kTanh:
+      return std::tanh(v);
+    case Activation::kClamp01:
+      return std::clamp(v, 0.0, 1.0);
+  }
+  return v;
+}
+
+// Independent oracle: the exact reference op sequence (ascending-k
+// mul-then-add from +0.0 with the zero-multiplier skip, bias after the
+// full accumulation, then the scalar activation).
+linalg::Matrix NaiveFused(const linalg::Matrix& a, const linalg::Matrix& w,
+                          const linalg::Matrix& bias, Activation act) {
+  linalg::Matrix y(a.rows(), w.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < w.rows(); ++k) {
+      const double av = a(i, k);
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < w.cols(); ++j) {
+        y(i, j) += av * w(k, j);
+      }
+    }
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      y(i, j) = ApplyAct(act, y(i, j) + bias(0, j));
+    }
+  }
+  return y;
+}
+
+// Runs RunFusedLayer on `tier` with configurable extra strides/offsets
+// and compares bit-for-bit against the oracle.
+void CheckFusedLayer(KernelTier tier, const linalg::Matrix& a,
+                     const linalg::Matrix& w, const linalg::Matrix& bias,
+                     Activation act, std::size_t a_pad = 0,
+                     std::size_t c_pad = 0, std::size_t dst_pad = 0,
+                     std::size_t misalign = 0) {
+  const PackedLayer layer = infer::PackLayer(w, bias, act);
+  const std::size_t rows = a.rows();
+  const std::size_t a_stride = layer.in + a_pad;
+  const std::size_t c_stride = layer.padded_out + c_pad;
+  const std::size_t dst_stride = layer.out + dst_pad;
+
+  std::vector<double> a_buf(rows * a_stride + misalign + 1, -7.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::memcpy(a_buf.data() + misalign + i * a_stride, a.row_data(i),
+                layer.in * sizeof(double));
+  }
+  std::vector<double> scratch(rows * c_stride + misalign + 1, -7.0);
+  std::vector<double> dst(rows * dst_stride + misalign + 1, -7.0);
+
+  infer::RunFusedLayer(tier, a_buf.data() + misalign, a_stride, rows, layer,
+                       scratch.data() + misalign, c_stride,
+                       dst.data() + misalign, dst_stride);
+
+  const linalg::Matrix want = NaiveFused(a, w, bias, act);
+  for (std::size_t i = 0; i < rows; ++i) {
+    ASSERT_EQ(std::memcmp(dst.data() + misalign + i * dst_stride,
+                          want.row_data(i), layer.out * sizeof(double)),
+              0)
+        << infer::TierName(tier) << " row " << i << " (shape " << rows << "x"
+        << layer.in << "x" << layer.out << ", act "
+        << infer::ActivationName(act) << ", pads " << a_pad << "/" << c_pad
+        << "/" << dst_pad << ", misalign " << misalign << ")";
+  }
+  // Row padding past `out` must be untouched in dst.
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = layer.out; j < dst_stride; ++j) {
+      if (misalign + i * dst_stride + j < dst.size() - 1) {
+        ASSERT_EQ(dst[misalign + i * dst_stride + j], -7.0)
+            << "dst row padding clobbered at row " << i << " col " << j;
+      }
+    }
+  }
+}
+
+std::vector<KernelTier> TiersToTest() {
+  std::vector<KernelTier> tiers = {KernelTier::kScalar};
+  if (infer::Avx2Supported()) tiers.push_back(KernelTier::kAvx2);
+  return tiers;
+}
+
+// --- packing -------------------------------------------------------------
+
+TEST(InferPack, PanelMajorLayoutAndRaggedPadding) {
+  linalg::Matrix w(3, 11);  // 11 cols: one full panel + ragged panel of 3.
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < 11; ++j) {
+      w(k, j) = 100.0 * static_cast<double>(k) + static_cast<double>(j);
+    }
+  }
+  linalg::Matrix bias(1, 11);
+  for (std::size_t j = 0; j < 11; ++j) bias(0, j) = static_cast<double>(j);
+
+  const PackedLayer layer = infer::PackLayer(w, bias, Activation::kRelu);
+  EXPECT_EQ(layer.in, 3u);
+  EXPECT_EQ(layer.out, 11u);
+  EXPECT_EQ(layer.padded_out, 16u);
+  // The buffer carries up to one panel row of alignment slack ahead of
+  // the panel area; panels() must start on a cache-line boundary.
+  ASSERT_GE(layer.packed.size(), 3u * 16u);
+  ASSERT_LE(layer.packed.size(), 3u * 16u + infer::kPanelWidth - 1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(layer.panels()) % 64, 0u);
+  ASSERT_EQ(layer.bias.size(), 11u);
+
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      for (std::size_t jj = 0; jj < infer::kPanelWidth; ++jj) {
+        const std::size_t j = p * infer::kPanelWidth + jj;
+        const double got =
+            layer.panels()[p * 3 * infer::kPanelWidth +
+                           k * infer::kPanelWidth + jj];
+        if (j < 11) {
+          EXPECT_EQ(got, w(k, j)) << "panel " << p << " k " << k << " jj "
+                                  << jj;
+        } else {
+          EXPECT_EQ(got, 0.0) << "ragged panel not zero-padded at k " << k
+                              << " jj " << jj;
+        }
+      }
+    }
+  }
+}
+
+// --- edge shapes ---------------------------------------------------------
+
+TEST(InferKernels, ZeroAndOneDims) {
+  util::Rng rng(1);
+  for (KernelTier tier : TiersToTest()) {
+    // rows == 0: no-op (nothing readable to assert beyond not crashing).
+    {
+      linalg::Matrix a(0, 4), w = RandomMatrix(4, 5, &rng);
+      linalg::Matrix b = RandomMatrix(1, 5, &rng);
+      CheckFusedLayer(tier, a, w, b, Activation::kRelu);
+    }
+    // K == 0 is exercised at the RunFusedLayer level with in == 0:
+    // output is act(bias) exactly.
+    {
+      linalg::Matrix a(3, 0), w(0, 5);
+      linalg::Matrix b = RandomMatrix(1, 5, &rng);
+      CheckFusedLayer(tier, a, w, b, Activation::kSigmoid);
+    }
+    // N == 0: no output columns, must not touch dst.
+    {
+      linalg::Matrix a = RandomMatrix(3, 4, &rng), w(4, 0), b(1, 0);
+      CheckFusedLayer(tier, a, w, b, Activation::kIdentity, 0, 0, 2);
+    }
+    // All-ones shape.
+    {
+      linalg::Matrix a = RandomMatrix(1, 1, &rng);
+      linalg::Matrix w = RandomMatrix(1, 1, &rng);
+      linalg::Matrix b = RandomMatrix(1, 1, &rng);
+      CheckFusedLayer(tier, a, w, b, Activation::kTanh);
+    }
+  }
+}
+
+TEST(InferKernels, RemainderTilesOnEveryEdge) {
+  util::Rng rng(2);
+  // Rows around the 4-row register tile, widths around the 8-col panel.
+  const std::size_t kRows[] = {1, 2, 3, 4, 5, 7, 8, 9};
+  const std::size_t kCols[] = {1, 7, 8, 9, 15, 16, 17};
+  const std::size_t kDepth[] = {1, 2, 5, 8};
+  for (KernelTier tier : TiersToTest()) {
+    for (std::size_t m : kRows) {
+      for (std::size_t n : kCols) {
+        for (std::size_t k : kDepth) {
+          linalg::Matrix a = RandomMatrix(m, k, &rng, 0.3);
+          linalg::Matrix w = RandomMatrix(k, n, &rng);
+          linalg::Matrix b = RandomMatrix(1, n, &rng);
+          CheckFusedLayer(tier, a, w, b, Activation::kRelu);
+        }
+      }
+    }
+  }
+}
+
+// K crossing the AVX2 kernel's k-block boundary: the accumulator spills
+// to scratch and reloads between blocks, which must be exact.
+TEST(InferKernels, KBlockBoundary) {
+  util::Rng rng(3);
+  for (KernelTier tier : TiersToTest()) {
+    for (std::size_t k : {511u, 512u, 513u, 1024u, 1030u}) {
+      linalg::Matrix a = RandomMatrix(5, k, &rng, 0.4);
+      linalg::Matrix w = RandomMatrix(k, 9, &rng);
+      linalg::Matrix b = RandomMatrix(1, 9, &rng);
+      CheckFusedLayer(tier, a, w, b, Activation::kSigmoid);
+    }
+  }
+}
+
+TEST(InferKernels, UnalignedBuffersAndPaddedStrides) {
+  util::Rng rng(4);
+  for (KernelTier tier : TiersToTest()) {
+    for (std::size_t misalign : {1u, 3u, 5u}) {
+      linalg::Matrix a = RandomMatrix(6, 10, &rng, 0.2);
+      linalg::Matrix w = RandomMatrix(10, 13, &rng);
+      linalg::Matrix b = RandomMatrix(1, 13, &rng);
+      // Odd row strides on every buffer plus a non-16-byte-aligned base.
+      CheckFusedLayer(tier, a, w, b, Activation::kRelu, /*a_pad=*/3,
+                      /*c_pad=*/1, /*dst_pad=*/5, misalign);
+    }
+  }
+}
+
+TEST(InferKernels, InPlaceDstEqualsScratch) {
+  util::Rng rng(5);
+  for (KernelTier tier : TiersToTest()) {
+    linalg::Matrix a = RandomMatrix(7, 6, &rng);
+    linalg::Matrix w = RandomMatrix(6, 12, &rng);
+    linalg::Matrix b = RandomMatrix(1, 12, &rng);
+    const PackedLayer layer = infer::PackLayer(w, b, Activation::kTanh);
+    std::vector<double> buf(7 * layer.padded_out, 0.0);
+    infer::RunFusedLayer(tier, a.data(), 6, 7, layer, buf.data(),
+                         layer.padded_out, buf.data(), layer.padded_out);
+    const linalg::Matrix want = NaiveFused(a, w, b, Activation::kTanh);
+    for (std::size_t i = 0; i < 7; ++i) {
+      ASSERT_EQ(std::memcmp(buf.data() + i * layer.padded_out,
+                            want.row_data(i), 12 * sizeof(double)),
+                0)
+          << infer::TierName(tier) << " row " << i;
+    }
+  }
+}
+
+// Scalar and AVX2 tiers must agree bit-for-bit on identical inputs —
+// the per-lane accumulation is the same scalar recurrence.
+TEST(InferKernels, TiersAgreeBitForBit) {
+  if (!infer::Avx2Supported()) {
+    GTEST_SKIP() << "no AVX2 tier in this build/CPU";
+  }
+  util::Rng rng(6);
+  for (std::size_t n : {1u, 8u, 9u, 24u, 57u}) {
+    linalg::Matrix a = RandomMatrix(11, 33, &rng, 0.5);
+    linalg::Matrix w = RandomMatrix(33, n, &rng);
+    linalg::Matrix b = RandomMatrix(1, n, &rng);
+    const PackedLayer layer = infer::PackLayer(w, b, Activation::kSigmoid);
+    std::vector<double> s1(11 * layer.padded_out), d1(11 * n);
+    std::vector<double> s2(11 * layer.padded_out), d2(11 * n);
+    infer::RunFusedLayer(KernelTier::kScalar, a.data(), 33, 11, layer,
+                         s1.data(), layer.padded_out, d1.data(), n);
+    infer::RunFusedLayer(KernelTier::kAvx2, a.data(), 33, 11, layer,
+                         s2.data(), layer.padded_out, d2.data(), n);
+    ASSERT_EQ(std::memcmp(d1.data(), d2.data(), d1.size() * sizeof(double)),
+              0)
+        << "n=" << n;
+  }
+}
+
+// --- arena ---------------------------------------------------------------
+
+TEST(InferArena, GrowthAlignmentAndReuse) {
+  infer::Arena arena;
+  EXPECT_EQ(arena.capacity(), 0u);
+  double* p0 = arena.Reserve(0);
+  EXPECT_NE(p0, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p0) % 64, 0u);
+
+  double* p1 = arena.Reserve(100);
+  EXPECT_GE(arena.capacity(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 64, 0u);
+  const std::size_t cap = arena.capacity();
+
+  // Smaller request: no reallocation, same mapping.
+  double* p2 = arena.Reserve(50);
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(arena.capacity(), cap);
+
+  // Larger request: grows geometrically.
+  double* p3 = arena.Reserve(cap + 1);
+  EXPECT_GE(arena.capacity(), cap + 1);
+  EXPECT_GE(arena.capacity(), 2 * cap);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p3) % 64, 0u);
+  EXPECT_EQ(arena.capacity_bytes(), arena.capacity() * sizeof(double));
+}
+
+// --- plan validation -----------------------------------------------------
+
+TEST(InferPlan, CompileRejectsBadSpecs) {
+  util::Rng rng(7);
+  linalg::Matrix w1 = RandomMatrix(4, 6, &rng);
+  linalg::Matrix b1 = RandomMatrix(1, 6, &rng);
+  linalg::Matrix w2 = RandomMatrix(6, 3, &rng);
+  linalg::Matrix b2 = RandomMatrix(1, 3, &rng);
+
+  EXPECT_FALSE(infer::DecoderPlan::Compile({}).ok());
+  EXPECT_FALSE(
+      infer::DecoderPlan::Compile({{nullptr, &b1, Activation::kRelu}}).ok());
+  EXPECT_FALSE(
+      infer::DecoderPlan::Compile({{&w1, nullptr, Activation::kRelu}}).ok());
+  // Bias shape mismatch.
+  EXPECT_FALSE(
+      infer::DecoderPlan::Compile({{&w1, &b2, Activation::kRelu}}).ok());
+  // Chain mismatch: layer 1 expects 6 inputs, gets 3.
+  EXPECT_FALSE(infer::DecoderPlan::Compile({{&w2, &b2, Activation::kRelu},
+                                            {&w2, &b2, Activation::kRelu}})
+                   .ok());
+  // Zero-dimension layer.
+  linalg::Matrix w0(0, 5), b0(1, 5);
+  EXPECT_FALSE(
+      infer::DecoderPlan::Compile({{&w0, &b0, Activation::kRelu}}).ok());
+
+  // The happy path compiles and reports its dimensions.
+  auto plan = infer::DecoderPlan::Compile(
+      {{&w1, &b1, Activation::kRelu}, {&w2, &b2, Activation::kSigmoid}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->input_dim(), 4u);
+  EXPECT_EQ(plan->output_dim(), 3u);
+  EXPECT_EQ(plan->num_layers(), 2u);
+  EXPECT_GT(plan->ArenaDoublesFor(10), 0u);
+}
+
+TEST(InferPlan, ExecuteRejectsWrongInputWidth) {
+  util::Rng rng(8);
+  linalg::Matrix w = RandomMatrix(4, 6, &rng);
+  linalg::Matrix b = RandomMatrix(1, 6, &rng);
+  auto plan = infer::DecoderPlan::Compile({{&w, &b, Activation::kRelu}});
+  ASSERT_TRUE(plan.ok());
+  linalg::Matrix x = RandomMatrix(2, 5, &rng);
+  linalg::Matrix out;
+  EXPECT_FALSE(plan->Execute(x, &out).ok());
+}
+
+// Overlapping input/output buffers corrupt the in-place accumulation;
+// the plan layer makes that a loud contract violation, not silent
+// garbage.
+TEST(InferPlanDeathTest, AliasedBuffersAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  util::Rng rng(9);
+  linalg::Matrix w = RandomMatrix(4, 4, &rng);
+  linalg::Matrix b = RandomMatrix(1, 4, &rng);
+  auto plan = infer::DecoderPlan::Compile({{&w, &b, Activation::kRelu}});
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> buf(3 * 4 + 2, 0.5);
+  infer::Arena arena;
+  EXPECT_DEATH(
+      {
+        auto st = plan->ExecuteRaw(buf.data(), 4, 3, buf.data() + 2, 4,
+                                   &arena);
+        (void)st;
+      },
+      "alias");
+}
+
+}  // namespace
+}  // namespace p3gm

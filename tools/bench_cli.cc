@@ -32,8 +32,10 @@
 #include <string>
 #include <vector>
 
+#include "core/release.h"
 #include "dp/accountant.h"
 #include "dp/mechanisms.h"
+#include "infer/plan.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/ops.h"
@@ -69,6 +71,32 @@ Matrix RandomMatrix(std::size_t r, std::size_t c, std::uint64_t seed) {
   Matrix m(r, c);
   for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal();
   return m;
+}
+
+// Serving-shaped decoder package for the decode micros: latent ->
+// hidden -> output Gaussian head, fixed pseudo-random weights so the
+// run is reproducible without training.
+core::ReleasePackage DecodePackage(std::size_t dl, std::size_t h,
+                                   std::size_t d) {
+  util::Rng rng(37);
+  Matrix w1(dl, h), b1(1, h), w2(h, d), b2(1, d);
+  for (std::size_t i = 0; i < w1.size(); ++i) w1.data()[i] = 0.1 * rng.Normal();
+  for (std::size_t i = 0; i < b1.size(); ++i) b1.data()[i] = 0.05 * rng.Normal();
+  for (std::size_t i = 0; i < w2.size(); ++i) w2.data()[i] = 0.1 * rng.Normal();
+  for (std::size_t i = 0; i < b2.size(); ++i) b2.data()[i] = 0.05 * rng.Normal();
+  Matrix means(2, dl), variances(2, dl, 0.8);
+  for (std::size_t j = 0; j < dl; ++j) {
+    means(0, j) = -0.8;
+    means(1, j) = 0.8;
+  }
+  auto prior = stats::GaussianMixture::Create({0.5, 0.5}, means, variances);
+  P3GM_CHECK(prior.ok());
+  auto pkg = core::ReleasePackage::FromParts(
+      "bench_micro_decode", /*num_classes=*/2, core::DecoderType::kGaussian,
+      std::move(*prior), std::move(w1), std::move(b1), std::move(w2),
+      std::move(b2));
+  P3GM_CHECK(pkg.ok());
+  return std::move(*pkg);
 }
 
 // Well-conditioned SPD test matrix: B^T B + n I.
@@ -299,6 +327,37 @@ std::vector<MicroBench> BuildSuite(bool smoke) {
             step.AddNoiseAndAverage(params, batch);
           };
         });
+  }
+
+  // Decoder synthesis through both runtimes: the compiled inference
+  // plan (packed weights, fused SIMD kernels) and the reference
+  // nn/linalg forward pass, both via DecodeLatentInto — the serve
+  // batcher's call. bench/bench_decode sweeps batch sizes; these micros
+  // pin the serving-shaped batch into the cross-commit trajectory.
+  {
+    const std::size_t dl = smoke ? 16 : 64;
+    const std::size_t h = smoke ? 64 : 512;
+    const std::size_t d = smoke ? 48 : 786;
+    const std::size_t batch = smoke ? 32 : 256;
+    const std::string tag =
+        std::to_string(batch) + "x" + std::to_string(d);
+    for (const bool planned : {true, false}) {
+      add(std::string(planned ? "decode.planned." : "decode.reference.") +
+              tag,
+          [dl, h, d, batch, planned]() {
+            auto pkg = std::make_shared<core::ReleasePackage>(
+                DecodePackage(dl, h, d));
+            util::Rng rng(41);
+            auto z = std::make_shared<Matrix>(pkg->SampleLatent(batch, &rng));
+            auto out = std::make_shared<Matrix>();
+            return [pkg, z, out, planned] {
+              infer::SetPlannedDecodeEnabled(planned);
+              const util::Status s = pkg->DecodeLatentInto(*z, out.get());
+              infer::SetPlannedDecodeEnabled(true);
+              Keep(s.ok() ? out->data()[0] : 0.0);
+            };
+          });
+    }
   }
 
   // Observability hot paths: one flight-recorder append (the per-event

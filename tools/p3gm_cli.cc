@@ -100,6 +100,10 @@ int Usage() {
                "                       p3gm_flight.dump)\n"
                "  --no-obs             disable the metrics registry\n"
                "                       (/v1/metrics reports zeros)\n"
+               "  --no-planned-decode  decode via the reference nn/linalg\n"
+               "                       path instead of the compiled plan\n"
+               "                       (bit-identical; see\n"
+               "                       docs/inference.md)\n"
                "\n"
                "serve answers POST /v1/sample, GET /v1/models, GET\n"
                "/v1/metrics[?format=prometheus], GET /healthz and POST\n"
@@ -357,6 +361,8 @@ int CmdServe(int argc, char** argv) {
       flight_dump_path = text;
     } else if (arg == "--no-obs") {
       obs_enabled = false;
+    } else if (arg == "--no-planned-decode") {
+      options.planned_decode = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
       return Usage();

@@ -33,6 +33,10 @@ echo "== golden trace =="
 P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$build_dir" -L golden \
   --output-on-failure || failures=$((failures + 1))
 
+echo "== inference runtime bit-exactness =="
+ctest --test-dir "$build_dir" -L infer \
+  --output-on-failure -j4 || failures=$((failures + 1))
+
 if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
   asan_dir="$repo_root/build-asan"
   echo "== audit suite under ASan+UBSan ($asan_dir) =="
@@ -40,6 +44,9 @@ if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
     -DP3GM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
   cmake --build "$asan_dir" -j
   P3GM_RUN_SLOW_AUDITS=1 ctest --test-dir "$asan_dir" -L audit \
+    --output-on-failure -j4 || failures=$((failures + 1))
+  echo "== inference runtime under ASan+UBSan ($asan_dir) =="
+  ctest --test-dir "$asan_dir" -L infer \
     --output-on-failure -j4 || failures=$((failures + 1))
 fi
 
