@@ -39,6 +39,14 @@ struct FaultConfig {
   /// RdpAccountant::AddEvent drops the event: mechanisms still fire but
   /// the claimed epsilon stays near zero.
   bool drop_accountant_events = false;
+  /// Adds this constant to one output column of every decoded row
+  /// (post-activation, so it perturbs planned and reference decode
+  /// runtimes identically) — the quality-drift negative control: a
+  /// served model whose marginal silently shifted MUST trip the
+  /// quality monitor's WARN while an unperturbed stream stays quiet.
+  double decoder_bias_shift = 0.0;
+  /// Output column index the shift applies to (ignored if out of range).
+  unsigned decoder_bias_feature = 0;
 };
 
 constexpr bool kFaultInjectionCompiled = P3GM_FAULT_INJECTION_ENABLED != 0;
@@ -70,6 +78,12 @@ inline bool SkipClip() { return FaultInjector::Get().skip_clip; }
 inline bool DropAccountantEvents() {
   return FaultInjector::Get().drop_accountant_events;
 }
+inline double DecoderBiasShift() {
+  return FaultInjector::Get().decoder_bias_shift;
+}
+inline unsigned DecoderBiasFeature() {
+  return FaultInjector::Get().decoder_bias_feature;
+}
 
 #else  // !P3GM_FAULT_INJECTION_ENABLED
 
@@ -93,6 +107,8 @@ class FaultInjector {
 constexpr double NoiseScale() { return 1.0; }
 constexpr bool SkipClip() { return false; }
 constexpr bool DropAccountantEvents() { return false; }
+constexpr double DecoderBiasShift() { return 0.0; }
+constexpr unsigned DecoderBiasFeature() { return 0; }
 
 #endif  // P3GM_FAULT_INJECTION_ENABLED
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "audit/fault_injection.h"
 #include "data/transforms.h"
 #include "infer/plan.h"
 #include "linalg/ops.h"
@@ -16,7 +17,12 @@ namespace core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50334752;  // "P3GR".
+// v1: prior + decoder weights. v2 appends a quality fingerprint
+// (obs/quality/fingerprint.h). Save emits v1 when no fingerprint is
+// embedded, so fingerprint-less files stay byte-identical to the old
+// format and old readers keep working; Load accepts both.
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionFingerprint = 2;
 
 util::Status CheckWeights(const std::vector<linalg::Matrix>& w) {
   if (w.size() != 4) {
@@ -124,7 +130,8 @@ util::Status ReleasePackage::Validate() const {
 
 util::Status ReleasePackage::Save(const std::string& path) const {
   P3GM_RETURN_NOT_OK(Validate());
-  util::BinaryWriter w(path, kMagic, kVersion);
+  util::BinaryWriter w(path, kMagic,
+                       fingerprint_ ? kVersionFingerprint : kVersion);
   P3GM_RETURN_NOT_OK(w.status());
   w.WriteString(name_);
   w.WriteU64(num_classes_);
@@ -141,11 +148,12 @@ util::Status ReleasePackage::Save(const std::string& path) const {
   for (const linalg::Matrix* m : {&w1_, &b1_, &w2_, &b2_}) {
     w.WriteMatrix(m->rows(), m->cols(), m->data());
   }
+  if (fingerprint_) fingerprint_->WriteTo(&w);
   return w.Close();
 }
 
 util::Result<ReleasePackage> ReleasePackage::Load(const std::string& path) {
-  util::BinaryReader r(path, kMagic, kVersion);
+  util::BinaryReader r(path, kMagic, kVersion, kVersionFingerprint);
   P3GM_RETURN_NOT_OK(r.status());
   ReleasePackage pkg;
   P3GM_ASSIGN_OR_RETURN(pkg.name_, r.ReadString());
@@ -190,6 +198,16 @@ util::Result<ReleasePackage> ReleasePackage::Load(const std::string& path) {
   P3GM_RETURN_NOT_OK(read_matrix(&pkg.b1_));
   P3GM_RETURN_NOT_OK(read_matrix(&pkg.w2_));
   P3GM_RETURN_NOT_OK(read_matrix(&pkg.b2_));
+  if (r.version() >= kVersionFingerprint) {
+    P3GM_ASSIGN_OR_RETURN(obs::quality::Fingerprint fp,
+                          obs::quality::Fingerprint::ReadFrom(&r));
+    if (fp.feature_dim() !=
+        static_cast<std::size_t>(pkg.w2_.cols()) - pkg.num_classes_) {
+      return util::Status::InvalidArgument(
+          "ReleasePackage: fingerprint dimension mismatch");
+    }
+    pkg.SetFingerprint(std::move(fp));
+  }
   P3GM_RETURN_NOT_OK(pkg.Validate());
   pkg.CompilePlan();
   return pkg;
@@ -223,27 +241,42 @@ util::Status ReleasePackage::DecodeLatentInto(const linalg::Matrix& z,
   // P3GM_NO_PLANNED_DECODE=1) and as the oracle the equivalence suite
   // pins the planned runtime against.
   if (plan_ != nullptr && infer::PlannedDecodeEnabled() && z.rows() > 0) {
-    return plan_->Execute(z, out);
-  }
-  linalg::Matrix h = linalg::Matmul(z, w1_);
-  linalg::AddRowVector(b1_.Row(0), &h);
-  double* hd = h.data();
-  for (std::size_t i = 0; i < h.size(); ++i) {
-    if (hd[i] < 0.0) hd[i] = 0.0;  // ReLU.
-  }
-  linalg::Matrix logits = linalg::Matmul(h, w2_);
-  linalg::AddRowVector(b2_.Row(0), &logits);
-  double* ld = logits.data();
-  if (decoder_type_ == DecoderType::kBernoulli) {
-    for (std::size_t i = 0; i < logits.size(); ++i) {
-      ld[i] = nn::SigmoidScalar(ld[i]);
-    }
+    P3GM_RETURN_NOT_OK(plan_->Execute(z, out));
   } else {
-    for (std::size_t i = 0; i < logits.size(); ++i) {
-      ld[i] = std::clamp(ld[i], 0.0, 1.0);
+    linalg::Matrix h = linalg::Matmul(z, w1_);
+    linalg::AddRowVector(b1_.Row(0), &h);
+    double* hd = h.data();
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (hd[i] < 0.0) hd[i] = 0.0;  // ReLU.
+    }
+    linalg::Matrix logits = linalg::Matmul(h, w2_);
+    linalg::AddRowVector(b2_.Row(0), &logits);
+    double* ld = logits.data();
+    if (decoder_type_ == DecoderType::kBernoulli) {
+      for (std::size_t i = 0; i < logits.size(); ++i) {
+        ld[i] = nn::SigmoidScalar(ld[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < logits.size(); ++i) {
+        ld[i] = std::clamp(ld[i], 0.0, 1.0);
+      }
+    }
+    *out = std::move(logits);
+  }
+  // Audit negative control: a constant post-activation shift of one
+  // output column (quality-drift detection must catch exactly this).
+  // Applied after either runtime so the perturbation is identical under
+  // planned and reference decode; compiles to nothing when fault
+  // injection is off, and is branch-predicted away when idle.
+  const double bias_shift = audit::DecoderBiasShift();
+  if (bias_shift != 0.0) {
+    const std::size_t col = audit::DecoderBiasFeature();
+    if (col < out->cols()) {
+      for (std::size_t r = 0; r < out->rows(); ++r) {
+        out->row_data(r)[col] += bias_shift;
+      }
     }
   }
-  *out = std::move(logits);
   return util::Status::OK();
 }
 
@@ -273,6 +306,18 @@ util::Result<data::Dataset> ReleasePackage::Generate(std::size_t n,
   P3GM_ASSIGN_OR_RETURN(linalg::Matrix outputs,
                         DecodeLatent(SampleLatent(n, rng)));
   return AssembleRows(std::move(outputs));
+}
+
+util::Result<obs::quality::Fingerprint> BuildFingerprint(
+    const ReleasePackage& pkg, std::size_t n, std::uint64_t seed) {
+  if (n == 0) {
+    return util::Status::InvalidArgument("BuildFingerprint: n must be > 0");
+  }
+  util::Rng rng(seed);
+  P3GM_ASSIGN_OR_RETURN(linalg::Matrix outputs,
+                        pkg.DecodeLatent(pkg.SampleLatent(n, &rng)));
+  return obs::quality::Fingerprint::FromDecoded(outputs, pkg.num_classes(),
+                                                seed);
 }
 
 }  // namespace core

@@ -8,6 +8,7 @@
 #include "core/vae.h"
 #include "data/dataset.h"
 #include "linalg/matrix.h"
+#include "obs/quality/fingerprint.h"
 #include "stats/gmm.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -104,6 +105,27 @@ class ReleasePackage {
   /// plan is immutable and shared by copies of the package.
   const infer::DecoderPlan* plan() const { return plan_.get(); }
 
+  /// Reference quality fingerprint of this model's output distribution
+  /// (obs/quality/fingerprint.h), embedded at release time. Null when
+  /// the package was built or loaded without one — format v1 files
+  /// predate fingerprints and load with this unset, so the serving
+  /// layer must handle fingerprint-less packages. Drawing the
+  /// fingerprint from the *released* model is DP post-processing:
+  /// embedding it costs no privacy budget.
+  const obs::quality::Fingerprint* fingerprint() const {
+    return fingerprint_.get();
+  }
+  /// Shared handle for layers that outlive the package copy (the serve
+  /// quality monitors pin it across hot reloads).
+  std::shared_ptr<const obs::quality::Fingerprint> fingerprint_ptr() const {
+    return fingerprint_;
+  }
+  void SetFingerprint(obs::quality::Fingerprint fingerprint) {
+    fingerprint_ = std::make_shared<const obs::quality::Fingerprint>(
+        std::move(fingerprint));
+  }
+  void ClearFingerprint() { fingerprint_.reset(); }
+
  private:
   util::Status Validate() const;
 
@@ -119,7 +141,16 @@ class ReleasePackage {
   // Decoder affine weights: hidden = relu(z W1 + b1); logits = h W2 + b2.
   linalg::Matrix w1_, b1_, w2_, b2_;
   std::shared_ptr<const infer::DecoderPlan> plan_;
+  std::shared_ptr<const obs::quality::Fingerprint> fingerprint_;
 };
+
+/// Computes a reference fingerprint for `pkg` from a fresh synthetic
+/// draw of `n` rows decoded through the package's own decoder (a pure
+/// post-processing step — zero additional privacy cost). Deterministic
+/// given (pkg, n, seed). Does not mutate `pkg`; callers embed the
+/// result via SetFingerprint before Save.
+util::Result<obs::quality::Fingerprint> BuildFingerprint(
+    const ReleasePackage& pkg, std::size_t n, std::uint64_t seed);
 
 }  // namespace core
 }  // namespace p3gm

@@ -1,0 +1,39 @@
+#include "obs/build_info.h"
+
+#include "obs/prometheus.h"
+#include "obs/registry.h"
+
+#ifndef P3GM_VERSION
+#define P3GM_VERSION "unknown"
+#endif
+#ifndef P3GM_GIT_SHA
+#define P3GM_GIT_SHA "unknown"
+#endif
+#ifndef P3GM_BUILD_TYPE
+#define P3GM_BUILD_TYPE "unknown"
+#endif
+#ifndef P3GM_CXX_FLAGS
+#define P3GM_CXX_FLAGS ""
+#endif
+
+namespace p3gm {
+namespace obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{P3GM_VERSION, P3GM_GIT_SHA, P3GM_BUILD_TYPE,
+                              P3GM_CXX_FLAGS};
+  return info;
+}
+
+void RegisterBuildInfoGauge() {
+  const BuildInfo& info = GetBuildInfo();
+  static Gauge* gauge = Registry::Global().gauge(
+      LabeledName("p3gm.build_info", {{"version", info.version},
+                                      {"git_sha", info.git_sha},
+                                      {"build_type", info.build_type},
+                                      {"flags", info.flags}}));
+  gauge->Set(1.0);
+}
+
+}  // namespace obs
+}  // namespace p3gm

@@ -1,0 +1,29 @@
+#ifndef P3GM_OBS_BUILD_INFO_H_
+#define P3GM_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace p3gm {
+namespace obs {
+
+/// Build provenance burned in at compile time (the same configure-time
+/// values the bench harness stamps into BENCH_*.json _runinfo).
+struct BuildInfo {
+  std::string version;     // Project version (CMake PROJECT_VERSION).
+  std::string git_sha;     // Short sha at configure time, or "unknown".
+  std::string build_type;  // CMAKE_BUILD_TYPE.
+  std::string flags;       // Effective CXX flags.
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Registers the Prometheus info-style gauge
+/// `p3gm_build_info{version,git_sha,build_type,flags} 1` in the global
+/// registry, so every scrape self-describes the binary that produced
+/// it. Idempotent; a no-op when observability is disabled.
+void RegisterBuildInfoGauge();
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_BUILD_INFO_H_

@@ -1,0 +1,164 @@
+#include "obs/quality/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace p3gm {
+namespace obs {
+namespace quality {
+
+double ExactQuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  std::size_t index = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+namespace {
+
+FeatureFingerprint FingerprintColumn(std::vector<double> column) {
+  FeatureFingerprint fp;
+  if (column.empty()) {
+    fp.quantiles.assign(Fingerprint::kGridSize, 0.0);
+    return fp;
+  }
+  double sum = 0.0;
+  for (double v : column) sum += v;
+  const double n = static_cast<double>(column.size());
+  fp.mean = sum / n;
+  double m2 = 0.0;
+  for (double v : column) {
+    const double d = v - fp.mean;
+    m2 += d * d;
+  }
+  fp.stddev = std::sqrt(m2 / n);
+  std::sort(column.begin(), column.end());
+  fp.min = column.front();
+  fp.max = column.back();
+  fp.quantiles.resize(Fingerprint::kGridSize);
+  for (std::size_t i = 0; i < Fingerprint::kGridSize; ++i) {
+    fp.quantiles[i] = ExactQuantileSorted(column, Fingerprint::GridPoint(i));
+  }
+  return fp;
+}
+
+}  // namespace
+
+Fingerprint Fingerprint::FromDataset(const linalg::Matrix& features,
+                                     const std::vector<std::size_t>& labels,
+                                     std::size_t num_classes,
+                                     std::uint64_t seed) {
+  Fingerprint fp;
+  fp.reference_rows_ = features.rows();
+  fp.seed_ = seed;
+  fp.features_.reserve(features.cols());
+  for (std::size_t c = 0; c < features.cols(); ++c) {
+    fp.features_.push_back(FingerprintColumn(features.Col(c)));
+  }
+  if (num_classes > 0) {
+    fp.label_probs_.assign(num_classes, 0.0);
+    if (!labels.empty()) {
+      for (std::size_t label : labels) {
+        if (label < num_classes) fp.label_probs_[label] += 1.0;
+      }
+      for (double& p : fp.label_probs_) {
+        p /= static_cast<double>(labels.size());
+      }
+    }
+  }
+  return fp;
+}
+
+Fingerprint Fingerprint::FromDecoded(const linalg::Matrix& outputs,
+                                     std::size_t num_classes,
+                                     std::uint64_t seed) {
+  const std::size_t feature_dim =
+      num_classes > 0 && outputs.cols() > num_classes
+          ? outputs.cols() - num_classes
+          : outputs.cols();
+  linalg::Matrix features(outputs.rows(), feature_dim);
+  std::vector<std::size_t> labels;
+  const bool labelled = num_classes > 0 && outputs.cols() > num_classes;
+  if (labelled) labels.reserve(outputs.rows());
+  for (std::size_t r = 0; r < outputs.rows(); ++r) {
+    const double* row = outputs.row_data(r);
+    std::copy(row, row + feature_dim, features.row_data(r));
+    if (labelled) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < num_classes; ++c) {
+        if (row[feature_dim + c] > row[feature_dim + best]) best = c;
+      }
+      labels.push_back(best);
+    }
+  }
+  return FromDataset(features, labels, labelled ? num_classes : 0, seed);
+}
+
+void Fingerprint::WriteTo(util::BinaryWriter* writer) const {
+  writer->WriteU64(reference_rows_);
+  writer->WriteU64(seed_);
+  writer->WriteU64(features_.size());
+  writer->WriteU64(kGridSize);
+  for (const FeatureFingerprint& f : features_) {
+    writer->WriteDouble(f.mean);
+    writer->WriteDouble(f.stddev);
+    writer->WriteDouble(f.min);
+    writer->WriteDouble(f.max);
+    writer->WriteDoubles(f.quantiles);
+  }
+  writer->WriteDoubles(label_probs_);
+}
+
+util::Result<Fingerprint> Fingerprint::ReadFrom(util::BinaryReader* reader) {
+  Fingerprint fp;
+  P3GM_ASSIGN_OR_RETURN(fp.reference_rows_, reader->ReadU64());
+  P3GM_ASSIGN_OR_RETURN(fp.seed_, reader->ReadU64());
+  P3GM_ASSIGN_OR_RETURN(std::uint64_t dim, reader->ReadU64());
+  P3GM_ASSIGN_OR_RETURN(std::uint64_t grid, reader->ReadU64());
+  if (grid != kGridSize) {
+    return util::Status::InvalidArgument(
+        "fingerprint quantile grid size mismatch");
+  }
+  if (dim > (1u << 20)) {
+    return util::Status::InvalidArgument("fingerprint dimension implausible");
+  }
+  fp.features_.resize(static_cast<std::size_t>(dim));
+  for (FeatureFingerprint& f : fp.features_) {
+    P3GM_ASSIGN_OR_RETURN(f.mean, reader->ReadDouble());
+    P3GM_ASSIGN_OR_RETURN(f.stddev, reader->ReadDouble());
+    P3GM_ASSIGN_OR_RETURN(f.min, reader->ReadDouble());
+    P3GM_ASSIGN_OR_RETURN(f.max, reader->ReadDouble());
+    P3GM_ASSIGN_OR_RETURN(f.quantiles, reader->ReadDoubles());
+    if (f.quantiles.size() != kGridSize) {
+      return util::Status::InvalidArgument(
+          "fingerprint feature grid size mismatch");
+    }
+  }
+  P3GM_ASSIGN_OR_RETURN(fp.label_probs_, reader->ReadDoubles());
+  return fp;
+}
+
+bool Fingerprint::operator==(const Fingerprint& other) const {
+  if (reference_rows_ != other.reference_rows_ || seed_ != other.seed_ ||
+      features_.size() != other.features_.size() ||
+      label_probs_ != other.label_probs_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    const FeatureFingerprint& a = features_[i];
+    const FeatureFingerprint& b = other.features_[i];
+    if (a.mean != b.mean || a.stddev != b.stddev || a.min != b.min ||
+        a.max != b.max || a.quantiles != b.quantiles) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace quality
+}  // namespace obs
+}  // namespace p3gm

@@ -1,0 +1,93 @@
+#ifndef P3GM_OBS_QUALITY_FINGERPRINT_H_
+#define P3GM_OBS_QUALITY_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+#include "util/serialize.h"
+
+namespace p3gm {
+namespace obs {
+namespace quality {
+
+/// Per-feature reference marginal: moments plus an evenly spaced
+/// quantile grid computed *exactly* (sorted array) over the reference
+/// draw.
+struct FeatureFingerprint {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Quantiles at q_i = i / (Fingerprint::kGridSize - 1), i = 0..G-1.
+  std::vector<double> quantiles;
+};
+
+/// Reference fingerprint of a released model's output distribution,
+/// computed at release time from a large synthetic draw. It only ever
+/// sees synthetic samples, so it is pure post-processing under DP —
+/// zero additional ε. Embedded in core::ReleasePackage files (format
+/// v2); the serve-path QualityMonitor scores live sketches against it.
+class Fingerprint {
+ public:
+  /// Number of quantile-grid points per feature. 33 gives ~3% rank
+  /// resolution — finer than the default drift thresholds by an order
+  /// of magnitude — at 264 bytes/feature.
+  static constexpr std::size_t kGridSize = 33;
+
+  Fingerprint() = default;
+
+  /// Builds a fingerprint from a decoded output matrix as produced by
+  /// core::ReleasePackage::DecodeLatent: `num_classes > 0` means the
+  /// trailing num_classes columns are a one-hot label block (labels are
+  /// derived by argmax, matching data::OneHotToLabels); the remaining
+  /// leading columns are real-valued features.
+  static Fingerprint FromDecoded(const linalg::Matrix& outputs,
+                                 std::size_t num_classes, std::uint64_t seed);
+
+  /// Builds a fingerprint from an already-split dataset (feature matrix
+  /// plus integer labels) — the `p3gm quality --score` CSV path.
+  static Fingerprint FromDataset(const linalg::Matrix& features,
+                                 const std::vector<std::size_t>& labels,
+                                 std::size_t num_classes, std::uint64_t seed);
+
+  std::size_t feature_dim() const { return features_.size(); }
+  std::size_t num_classes() const { return label_probs_.size(); }
+  std::uint64_t reference_rows() const { return reference_rows_; }
+  std::uint64_t seed() const { return seed_; }
+  const FeatureFingerprint& feature(std::size_t i) const {
+    return features_[i];
+  }
+  const std::vector<double>& label_probs() const { return label_probs_; }
+
+  /// Grid position of quantile index i, in [0, 1].
+  static double GridPoint(std::size_t i) {
+    return static_cast<double>(i) / static_cast<double>(kGridSize - 1);
+  }
+
+  /// Serializes into an already-open writer (the release-package format
+  /// owns the header; this is one nested section of it).
+  void WriteTo(util::BinaryWriter* writer) const;
+  static util::Result<Fingerprint> ReadFrom(util::BinaryReader* reader);
+
+  bool operator==(const Fingerprint& other) const;
+
+ private:
+  std::uint64_t reference_rows_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<FeatureFingerprint> features_;
+  std::vector<double> label_probs_;  // Empty when the model is unlabelled.
+};
+
+/// Exact lower quantile of a sorted array: the value at weighted rank
+/// max(1, ceil(q * n)), the same convention QuantileSketch::Quantile
+/// uses — shared so sketch-exactness tests compare like with like.
+double ExactQuantileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace quality
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_QUALITY_FINGERPRINT_H_

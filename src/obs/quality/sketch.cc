@@ -1,0 +1,184 @@
+#include "obs/quality/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p3gm {
+namespace obs {
+namespace quality {
+
+void MomentsSketch::Merge(const MomentsSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::uint64_t n_old = n_;
+  n_ += other.n_;
+  const double total = static_cast<double>(n_);
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_old) *
+                         static_cast<double>(other.n_) / total;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double MomentsSketch::stddev() const { return std::sqrt(variance()); }
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(k < 8 ? 8 : k) {
+  levels_.emplace_back();
+  levels_[0].reserve(k_);
+}
+
+void QuantileSketch::CompactLevel(std::size_t level) {
+  while (level < levels_.size() && levels_[level].size() >= k_) {
+    // Swap the buffer out first: growing `levels_` below may reallocate
+    // the outer vector, so a reference into it must not be held across
+    // the emplace_back.
+    std::vector<double> buf;
+    buf.swap(levels_[level]);
+    std::sort(buf.begin(), buf.end());
+    if (level + 1 >= levels_.size()) {
+      levels_.emplace_back();
+      levels_[level + 1].reserve(k_);
+    }
+    // Keep every other element; the starting parity alternates with the
+    // compaction counter so the retained rank bias averages out while
+    // staying fully deterministic.
+    const std::size_t start = static_cast<std::size_t>(compactions_++ & 1);
+    for (std::size_t i = start; i < buf.size(); i += 2) {
+      levels_[level + 1].push_back(buf[i]);
+    }
+    // Hand the (cleared) storage back so the level keeps its capacity.
+    buf.clear();
+    levels_[level].swap(buf);
+    ++level;
+  }
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  n_ += other.n_;
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(),
+                      other.levels_[l].end());
+  }
+  // A level may now exceed k; cascade from the bottom.
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() >= k_) CompactLevel(l);
+  }
+}
+
+std::vector<std::pair<double, std::uint64_t>> QuantileSketch::SortedItems()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> items;
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  items.reserve(total);
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t weight = static_cast<std::uint64_t>(1) << l;
+    for (double v : levels_[l]) items.emplace_back(v, weight);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const std::pair<double, std::uint64_t>& a,
+               const std::pair<double, std::uint64_t>& b) {
+              return a.first < b.first;
+            });
+  return items;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto items = SortedItems();
+  std::uint64_t retained = 0;
+  for (const auto& item : items) retained += item.second;
+  // Rank against the *retained* weight: compaction can drop the sketch's
+  // total weight slightly below n_, and ranking against n_ would push
+  // high quantiles past the last item.
+  const double target_rank = std::ceil(q * static_cast<double>(retained));
+  const std::uint64_t target =
+      target_rank < 1.0 ? 1 : static_cast<std::uint64_t>(target_rank);
+  std::uint64_t cum = 0;
+  for (const auto& item : items) {
+    cum += item.second;
+    if (cum >= target) return item.first;
+  }
+  return items.back().first;
+}
+
+double QuantileSketch::Cdf(double x) const {
+  if (n_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  std::uint64_t retained = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t weight = static_cast<std::uint64_t>(1) << l;
+    for (double v : levels_[l]) {
+      retained += weight;
+      if (v <= x) below += weight;
+    }
+  }
+  if (retained == 0) return 0.0;
+  return static_cast<double>(below) / static_cast<double>(retained);
+}
+
+std::size_t QuantileSketch::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& level : levels_) bytes += level.capacity() * sizeof(double);
+  return bytes;
+}
+
+CategoricalSketch::CategoricalSketch(std::size_t num_bins)
+    : counts_(num_bins, 0) {}
+
+void CategoricalSketch::Add(std::size_t value) {
+  ++n_;
+  if (value < counts_.size()) {
+    ++counts_[value];
+  } else {
+    ++overflow_;
+  }
+}
+
+void CategoricalSketch::Merge(const CategoricalSketch& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  overflow_ += other.overflow_;
+  n_ += other.n_;
+}
+
+std::vector<double> CategoricalSketch::Probabilities() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  if (n_ == 0) return probs;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = static_cast<double>(counts_[i]) / static_cast<double>(n_);
+  }
+  return probs;
+}
+
+double CategoricalSketch::TotalVariation(
+    const std::vector<double>& reference_probs) const {
+  if (n_ == 0 || reference_probs.empty()) return 0.0;
+  const std::vector<double> live = Probabilities();
+  const std::size_t arity = std::max(live.size(), reference_probs.size());
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < arity; ++i) {
+    const double p = i < live.size() ? live[i] : 0.0;
+    const double q = i < reference_probs.size() ? reference_probs[i] : 0.0;
+    l1 += std::fabs(p - q);
+  }
+  // Overflowed live mass has no matching reference bin.
+  l1 += static_cast<double>(overflow_) / static_cast<double>(n_);
+  return 0.5 * l1;
+}
+
+}  // namespace quality
+}  // namespace obs
+}  // namespace p3gm

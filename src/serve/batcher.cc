@@ -175,6 +175,12 @@ void Batcher::ExecuteBatch(std::vector<SampleJob> batch) {
     return;
   }
   rows_total->Add(total_rows);
+  // Quality observation reads the decoded buffer before slicing; it
+  // never mutates it, so served bytes are identical with or without an
+  // observer installed.
+  if (options_.decode_observer) {
+    options_.decode_observer(batch.front().model, decode_out_);
+  }
 
   // Stage 3 — slice outputs back per request.
   const linalg::Matrix& outputs = decode_out_;

@@ -54,6 +54,14 @@ struct BatcherOptions {
   std::size_t queue_limit = 256;
   /// Stream family for unseeded requests.
   std::uint64_t server_seed = 0;
+  /// Called from the worker thread after every successful coalesced
+  /// decode with the model name and the raw decoded outputs (features +
+  /// one-hot label block), BEFORE they are sliced per request. The
+  /// serve layer points this at its quality monitors; it must only read
+  /// the matrix. Null disables observation entirely.
+  std::function<void(const std::string& model,
+                     const linalg::Matrix& outputs)>
+      decode_observer;
 };
 
 /// Single-consumer batching executor: the event loop enqueues sample

@@ -1,0 +1,190 @@
+#include "serve/quality.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/prometheus.h"
+#include "obs/registry.h"
+#include "util/logging.h"
+
+namespace p3gm {
+namespace serve {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Per-feature gauge series are emitted only up to this many features:
+/// a wide model would otherwise mint output_dim label variants per
+/// scrape and blow up the exposition's cardinality. The worst-feature
+/// gauges and /v1/quality JSON still cover every feature.
+constexpr std::size_t kMaxPerFeatureSeries = 32;
+
+}  // namespace
+
+QualitySet::QualitySet(QualityOptions options) : options_(options) {}
+
+void QualitySet::Rebuild(const ModelRegistry& registry) {
+  if (!options_.enabled) return;
+  auto fresh = std::make_shared<MonitorMap>();
+  for (const ModelInfo& info : registry.List()) {
+    std::shared_ptr<const core::ReleasePackage> pkg = registry.Find(info.name);
+    if (pkg == nullptr) continue;
+    Entry entry;
+    std::shared_ptr<const obs::quality::Fingerprint> fingerprint =
+        pkg->fingerprint_ptr();
+    if (fingerprint == nullptr && options_.fallback_rows > 0) {
+      util::Result<obs::quality::Fingerprint> built = core::BuildFingerprint(
+          *pkg, options_.fallback_rows, options_.fallback_seed);
+      if (built.ok()) {
+        fingerprint = std::make_shared<const obs::quality::Fingerprint>(
+            std::move(built).ValueOrDie());
+        entry.fallback_fingerprint = true;
+        P3GM_LOG(Info) << "p3gm serve: model \"" << info.name
+                       << "\" has no embedded quality fingerprint; computed "
+                          "a fallback from "
+                       << options_.fallback_rows << " rows (seed "
+                       << options_.fallback_seed << ")";
+      } else {
+        P3GM_LOG(Warning) << "p3gm serve: fallback fingerprint for \""
+                          << info.name
+                          << "\" failed: " << built.status().message();
+      }
+    }
+    obs::quality::MonitorOptions monitor_options;
+    monitor_options.stride = options_.stride;
+    entry.monitor = std::make_shared<obs::quality::QualityMonitor>(
+        std::move(fingerprint), pkg->feature_dim(), pkg->num_classes(),
+        monitor_options);
+    fresh->emplace(info.name, std::move(entry));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  monitors_ = std::move(fresh);
+}
+
+void QualitySet::ObserveDecoded(const std::string& model,
+                                const linalg::Matrix& outputs) {
+  if (!options_.enabled) return;
+  std::shared_ptr<MonitorMap> map;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map = monitors_;
+  }
+  const auto it = map->find(model);
+  if (it == map->end() || it->second.monitor == nullptr) return;
+  it->second.monitor->ObserveDecoded(outputs);
+}
+
+std::vector<QualityModelReport> QualitySet::Scrape() {
+  std::vector<QualityModelReport> reports;
+  if (!options_.enabled) return reports;
+  std::shared_ptr<MonitorMap> map;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map = monitors_;
+  }
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* warns = registry.counter("p3gm.quality.warns");
+  for (auto& [name, entry] : *map) {
+    QualityModelReport out;
+    out.model = name;
+    out.fallback_fingerprint = entry.fallback_fingerprint;
+    out.report = entry.monitor->Score();
+    const bool scoreable = out.report.has_fingerprint &&
+                           out.report.rows_observed >= options_.min_rows;
+    out.breached = scoreable && out.report.drift() > options_.threshold;
+    entry.breach_streak = out.breached ? entry.breach_streak + 1 : 0;
+    out.breach_streak = entry.breach_streak;
+    out.warn = entry.breach_streak >= options_.consecutive;
+    if (out.warn) warns->Add();
+
+    const std::vector<std::pair<std::string, std::string>> model_label = {
+        {"model", name}};
+    registry.gauge(obs::LabeledName("p3gm.quality.drift", model_label))
+        ->Set(out.report.drift());
+    registry.gauge(obs::LabeledName("p3gm.quality.worst_ks", model_label))
+        ->Set(out.report.worst_ks);
+    registry.gauge(obs::LabeledName("p3gm.quality.worst_feature", model_label))
+        ->Set(static_cast<double>(out.report.worst_feature));
+    registry.gauge(obs::LabeledName("p3gm.quality.label_tv", model_label))
+        ->Set(out.report.label_tv);
+    registry.gauge(obs::LabeledName("p3gm.quality.mean_z_max", model_label))
+        ->Set(out.report.mean_z_max);
+    registry.gauge(obs::LabeledName("p3gm.quality.rows_observed", model_label))
+        ->Set(static_cast<double>(out.report.rows_observed));
+    registry.gauge(obs::LabeledName("p3gm.quality.rows_seen", model_label))
+        ->Set(static_cast<double>(out.report.rows_seen));
+    registry.gauge(obs::LabeledName("p3gm.quality.breach", model_label))
+        ->Set(out.breached ? 1.0 : 0.0);
+    registry
+        .gauge(obs::LabeledName("p3gm.quality.memory_bytes", model_label))
+        ->Set(static_cast<double>(entry.monitor->MemoryBytes()));
+    if (out.report.features.size() <= kMaxPerFeatureSeries) {
+      for (std::size_t f = 0; f < out.report.features.size(); ++f) {
+        registry
+            .gauge(obs::LabeledName(
+                "p3gm.quality.feature_ks",
+                {{"model", name}, {"feature", std::to_string(f)}}))
+            ->Set(out.report.features[f].ks);
+      }
+    }
+    reports.push_back(std::move(out));
+  }
+  return reports;
+}
+
+std::string QualityReportJson(const std::vector<QualityModelReport>& reports,
+                              const QualityOptions& options,
+                              std::uint64_t generation) {
+  std::string out = "{\"generation\": " + std::to_string(generation);
+  out += ", \"enabled\": ";
+  out += options.enabled ? "true" : "false";
+  out += ", \"threshold\": " + Num(options.threshold);
+  out += ", \"consecutive\": " + std::to_string(options.consecutive);
+  out += ", \"models\": [";
+  bool first = true;
+  for (const QualityModelReport& r : reports) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"model\": \"" + obs::json::Escape(r.model) + "\"";
+    out += ", \"has_fingerprint\": ";
+    out += r.report.has_fingerprint ? "true" : "false";
+    out += ", \"fallback_fingerprint\": ";
+    out += r.fallback_fingerprint ? "true" : "false";
+    out += ", \"rows_seen\": " + std::to_string(r.report.rows_seen);
+    out += ", \"rows_observed\": " + std::to_string(r.report.rows_observed);
+    out += ", \"drift\": " + Num(r.report.drift());
+    out += ", \"worst_ks\": " + Num(r.report.worst_ks);
+    out += ", \"worst_feature\": " + std::to_string(r.report.worst_feature);
+    out += ", \"label_tv\": " + Num(r.report.label_tv);
+    out += ", \"mean_z_max\": " + Num(r.report.mean_z_max);
+    out += ", \"breached\": ";
+    out += r.breached ? "true" : "false";
+    out += ", \"warn\": ";
+    out += r.warn ? "true" : "false";
+    out += ", \"breach_streak\": " + std::to_string(r.breach_streak);
+    out += ", \"features\": [";
+    for (std::size_t f = 0; f < r.report.features.size(); ++f) {
+      const obs::quality::FeatureDrift& d = r.report.features[f];
+      if (f > 0) out += ", ";
+      out += "{\"ks\": " + Num(d.ks);
+      out += ", \"mean_z\": " + Num(d.mean_z);
+      out += ", \"sigma_ratio\": " + Num(d.sigma_ratio);
+      out += ", \"live_mean\": " + Num(d.live_mean);
+      out += ", \"live_stddev\": " + Num(d.live_stddev);
+      out += ", \"ref_mean\": " + Num(d.ref_mean);
+      out += ", \"ref_stddev\": " + Num(d.ref_stddev) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace p3gm

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/build_info.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/observability.h"
@@ -97,13 +98,21 @@ void HandleReloadSignal(int) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_entries) {
+    : options_(std::move(options)),
+      quality_(options_.quality),
+      cache_(options_.cache_entries) {
   BatcherOptions batch_options;
   batch_options.max_batch_requests = std::max<std::size_t>(1,
                                                            options_.max_batch);
   batch_options.max_batch_rows = options_.max_batch_rows;
   batch_options.queue_limit = options_.queue_limit;
   batch_options.server_seed = options_.seed;
+  if (quality_.enabled()) {
+    batch_options.decode_observer = [this](const std::string& model,
+                                           const linalg::Matrix& outputs) {
+      quality_.ObserveDecoded(model, outputs);
+    };
+  }
   batcher_ = std::make_unique<Batcher>(
       batch_options, &cache_,
       [this](std::uint64_t ticket, util::Result<data::Dataset> result) {
@@ -131,7 +140,13 @@ util::Status Server::Init(const std::vector<std::string>& package_paths) {
   if (!options_.planned_decode) {
     infer::SetPlannedDecodeEnabled(false);
   }
-  P3GM_RETURN_NOT_OK(registry_.LoadPaths(package_paths));
+  // An empty package set is a valid cold start (mid-rollout, models
+  // arrive via reload): /healthz reports zero models and the scrape
+  // endpoints answer 503 + Retry-After until something loads.
+  if (!package_paths.empty()) {
+    P3GM_RETURN_NOT_OK(registry_.LoadPaths(package_paths));
+  }
+  quality_.Rebuild(registry_);
 
   int fds[2];
   if (::pipe(fds) != 0) {
@@ -195,6 +210,22 @@ util::Status Server::Start() {
                  << bound_port_ << " ("
                  << (poller_->using_epoll() ? "epoll" : "poll")
                  << " backend)";
+  // Self-describing startup: the build-info gauge makes every scrape
+  // attributable to a binary, and the config line puts the effective
+  // options in the incident log up front.
+  obs::RegisterBuildInfoGauge();
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  P3GM_LOG(Info) << "p3gm serve: config version=" << build.version
+                 << " git_sha=" << build.git_sha << " port=" << bound_port_
+                 << " max_batch=" << options_.max_batch
+                 << " max_batch_rows=" << options_.max_batch_rows
+                 << " queue_limit=" << options_.queue_limit
+                 << " cache_entries=" << options_.cache_entries
+                 << " max_n=" << options_.max_n << " planned_decode="
+                 << (options_.planned_decode ? "on" : "off") << " quality="
+                 << (quality_.enabled() ? "on" : "off")
+                 << " quality_threshold=" << options_.quality.threshold
+                 << " models=" << registry_.size();
   return util::Status::OK();
 }
 
@@ -443,6 +474,11 @@ void Server::ProcessRequest(Connection* conn) {
       Respond(conn, MetricsResponse(req));
       return;
     }
+    if (req.path == "/v1/quality") {
+      conn->endpoint = "/v1/quality";
+      Respond(conn, QualityResponse());
+      return;
+    }
     Respond(conn, JsonResponse(404, ErrorJson("no such endpoint: " +
                                               req.target)));
     return;
@@ -469,7 +505,51 @@ void Server::ProcessRequest(Connection* conn) {
   Respond(conn, std::move(response));
 }
 
+namespace {
+
+/// Scrape endpoints with zero loaded models answer 503 + Retry-After
+/// (the overload semantics from the queue-full path): an empty registry
+/// mid-rollout means "not ready, come back", not "healthy with no
+/// data", and an empty-but-200 scrape would mask the outage.
+HttpResponse NoModelsResponse() {
+  HttpResponse response;
+  response.status = 503;
+  response.extra_headers.emplace_back("Retry-After", "1");
+  response.body = ErrorJson("no models loaded");
+  return response;
+}
+
+}  // namespace
+
+std::vector<QualityModelReport> Server::ScrapeQuality() {
+  std::vector<QualityModelReport> reports = quality_.Scrape();
+  for (const QualityModelReport& r : reports) {
+    if (!r.warn) continue;
+    P3GM_LOG(Warning) << "p3gm serve: quality drift on model \"" << r.model
+                      << "\": drift " << r.report.drift() << " > threshold "
+                      << quality_.options().threshold << " for "
+                      << r.breach_streak
+                      << " consecutive scrape(s) (worst feature "
+                      << r.report.worst_feature << ", ks "
+                      << r.report.worst_ks << ", label_tv "
+                      << r.report.label_tv << ", rows "
+                      << r.report.rows_observed << ")";
+  }
+  return reports;
+}
+
+HttpResponse Server::QualityResponse() {
+  if (registry_.size() == 0) return NoModelsResponse();
+  return JsonResponse(200,
+                      QualityReportJson(ScrapeQuality(), quality_.options(),
+                                        registry_.generation()));
+}
+
 HttpResponse Server::MetricsResponse(const HttpRequest& req) {
+  if (registry_.size() == 0) return NoModelsResponse();
+  // A metrics scrape also refreshes the quality gauges, so Prometheus
+  // sees drift without anyone polling /v1/quality.
+  ScrapeQuality();
   obs::Registry& registry = obs::Registry::Global();
   // Surface silent-loss counts right before the snapshot so a scrape
   // always sees current values.
@@ -612,6 +692,9 @@ HttpResponse Server::ReloadNow() {
                                        status.message()));
   }
   reloads->Add();
+  // Fresh monitors against the reloaded weights' fingerprints: drift
+  // must always be measured relative to what is being served now.
+  quality_.Rebuild(registry_);
   P3GM_LOG(Info) << "p3gm serve: reloaded " << registry_.size()
                  << " model(s), generation " << registry_.generation();
   return JsonResponse(

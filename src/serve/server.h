@@ -17,6 +17,7 @@
 #include "serve/http.h"
 #include "serve/model_registry.h"
 #include "serve/poller.h"
+#include "serve/quality.h"
 #include "serve/sample_cache.h"
 #include "util/result.h"
 
@@ -51,6 +52,10 @@ struct ServerOptions {
   /// escape hatch; outputs are bit-identical either way (see
   /// docs/inference.md).
   bool planned_decode = true;
+  /// Synthesis-quality monitoring (docs/observability.md "Synthesis
+  /// quality"): per-model streaming sketches folded from every decoded
+  /// batch, scored against the package fingerprint on scrape.
+  QualityOptions quality;
   HttpLimits http;
 };
 
@@ -143,9 +148,15 @@ class Server {
   void DrainCompletions();
   HttpResponse ReloadNow();
   HttpResponse MetricsResponse(const HttpRequest& req);
+  HttpResponse QualityResponse();
+  /// Runs a quality scrape and logs the threshold-breach WARNs. Must be
+  /// called inside the scraping request's obs::RequestScope so the WARN
+  /// records carry its trace id.
+  std::vector<QualityModelReport> ScrapeQuality();
 
   const ServerOptions options_;
   ModelRegistry registry_;
+  QualitySet quality_;
   SampleCache cache_;
   std::unique_ptr<Batcher> batcher_;
   std::unique_ptr<Poller> poller_;

@@ -59,6 +59,12 @@ Status BinaryWriter::Close() {
 BinaryReader::BinaryReader(const std::string& path,
                            std::uint32_t expected_magic,
                            std::uint32_t expected_version)
+    : BinaryReader(path, expected_magic, expected_version, expected_version) {}
+
+BinaryReader::BinaryReader(const std::string& path,
+                           std::uint32_t expected_magic,
+                           std::uint32_t min_version,
+                           std::uint32_t max_version)
     : in_(path, std::ios::binary) {
   if (!in_.is_open()) {
     status_ = Status::IoError("cannot open for reading: " + path);
@@ -70,9 +76,10 @@ BinaryReader::BinaryReader(const std::string& path,
   if (status_.ok() && magic != expected_magic) {
     status_ = Status::InvalidArgument("bad magic in " + path);
   }
-  if (status_.ok() && version != expected_version) {
+  if (status_.ok() && (version < min_version || version > max_version)) {
     status_ = Status::InvalidArgument("unsupported version in " + path);
   }
+  if (status_.ok()) version_ = version;
 }
 
 Status BinaryReader::ReadRaw(void* data, std::size_t bytes) {

@@ -47,7 +47,16 @@ class BinaryReader {
   BinaryReader(const std::string& path, std::uint32_t expected_magic,
                std::uint32_t expected_version);
 
+  /// Accepts any version in [min_version, max_version]; the caller
+  /// branches on version() to parse evolved formats (e.g. release
+  /// packages with embedded quality fingerprints).
+  BinaryReader(const std::string& path, std::uint32_t expected_magic,
+               std::uint32_t min_version, std::uint32_t max_version);
+
   const Status& status() const { return status_; }
+
+  /// The version read from the header (0 until the header is parsed).
+  std::uint32_t version() const { return version_; }
 
   Result<std::uint64_t> ReadU64();
   Result<double> ReadDouble();
@@ -62,6 +71,7 @@ class BinaryReader {
 
   std::ifstream in_;
   Status status_;
+  std::uint32_t version_ = 0;
 };
 
 }  // namespace util

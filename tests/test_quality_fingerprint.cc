@@ -1,0 +1,205 @@
+// Reference-fingerprint suite (obs/quality/fingerprint.h + the
+// core::ReleasePackage embedding): exact quantile grids, serialization
+// round trips, release-format versioning (v2 embeds a fingerprint; v1
+// files — and fresh saves without one — stay byte-compatible), and the
+// determinism of core::BuildFingerprint.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/release.h"
+#include "linalg/matrix.h"
+#include "obs/quality/fingerprint.h"
+#include "serve_test_util.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace p3gm {
+namespace obs {
+namespace quality {
+namespace {
+
+using serve_test::MakePackage;
+using serve_test::TempDir;
+
+linalg::Matrix DeterministicMatrix(std::size_t rows, std::size_t cols,
+                                   std::uint64_t seed) {
+  linalg::Matrix m(rows, cols);
+  std::uint64_t state = seed;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      m(r, c) = static_cast<double>(state >> 11) /
+                static_cast<double>(1ULL << 53);
+    }
+  }
+  return m;
+}
+
+TEST(Fingerprint, FromDecodedMatchesExactStatistics) {
+  const std::size_t rows = 500, dim = 3;
+  const linalg::Matrix data = DeterministicMatrix(rows, dim, 1);
+  const Fingerprint fp = Fingerprint::FromDecoded(data, /*num_classes=*/0,
+                                                  /*seed=*/77);
+  EXPECT_EQ(fp.feature_dim(), dim);
+  EXPECT_EQ(fp.num_classes(), 0u);
+  EXPECT_EQ(fp.reference_rows(), rows);
+  EXPECT_EQ(fp.seed(), 77u);
+  for (std::size_t c = 0; c < dim; ++c) {
+    std::vector<double> column(rows);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      column[r] = data(r, c);
+      sum += column[r];
+    }
+    const double mean = sum / static_cast<double>(rows);
+    double m2 = 0.0;
+    for (double v : column) m2 += (v - mean) * (v - mean);
+    std::sort(column.begin(), column.end());
+
+    const FeatureFingerprint& ff = fp.feature(c);
+    EXPECT_NEAR(ff.mean, mean, 1e-12);
+    EXPECT_NEAR(ff.stddev, std::sqrt(m2 / static_cast<double>(rows)), 1e-12);
+    EXPECT_EQ(ff.min, column.front());
+    EXPECT_EQ(ff.max, column.back());
+    ASSERT_EQ(ff.quantiles.size(), Fingerprint::kGridSize);
+    for (std::size_t i = 0; i < Fingerprint::kGridSize; ++i) {
+      EXPECT_EQ(ff.quantiles[i],
+                ExactQuantileSorted(column, Fingerprint::GridPoint(i)))
+          << "feature " << c << " grid " << i;
+    }
+  }
+}
+
+TEST(Fingerprint, FromDecodedSplitsOneHotLabelBlock) {
+  // 2 features + 3-class one-hot block; labels by argmax.
+  linalg::Matrix data(4, 5, 0.0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    data(r, 0) = 0.1 * static_cast<double>(r);
+    data(r, 1) = 1.0 - 0.1 * static_cast<double>(r);
+  }
+  data(0, 2) = 0.9;  // class 0
+  data(1, 3) = 0.8;  // class 1
+  data(2, 3) = 0.7;  // class 1
+  data(3, 4) = 0.6;  // class 2
+  const Fingerprint fp = Fingerprint::FromDecoded(data, /*num_classes=*/3,
+                                                  /*seed=*/0);
+  EXPECT_EQ(fp.feature_dim(), 2u);
+  ASSERT_EQ(fp.num_classes(), 3u);
+  EXPECT_NEAR(fp.label_probs()[0], 0.25, 1e-12);
+  EXPECT_NEAR(fp.label_probs()[1], 0.50, 1e-12);
+  EXPECT_NEAR(fp.label_probs()[2], 0.25, 1e-12);
+}
+
+TEST(Fingerprint, WriterReaderRoundTrip) {
+  const linalg::Matrix features = DeterministicMatrix(200, 4, 2);
+  std::vector<std::size_t> labels(200);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 2;
+  const Fingerprint original =
+      Fingerprint::FromDataset(features, labels, /*num_classes=*/2,
+                               /*seed=*/5);
+
+  TempDir dir;
+  const std::string path = dir.path() + "/fingerprint.bin";
+  constexpr std::uint32_t kMagic = 0x46505154;
+  {
+    util::BinaryWriter writer(path, kMagic, 1);
+    original.WriteTo(&writer);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  util::BinaryReader reader(path, kMagic, 1);
+  auto loaded = Fingerprint::ReadFrom(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(*loaded == original);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- release-package embedding
+
+std::uint32_t FileFormatVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::uint32_t magic = 0, version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  return version;
+}
+
+TEST(ReleaseFingerprint, SaveWithoutFingerprintStaysV1) {
+  TempDir dir;
+  const core::ReleasePackage pkg = MakePackage("plain");
+  const std::string path = dir.WritePackage(pkg, "plain");
+  EXPECT_EQ(FileFormatVersion(path), 1u);
+
+  auto loaded = core::ReleasePackage::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->fingerprint(), nullptr);
+  // A v1 (fingerprint-less) package still serves.
+  util::Rng rng(1);
+  auto sample = loaded->Generate(8, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 8u);
+}
+
+TEST(ReleaseFingerprint, EmbeddedFingerprintRoundTripsAsV2) {
+  TempDir dir;
+  core::ReleasePackage pkg = MakePackage("printed");
+  auto fp = core::BuildFingerprint(pkg, /*n=*/512, /*seed=*/9);
+  ASSERT_TRUE(fp.ok()) << fp.status();
+  const Fingerprint expected = *fp;
+  pkg.SetFingerprint(std::move(*fp));
+  const std::string path = dir.WritePackage(pkg, "printed");
+  EXPECT_EQ(FileFormatVersion(path), 2u);
+
+  auto loaded = core::ReleasePackage::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_NE(loaded->fingerprint(), nullptr);
+  EXPECT_TRUE(*loaded->fingerprint() == expected);
+  EXPECT_EQ(loaded->fingerprint()->feature_dim(), loaded->feature_dim());
+}
+
+TEST(ReleaseFingerprint, ClearFingerprintRestoresV1Bytes) {
+  // Saving with the fingerprint cleared must produce the exact bytes of
+  // a package that never had one — the backward-compatibility contract
+  // for readers of the old format.
+  TempDir dir;
+  core::ReleasePackage pkg = MakePackage("bytes");
+  const std::string v1_path = dir.WritePackage(pkg, "bytes_v1");
+  auto fp = core::BuildFingerprint(pkg, /*n=*/256, /*seed=*/3);
+  ASSERT_TRUE(fp.ok());
+  pkg.SetFingerprint(std::move(*fp));
+  pkg.ClearFingerprint();
+  const std::string again_path = dir.WritePackage(pkg, "bytes_again");
+
+  std::ifstream a(v1_path, std::ios::binary), b(again_path, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(ReleaseFingerprint, BuildFingerprintIsDeterministic) {
+  const core::ReleasePackage pkg = MakePackage("det");
+  auto a = core::BuildFingerprint(pkg, 512, 11);
+  auto b = core::BuildFingerprint(pkg, 512, 11);
+  auto c = core::BuildFingerprint(pkg, 512, 12);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);  // Different reference draw.
+}
+
+TEST(ReleaseFingerprint, BuildFingerprintRejectsZeroRows) {
+  const core::ReleasePackage pkg = MakePackage("zero");
+  EXPECT_FALSE(core::BuildFingerprint(pkg, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace quality
+}  // namespace obs
+}  // namespace p3gm

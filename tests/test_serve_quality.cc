@@ -1,0 +1,266 @@
+// End-to-end tests for the serving path's synthesis-quality monitoring
+// (docs/observability.md "Synthesis quality"): a real Server on an
+// ephemeral port, exercised over TCP. Covers the /v1/quality endpoint,
+// the p3gm_quality_* Prometheus gauges, 503 + Retry-After on an empty
+// registry, bit-identity of served samples with monitoring on and off,
+// and the fault-injected negative control: a decoder whose marginal
+// silently shifted MUST trip the drift WARN (with the scraping
+// request's trace id) while an unperturbed stream stays quiet.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "audit/fault_injection.h"
+#include "core/release.h"
+#include "obs/json.h"
+#include "obs/observability.h"
+#include "obs/registry.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve_test_util.h"
+#include "util/logging.h"
+
+namespace p3gm {
+namespace serve {
+namespace {
+
+using serve_test::MakePackage;
+using serve_test::TempDir;
+
+class ServeQualityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetEnabled(true);
+    obs::Registry::Global().Reset();
+    // Embed a fingerprint at "release time", like `p3gm train` does, so
+    // the daemon scores against the package's own reference draw.
+    core::ReleasePackage pkg = MakePackage("alpha");
+    auto fp = core::BuildFingerprint(pkg, /*n=*/2048, /*seed=*/5);
+    ASSERT_TRUE(fp.ok()) << fp.status();
+    pkg.SetFingerprint(std::move(*fp));
+    pkg_path_ = dir_.WritePackage(pkg, "alpha");
+  }
+
+  void TearDown() override { util::SetLogSinkForTest(nullptr); }
+
+  // Quality options tuned so a short test reaches scoreability fast:
+  // fold every decoded row and score from 64 rows up.
+  static ServerOptions FastQualityOptions() {
+    ServerOptions options;
+    options.quality.stride = 1;
+    options.quality.min_rows = 64;
+    return options;
+  }
+
+  void StartServer(ServerOptions options,
+                   std::vector<std::string> packages) {
+    options.port = 0;
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->Init(packages).ok());
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  obs::json::Value ParseJson(const std::string& body) {
+    obs::json::Value value;
+    std::string error;
+    EXPECT_TRUE(obs::json::Parse(body, &value, &error))
+        << error << " in: " << body;
+    return value;
+  }
+
+  // Pulls model "alpha"'s entry out of a /v1/quality response body.
+  const obs::json::Value* FindAlpha(const obs::json::Value& body) {
+    const obs::json::Value* models = body.Find("models");
+    if (models == nullptr) return nullptr;
+    for (const obs::json::Value& m : models->items) {
+      const obs::json::Value* name = m.Find("model");
+      if (name != nullptr && name->string_value == "alpha") return &m;
+    }
+    return nullptr;
+  }
+
+  TempDir dir_;
+  std::string pkg_path_;
+  std::unique_ptr<Server> server_;
+  HttpClient client_;
+};
+
+TEST_F(ServeQualityTest, QualityEndpointReportsCleanStream) {
+  StartServer(FastQualityOptions(), {pkg_path_});
+  auto sample = client_.Post("/v1/sample",
+                             "{\"model\": \"alpha\", \"n\": 512}");
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  ASSERT_EQ(sample->status, 200);
+
+  // Scrape past the consecutive-breach window: a clean stream must
+  // never breach, let alone warn.
+  obs::json::Value body;
+  for (int i = 0; i < 4; ++i) {
+    auto response = client_.Get("/v1/quality");
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->status, 200);
+    body = ParseJson(response->body);
+  }
+  EXPECT_EQ(body.Find("enabled")->bool_value, true);
+  const obs::json::Value* alpha = FindAlpha(body);
+  ASSERT_NE(alpha, nullptr) << "no alpha entry";
+  EXPECT_TRUE(alpha->Find("has_fingerprint")->bool_value);
+  EXPECT_FALSE(alpha->Find("fallback_fingerprint")->bool_value);
+  EXPECT_GE(alpha->Find("rows_observed")->number_value, 512.0);
+  EXPECT_LT(alpha->Find("drift")->number_value, 0.15);
+  EXPECT_FALSE(alpha->Find("breached")->bool_value);
+  EXPECT_FALSE(alpha->Find("warn")->bool_value);
+  EXPECT_EQ(alpha->Find("breach_streak")->number_value, 0.0);
+  // Per-feature detail is present for every feature.
+  EXPECT_EQ(alpha->Find("features")->items.size(), 4u);
+}
+
+TEST_F(ServeQualityTest, MetricsExposeQualityAndBuildInfoGauges) {
+  StartServer(FastQualityOptions(), {pkg_path_});
+  auto sample = client_.Post("/v1/sample",
+                             "{\"model\": \"alpha\", \"n\": 256}");
+  ASSERT_TRUE(sample.ok());
+  ASSERT_EQ(sample->status, 200);
+
+  auto response = client_.Get("/v1/metrics?format=prometheus");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, 200);
+  const std::string& text = response->body;
+  EXPECT_NE(text.find("p3gm_quality_drift{model=\"alpha\"}"),
+            std::string::npos)
+      << text.substr(0, 400);
+  EXPECT_NE(text.find("p3gm_quality_worst_ks{model=\"alpha\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("p3gm_quality_rows_observed{model=\"alpha\"}"),
+            std::string::npos);
+  // Per-feature series carry both labels (exposition may order them
+  // either way).
+  const std::size_t feature_line = text.find("p3gm_quality_feature_ks{");
+  ASSERT_NE(feature_line, std::string::npos);
+  const std::string line =
+      text.substr(feature_line, text.find('\n', feature_line) - feature_line);
+  EXPECT_NE(line.find("model=\"alpha\""), std::string::npos) << line;
+  EXPECT_NE(line.find("feature=\""), std::string::npos) << line;
+  // Build-info gauge registered at Start().
+  EXPECT_NE(text.find("p3gm_build_info{"), std::string::npos);
+}
+
+TEST_F(ServeQualityTest, EmptyRegistryScrapesAnswer503) {
+  StartServer(ServerOptions(), {});
+  for (const char* path : {"/v1/metrics", "/v1/quality"}) {
+    auto response = client_.Get(path);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, 503) << path;
+    const std::string* retry = response->FindHeader("Retry-After");
+    ASSERT_NE(retry, nullptr) << path;
+    EXPECT_EQ(*retry, "1");
+  }
+}
+
+TEST_F(ServeQualityTest, DisabledMonitoringStillAnswersQualityEndpoint) {
+  ServerOptions options;
+  options.quality.enabled = false;
+  StartServer(options, {pkg_path_});
+  auto response = client_.Get("/v1/quality");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  obs::json::Value body = ParseJson(response->body);
+  EXPECT_EQ(body.Find("enabled")->bool_value, false);
+  EXPECT_TRUE(body.Find("models")->items.empty());
+}
+
+TEST_F(ServeQualityTest, ServedBytesIdenticalWithMonitoringOnAndOff) {
+  // Same package, same explicit seed; the only difference is the
+  // monitor. The response bodies must match byte for byte — observation
+  // reads the decode buffer, never touches it.
+  std::string with_monitoring;
+  {
+    StartServer(FastQualityOptions(), {pkg_path_});
+    auto response = client_.Post(
+        "/v1/sample", "{\"model\": \"alpha\", \"n\": 64, \"seed\": 9}");
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200);
+    with_monitoring = response->body;
+    client_.Close();
+    server_->Stop();
+  }
+  ServerOptions options;
+  options.quality.enabled = false;
+  StartServer(options, {pkg_path_});
+  auto response = client_.Post(
+      "/v1/sample", "{\"model\": \"alpha\", \"n\": 64, \"seed\": 9}");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, with_monitoring);
+}
+
+#if P3GM_FAULT_INJECTION_ENABLED
+// The negative control: shift one decoder output marginal by a quarter
+// of its range and the monitor MUST notice — breach on every scrape,
+// WARN once the streak reaches the consecutive threshold, and the WARN
+// record must carry the scraping request's trace id.
+TEST_F(ServeQualityTest, InjectedDecoderShiftTripsDriftWarn) {
+  ServerOptions options = FastQualityOptions();
+  StartServer(options, {pkg_path_});
+
+  std::mutex log_mutex;
+  std::vector<std::string> warn_records;
+  util::SetLogSinkForTest(
+      [&](util::LogLevel level, const std::string& record) {
+        if (level != util::LogLevel::kWarning) return;
+        std::lock_guard<std::mutex> lock(log_mutex);
+        warn_records.push_back(record);
+      });
+
+  audit::FaultConfig fault;
+  fault.decoder_bias_shift = 0.5;
+  fault.decoder_bias_feature = 0;
+  audit::FaultInjector::Scope scope(fault);
+
+  auto sample = client_.Post("/v1/sample",
+                             "{\"model\": \"alpha\", \"n\": 512}");
+  ASSERT_TRUE(sample.ok());
+  ASSERT_EQ(sample->status, 200);
+
+  // Breach streak builds across scrapes; the third consecutive breach
+  // crosses QualityOptions::consecutive (3) and warns.
+  std::string scrape_request_id;
+  obs::json::Value body;
+  for (int i = 0; i < 3; ++i) {
+    auto response = client_.Get("/v1/quality");
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200);
+    body = ParseJson(response->body);
+    const std::string* id = response->FindHeader("X-Request-Id");
+    ASSERT_NE(id, nullptr);
+    scrape_request_id = *id;
+  }
+  const obs::json::Value* alpha = FindAlpha(body);
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_GT(alpha->Find("drift")->number_value, 0.15);
+  EXPECT_TRUE(alpha->Find("breached")->bool_value);
+  EXPECT_TRUE(alpha->Find("warn")->bool_value);
+  EXPECT_GE(alpha->Find("breach_streak")->number_value, 3.0);
+
+  std::lock_guard<std::mutex> lock(log_mutex);
+  bool found = false;
+  for (const std::string& record : warn_records) {
+    if (record.find("quality drift") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(record.find("alpha"), std::string::npos) << record;
+    // Logged inside the scraping request's scope: the record carries
+    // that request's trace id.
+    EXPECT_NE(record.find(scrape_request_id), std::string::npos) << record;
+  }
+  EXPECT_TRUE(found) << "no quality-drift WARN was logged";
+}
+#endif  // P3GM_FAULT_INJECTION_ENABLED
+
+}  // namespace
+}  // namespace serve
+}  // namespace p3gm

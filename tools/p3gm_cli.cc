@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
+#include "obs/quality/monitor.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -61,6 +63,7 @@ int Usage() {
                "  p3gm bench [--out FILE] [--filter SUBSTR] [--reps N]\n"
                "             [--warmup N] [--smoke] [--list]\n"
                "  p3gm serve <model.release>... [serve options]\n"
+               "  p3gm quality <model.release> [quality options]\n"
                "\n"
                "train options:\n"
                "  --epsilon E          target epsilon (default 1.0)\n"
@@ -104,12 +107,38 @@ int Usage() {
                "                       path instead of the compiled plan\n"
                "                       (bit-identical; see\n"
                "                       docs/inference.md)\n"
+               "  --quality-threshold T  drift alarm threshold on the\n"
+               "                       quality monitor, (0, 2] (default\n"
+               "                       0.15)\n"
+               "  --no-quality         disable synthesis-quality\n"
+               "                       monitoring (P3GM_NO_QUALITY=1 does\n"
+               "                       the same)\n"
+               "\n"
+               "quality options (see docs/observability.md):\n"
+               "  --score data.csv     score a CSV of samples against the\n"
+               "                       fingerprint; exit 1 when drift\n"
+               "                       exceeds the threshold. The CSV must\n"
+               "                       already be in the model's output\n"
+               "                       domain (e.g. from p3gm generate)\n"
+               "  --threshold T        drift threshold for --score,\n"
+               "                       (0, 2] (default 0.15)\n"
+               "  --n N                reference rows when computing a\n"
+               "                       fingerprint (default 4096)\n"
+               "  --seed S             RNG seed for the reference draw\n"
+               "                       (default 42)\n"
+               "  --embed              recompute the fingerprint and save\n"
+               "                       it into the package\n"
+               "  --out PATH           write --embed output here instead\n"
+               "                       of overwriting the input\n"
+               "  --label-column I     label column of --score CSV\n"
+               "                       (default -1 = last)\n"
                "\n"
                "serve answers POST /v1/sample, GET /v1/models, GET\n"
-               "/v1/metrics[?format=prometheus], GET /healthz and POST\n"
-               "/v1/reload; SIGHUP also hot-reloads packages, SIGQUIT dumps\n"
-               "the flight recorder, SIGTERM/SIGINT drain gracefully.\n"
-               "P3GM_LOG_LEVEL / P3GM_LOG_FORMAT (json) configure logging.\n");
+               "/v1/metrics[?format=prometheus], GET /v1/quality, GET\n"
+               "/healthz and POST /v1/reload; SIGHUP also hot-reloads\n"
+               "packages, SIGQUIT dumps the flight recorder,\n"
+               "SIGTERM/SIGINT drain gracefully. P3GM_LOG_LEVEL /\n"
+               "P3GM_LOG_FORMAT (json) configure logging.\n");
   return 2;
 }
 
@@ -228,8 +257,16 @@ int CmdTrain(const std::string& csv_path, const std::string& out_path,
                                            dataset->num_classes,
                                            synth.name() + ":" + csv_path);
   if (!pkg.ok()) return Fail(pkg.status());
+  // Reference fingerprint for serve-time drift monitoring. Drawn from
+  // the released model itself, so it is DP post-processing: zero
+  // additional privacy cost.
+  auto fp = core::BuildFingerprint(*pkg, 4096, flags.seed);
+  if (!fp.ok()) return Fail(fp.status());
+  pkg->SetFingerprint(std::move(*fp));
   if (auto st = pkg->Save(out_path); !st.ok()) return Fail(st);
-  std::printf("release package written to %s\n", out_path.c_str());
+  std::printf(
+      "release package written to %s (quality fingerprint: 4096 rows)\n",
+      out_path.c_str());
   if (!flags.obs_prefix.empty()) {
     ExportTelemetry(flags.obs_prefix, flags.delta);
   }
@@ -268,6 +305,15 @@ int CmdInspect(const std::string& pkg_path) {
     std::printf("    component %zu: weight %.4f\n", k,
                 pkg->prior().weights()[k]);
   }
+  if (const auto* fp = pkg->fingerprint()) {
+    std::printf("  fingerprint:   %llu reference rows (seed %llu)\n",
+                static_cast<unsigned long long>(fp->reference_rows()),
+                static_cast<unsigned long long>(fp->seed()));
+  } else {
+    std::printf("  fingerprint:   none (format v1 or stripped; run "
+                "`p3gm quality %s --embed`)\n",
+                pkg_path.c_str());
+  }
   return 0;
 }
 
@@ -288,6 +334,167 @@ bool ParseServeUintFlag(const char* flag, const char* text,
     return false;
   }
   return true;
+}
+
+// Strict double parsing for serve/quality flags: the whole token must
+// be a finite number inside [min, max].
+bool ParseDoubleFlag(const char* flag, const char* text, double min,
+                     double max, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v >= min) || !(v <= max)) {
+    std::fprintf(stderr,
+                 "invalid value for %s: \"%s\" (expected number in "
+                 "[%g, %g])\n",
+                 flag, text, min, max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// p3gm quality: offline fingerprint + drift tooling for a release
+// package. Without --score it just computes (or reads) the fingerprint
+// and prints it; --embed re-saves the package with a freshly computed
+// fingerprint; --score folds a CSV of samples into a QualityMonitor and
+// exits 1 when drift exceeds the threshold — the CI-able regression
+// check described in docs/observability.md.
+int CmdQuality(int argc, char** argv) {
+  const std::string pkg_path = argv[2];
+  std::string score_path;
+  std::string out_path = pkg_path;
+  bool embed = false;
+  std::size_t n = 4096;
+  std::uint64_t seed = 42;
+  double threshold = 0.15;
+  int label_column = -1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t v = 0;
+    double d = 0;
+    if (arg == "--score") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      score_path = text;
+    } else if (arg == "--out") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      out_path = text;
+    } else if (arg == "--embed") {
+      embed = true;
+    } else if (arg == "--n") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--n", text, 1, 100000000, &v)) {
+        return Usage();
+      }
+      n = static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--seed", text, 0, UINT64_MAX, &v)) {
+        return Usage();
+      }
+      seed = v;
+    } else if (arg == "--threshold") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseDoubleFlag("--threshold", text, 1e-9, 2.0, &d)) {
+        return Usage();
+      }
+      threshold = d;
+    } else if (arg == "--label-column") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      label_column = std::atoi(text);
+    } else {
+      std::fprintf(stderr, "unknown quality flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  auto pkg = core::ReleasePackage::Load(pkg_path);
+  if (!pkg.ok()) return Fail(pkg.status());
+
+  // Embedded fingerprint when present (and not refreshing); otherwise a
+  // fresh reference draw — pure post-processing, zero privacy cost.
+  std::shared_ptr<const obs::quality::Fingerprint> fingerprint;
+  if (pkg->fingerprint() != nullptr && !embed) {
+    fingerprint = pkg->fingerprint_ptr();
+    std::printf("using embedded fingerprint (%llu reference rows)\n",
+                static_cast<unsigned long long>(
+                    fingerprint->reference_rows()));
+  } else {
+    auto fp = core::BuildFingerprint(*pkg, n, seed);
+    if (!fp.ok()) return Fail(fp.status());
+    std::printf("computed fingerprint from %zu reference rows (seed "
+                "%llu)\n",
+                n, static_cast<unsigned long long>(seed));
+    if (embed) {
+      pkg->SetFingerprint(*fp);
+      if (auto st = pkg->Save(out_path); !st.ok()) return Fail(st);
+      std::printf("fingerprint embedded into %s\n", out_path.c_str());
+    }
+    fingerprint =
+        std::make_shared<const obs::quality::Fingerprint>(std::move(*fp));
+  }
+
+  std::printf("  features: %zu, classes: %zu\n", fingerprint->feature_dim(),
+              fingerprint->num_classes());
+  for (std::size_t f = 0; f < fingerprint->feature_dim(); ++f) {
+    const auto& ff = fingerprint->feature(f);
+    std::printf("    f%-3zu mean %8.4f  stddev %8.4f  range [%.4f, %.4f]\n",
+                f, ff.mean, ff.stddev, ff.min, ff.max);
+  }
+
+  if (score_path.empty()) return 0;
+
+  data::CsvLoadOptions load;
+  load.label_column = label_column;
+  // The CSV must already live in the model's output domain (p3gm
+  // generate output does); min-max rescaling here would mask exactly
+  // the marginal shifts this command exists to detect.
+  load.scale_features = false;
+  auto dataset = data::LoadCsvDataset(score_path, load);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (dataset->dim() != fingerprint->feature_dim()) {
+    std::fprintf(stderr,
+                 "error: %s has %zu features but the fingerprint has "
+                 "%zu\n",
+                 score_path.c_str(), dataset->dim(),
+                 fingerprint->feature_dim());
+    return 1;
+  }
+
+  obs::quality::MonitorOptions mopt;
+  mopt.stride = 1;  // Offline: fold every row.
+  obs::quality::QualityMonitor monitor(fingerprint,
+                                       fingerprint->feature_dim(),
+                                       pkg->num_classes(), mopt);
+  monitor.ObserveDataset(dataset->features, dataset->labels);
+  const obs::quality::DriftReport report = monitor.Score();
+  std::printf("scored %llu rows from %s\n",
+              static_cast<unsigned long long>(report.rows_observed),
+              score_path.c_str());
+  for (std::size_t f = 0; f < report.features.size(); ++f) {
+    const auto& fd = report.features[f];
+    std::printf("    f%-3zu ks %.4f  mean_z %.3f  sigma_ratio %.3f\n", f,
+                fd.ks, fd.mean_z, fd.sigma_ratio);
+  }
+  std::printf("  worst ks:  %.4f (feature %zu)\n", report.worst_ks,
+              report.worst_feature);
+  std::printf("  label tv:  %.4f\n", report.label_tv);
+  std::printf("  drift:     %.4f (threshold %.4f)\n", report.drift(),
+              threshold);
+  if (report.drift() > threshold) {
+    std::printf("DRIFT: threshold exceeded\n");
+    return 1;
+  }
+  std::printf("OK: within threshold\n");
+  return 0;
 }
 
 int CmdServe(int argc, char** argv) {
@@ -363,6 +570,16 @@ int CmdServe(int argc, char** argv) {
       obs_enabled = false;
     } else if (arg == "--no-planned-decode") {
       options.planned_decode = false;
+    } else if (arg == "--quality-threshold") {
+      const char* text = value();
+      double d = 0;
+      if (text == nullptr ||
+          !ParseDoubleFlag("--quality-threshold", text, 1e-9, 2.0, &d)) {
+        return Usage();
+      }
+      options.quality.threshold = d;
+    } else if (arg == "--no-quality") {
+      options.quality.enabled = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown serve flag: %s\n", arg.c_str());
       return Usage();
@@ -373,6 +590,12 @@ int CmdServe(int argc, char** argv) {
   if (packages.empty()) {
     std::fprintf(stderr, "serve: at least one <model.release> required\n");
     return Usage();
+  }
+  // Environment escape hatch, for turning monitoring off without
+  // touching the service's command line.
+  if (const char* env = std::getenv("P3GM_NO_QUALITY");
+      env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    options.quality.enabled = false;
   }
   obs::SetEnabled(obs_enabled);
   util::InitLoggingFromEnv();
@@ -413,6 +636,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "serve") {
     return CmdServe(argc, argv);
+  }
+  if (cmd == "quality" && argc >= 3) {
+    return CmdQuality(argc, argv);
   }
   return Usage();
 }

@@ -37,6 +37,10 @@ echo "== inference runtime bit-exactness =="
 ctest --test-dir "$build_dir" -L infer \
   --output-on-failure -j4 || failures=$((failures + 1))
 
+echo "== synthesis-quality monitoring =="
+ctest --test-dir "$build_dir" -L quality \
+  --output-on-failure -j4 || failures=$((failures + 1))
+
 if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
   asan_dir="$repo_root/build-asan"
   echo "== audit suite under ASan+UBSan ($asan_dir) =="
@@ -47,6 +51,9 @@ if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
     --output-on-failure -j4 || failures=$((failures + 1))
   echo "== inference runtime under ASan+UBSan ($asan_dir) =="
   ctest --test-dir "$asan_dir" -L infer \
+    --output-on-failure -j4 || failures=$((failures + 1))
+  echo "== synthesis-quality monitoring under ASan+UBSan ($asan_dir) =="
+  ctest --test-dir "$asan_dir" -L quality \
     --output-on-failure -j4 || failures=$((failures + 1))
 fi
 
