@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/profile/heap.h"
+
 #if defined(__GLIBC__)
 #include <malloc.h>
 #define P3GM_HAVE_USABLE_SIZE 1
@@ -64,6 +66,11 @@ void* TrackedNew(std::size_t size) {
     void* p = std::malloc(size);
     if (p != nullptr) {
       RecordAlloc(p);
+      // Sampled heap profiling rides the same hook; a single relaxed
+      // load when the profiler is idle (obs/profile/heap.h).
+      const std::uint64_t usable = UsableSize(p);
+      profile::HeapSampleHook(
+          usable != 0 ? static_cast<std::size_t>(usable) : size);
       return p;
     }
     std::new_handler handler = std::get_new_handler();

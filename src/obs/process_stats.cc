@@ -1,0 +1,160 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define P3GM_HAVE_UNISTD 1
+#else
+#define P3GM_HAVE_UNISTD 0
+#endif
+#if __has_include(<dirent.h>)
+#include <dirent.h>
+#define P3GM_HAVE_DIRENT 1
+#else
+#define P3GM_HAVE_DIRENT 0
+#endif
+
+#include "obs/perf/alloc.h"
+#include "obs/registry.h"
+
+namespace p3gm {
+namespace obs {
+
+namespace {
+
+bool ReadWholeFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buf[n] = '\0';
+  out->assign(buf, n);
+  return true;
+}
+
+// Kernel boot time (seconds since the epoch) from the /proc/stat
+// "btime" line; starttime in /proc/self/stat is relative to it.
+double BootTimeSeconds() {
+  std::FILE* f = std::fopen("/proc/stat", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double btime = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "btime %llu", &value) == 1) {
+      btime = static_cast<double>(value);
+      break;
+    }
+  }
+  std::fclose(f);
+  return btime;
+}
+
+double CountOpenFds() {
+#if P3GM_HAVE_DIRENT
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0.0;
+  double count = 0.0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    count += 1.0;  // Includes the dirfd itself; one-off, stable.
+  }
+  ::closedir(dir);
+  return count;
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+#if P3GM_HAVE_UNISTD
+  std::string stat;
+  if (!ReadWholeFile("/proc/self/stat", &stat)) return stats;
+  // The comm field "(name)" may contain spaces; parse after the last ')'.
+  const std::size_t close = stat.rfind(')');
+  if (close == std::string::npos) return stats;
+  // 1-based /proc/self/stat fields: utime=14 stime=15 num_threads=20
+  // starttime=22 vsize=23 rss=24. Tokens after ')' start at field 3.
+  unsigned long long fields[24 - 3 + 1] = {0};
+  int index = 0;
+  const char* p = stat.c_str() + close + 1;
+  char state = ' ';
+  // Field 3 is a single char; the rest parse as integers (signed fields
+  // in this range are non-negative for a live process).
+  if (std::sscanf(p, " %c%n", &state, &index) < 1) return stats;
+  p += index;
+  for (std::size_t i = 1; i < sizeof(fields) / sizeof(fields[0]); ++i) {
+    if (std::sscanf(p, " %llu%n", &fields[i], &index) < 1) return stats;
+    p += index;
+  }
+  const double clk_tck =
+      static_cast<double>(::sysconf(_SC_CLK_TCK) > 0
+                              ? ::sysconf(_SC_CLK_TCK)
+                              : 100);
+  const double page_size =
+      static_cast<double>(::sysconf(_SC_PAGESIZE) > 0
+                              ? ::sysconf(_SC_PAGESIZE)
+                              : 4096);
+  const double utime = static_cast<double>(fields[14 - 3]);
+  const double stime = static_cast<double>(fields[15 - 3]);
+  stats.threads = static_cast<double>(fields[20 - 3]);
+  const double starttime = static_cast<double>(fields[22 - 3]);
+  stats.virtual_memory_bytes = static_cast<double>(fields[23 - 3]);
+  stats.resident_memory_bytes =
+      static_cast<double>(fields[24 - 3]) * page_size;
+  stats.cpu_seconds_total = (utime + stime) / clk_tck;
+  const double btime = BootTimeSeconds();
+  if (btime > 0.0) {
+    stats.start_time_seconds = btime + starttime / clk_tck;
+  }
+  stats.open_fds = CountOpenFds();
+  stats.valid = true;
+#endif
+  return stats;
+}
+
+void PublishProcessGauges() {
+  const ProcessStats stats = ReadProcessStats();
+  Registry& registry = Registry::Global();
+  registry.gauge("p3gm.process.resident_memory_bytes")
+      ->Set(stats.resident_memory_bytes);
+  registry.gauge("p3gm.process.virtual_memory_bytes")
+      ->Set(stats.virtual_memory_bytes);
+  registry.gauge("p3gm.process.open_fds")->Set(stats.open_fds);
+  registry.gauge("p3gm.process.cpu_seconds_total")
+      ->Set(stats.cpu_seconds_total);
+  registry.gauge("p3gm.process.start_time_seconds")
+      ->Set(stats.start_time_seconds);
+  registry.gauge("p3gm.process.threads")->Set(stats.threads);
+
+  // Satellite of the same scrape: alloc-tracking totals, when the
+  // operator-new hooks are compiled in (-DP3GM_ALLOC_TRACKING=ON).
+  // Compiled out, CurrentAllocStats() is all-zero and publishing zeros
+  // would misread as "no allocation"; skip the family instead.
+  if (perf::AllocTrackingCompiledIn()) {
+    const perf::AllocStats alloc = perf::CurrentAllocStats();
+    registry.gauge("p3gm.alloc.alloc_count")
+        ->Set(static_cast<double>(alloc.alloc_count));
+    registry.gauge("p3gm.alloc.free_count")
+        ->Set(static_cast<double>(alloc.free_count));
+    registry.gauge("p3gm.alloc.bytes_allocated")
+        ->Set(static_cast<double>(alloc.bytes_allocated));
+    registry.gauge("p3gm.alloc.bytes_freed")
+        ->Set(static_cast<double>(alloc.bytes_freed));
+    registry.gauge("p3gm.alloc.live_bytes")
+        ->Set(static_cast<double>(alloc.live_bytes));
+    registry.gauge("p3gm.alloc.peak_live_bytes")
+        ->Set(static_cast<double>(alloc.peak_live_bytes));
+  }
+}
+
+}  // namespace obs
+}  // namespace p3gm

@@ -1,0 +1,39 @@
+#ifndef P3GM_OBS_PROCESS_STATS_H_
+#define P3GM_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace p3gm {
+namespace obs {
+
+/// Standard process-level gauges sourced from /proc/self, exported on
+/// the Prometheus scrape as the conventional p3gm_process_* family
+/// (docs/observability.md "Process gauges"). All fields are zero with
+/// `valid == false` on platforms without procfs — the scrape then
+/// simply omits nothing but reports zeros, keeping the exposition shape
+/// stable for the golden test.
+struct ProcessStats {
+  bool valid = false;
+  double resident_memory_bytes = 0.0;  // RSS.
+  double virtual_memory_bytes = 0.0;
+  double open_fds = 0.0;
+  double cpu_seconds_total = 0.0;    // utime + stime.
+  double start_time_seconds = 0.0;   // Unix epoch.
+  double threads = 0.0;
+};
+
+/// Reads /proc/self/stat, /proc/stat (boot time) and /proc/self/fd.
+/// Cheap enough to call per scrape (~3 small reads + one dirent walk).
+ProcessStats ReadProcessStats();
+
+/// Publishes ReadProcessStats() into the registry as
+/// p3gm.process.{resident_memory_bytes,virtual_memory_bytes,open_fds,
+/// cpu_seconds_total,start_time_seconds,threads} gauges. No-op when the
+/// observability layer is compiled out. Call before snapshotting a
+/// scrape so the exposition carries fresh values.
+void PublishProcessGauges();
+
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_PROCESS_STATS_H_

@@ -1,0 +1,108 @@
+#include "obs/profile/symbolize.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#if __has_include(<dlfcn.h>)
+#include <dlfcn.h>
+#define P3GM_HAVE_DLADDR 1
+#else
+#define P3GM_HAVE_DLADDR 0
+#endif
+
+#if __has_include(<cxxabi.h>)
+#include <cxxabi.h>
+#define P3GM_HAVE_CXA_DEMANGLE 1
+#else
+#define P3GM_HAVE_CXA_DEMANGLE 0
+#endif
+
+namespace p3gm {
+namespace obs {
+namespace profile {
+
+namespace {
+
+std::string HexPc(std::uintptr_t pc) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+// Folded-stack separators inside a frame name would corrupt the format;
+// flamegraph.pl treats ';' as the frame separator and ' ' as the weight
+// separator. Demangled names contain spaces ("operator()", template
+// args), so both are rewritten.
+std::string SanitizeFrame(std::string name) {
+  for (char& c : name) {
+    if (c == ';') c = ':';
+    if (c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  return name;
+}
+
+std::mutex g_cache_mutex;
+std::map<std::uintptr_t, std::string>& Cache() {
+  static auto* cache = new std::map<std::uintptr_t, std::string>();
+  return *cache;
+}
+
+}  // namespace
+
+std::string Demangle(const char* name) {
+  if (name == nullptr) return std::string();
+#if P3GM_HAVE_CXA_DEMANGLE
+  int status = 0;
+  char* demangled =
+      abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  std::free(demangled);
+#endif
+  return name;
+}
+
+std::string SymbolizePc(std::uintptr_t pc) {
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mutex);
+    const auto it = Cache().find(pc);
+    if (it != Cache().end()) return it->second;
+  }
+  std::string name;
+#if P3GM_HAVE_DLADDR
+  Dl_info info;
+  std::memset(&info, 0, sizeof info);
+  if (::dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    name = SanitizeFrame(Demangle(info.dli_sname));
+  }
+#endif
+  if (name.empty()) name = HexPc(pc);
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  Cache().emplace(pc, name);
+  return name;
+}
+
+std::string FoldStack(const std::uintptr_t* pcs, std::size_t depth) {
+  std::string out;
+  out.reserve(depth * 24);
+  // Walkers store leaf-first; folded stacks read root-first. Frame 0 is
+  // the interrupted pc, every outer frame is a return address.
+  for (std::size_t i = depth; i-- > 0;) {
+    const std::uintptr_t pc = i == 0 ? pcs[0] : AdjustReturnAddress(pcs[i]);
+    if (!out.empty()) out += ';';
+    out += SymbolizePc(pc);
+  }
+  return out;
+}
+
+}  // namespace profile
+}  // namespace obs
+}  // namespace p3gm

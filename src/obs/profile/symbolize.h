@@ -1,0 +1,49 @@
+#ifndef P3GM_OBS_PROFILE_SYMBOLIZE_H_
+#define P3GM_OBS_PROFILE_SYMBOLIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p3gm {
+namespace obs {
+namespace profile {
+
+/// Dump-time symbolization for raw program counters (never called from
+/// the signal handler — it allocates freely and caches results).
+///
+/// Resolution goes through dladdr, so function names are only available
+/// for symbols in the dynamic table; the build exports executable
+/// symbols (CMAKE_ENABLE_EXPORTS / -rdynamic) precisely so the repo's
+/// own hot paths — infer::DecoderPlan::Execute, the serve batcher —
+/// show up by name. Unresolvable counters render as "0x<hex>".
+
+/// Demangles an Itanium-ABI mangled name; returns `name` unchanged when
+/// it is not mangled (or demangling fails).
+std::string Demangle(const char* name);
+
+/// "qualified::function" for the instruction at `pc`, or "0x<hex>".
+/// Results are cached process-wide (the cache is never invalidated;
+/// code does not move). `pc` should already be adjusted for
+/// return-address semantics by the caller (see AdjustReturnAddress).
+std::string SymbolizePc(std::uintptr_t pc);
+
+/// Return addresses point one past the call; subtract one byte so the
+/// lookup lands inside the calling function even when the call is its
+/// final instruction. The leaf frame (an interrupted pc, not a return
+/// address) must NOT be adjusted.
+inline std::uintptr_t AdjustReturnAddress(std::uintptr_t pc) {
+  return pc > 0 ? pc - 1 : pc;
+}
+
+/// Renders a leaf-first pc stack (what the stack walkers produce) as a
+/// root-first folded stack string "outer;inner;leaf". Frames that
+/// symbolize to the same name as their immediate parent are kept —
+/// recursion is real signal in a flamegraph.
+std::string FoldStack(const std::uintptr_t* pcs, std::size_t depth);
+
+}  // namespace profile
+}  // namespace obs
+}  // namespace p3gm
+
+#endif  // P3GM_OBS_PROFILE_SYMBOLIZE_H_

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "infer/plan.h"
@@ -19,12 +20,17 @@
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/observability.h"
+#include "obs/perf/alloc.h"
+#include "obs/process_stats.h"
+#include "obs/profile/heap.h"
+#include "obs/profile/profiler.h"
 #include "obs/prometheus.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "serve/api.h"
 #include "util/logging.h"
+#include "util/string_utils.h"
 
 namespace p3gm {
 namespace serve {
@@ -226,6 +232,20 @@ util::Status Server::Start() {
                  << (quality_.enabled() ? "on" : "off")
                  << " quality_threshold=" << options_.quality.threshold
                  << " models=" << registry_.size();
+  // Daemon-lifetime sampled heap profile behind the alloc-tracking
+  // hooks: /v1/profile/heap snapshots it on demand. Already-running
+  // (e.g. under the `p3gm profile` wrapper) and compiled-out are both
+  // fine — the endpoint reports what it finds.
+  if (obs::perf::AllocTrackingCompiledIn()) {
+    const util::Status heap_status =
+        obs::profile::HeapProfiler::Global().Start(
+            obs::profile::HeapProfileOptions());
+    if (!heap_status.ok() &&
+        heap_status.code() != util::StatusCode::kFailedPrecondition) {
+      P3GM_LOG(Warning) << "p3gm serve: heap profiler unavailable: "
+                        << heap_status;
+    }
+  }
   return util::Status::OK();
 }
 
@@ -235,6 +255,9 @@ void Server::Stop() {
   RequestStop();
   loop_thread_.join();
   batcher_->Stop();
+  // The profile worker watches stop_requested_, so this join is bounded
+  // by one 50ms sleep slice plus profiler teardown.
+  if (profile_thread_.joinable()) profile_thread_.join();
   running_.store(false, std::memory_order_release);
 }
 
@@ -297,7 +320,8 @@ void Server::LoopThread() {
     if (stopping) {
       bool pending_out = false;
       for (const auto& [fd, conn] : connections_) {
-        if (conn->out_offset < conn->out.size() || conn->awaiting_sample) {
+        if (conn->out_offset < conn->out.size() || conn->awaiting_sample ||
+            conn->awaiting_profile) {
           pending_out = true;
           break;
         }
@@ -335,6 +359,7 @@ void Server::LoopThread() {
       (void)ignored;
     }
     DrainCompletions();
+    DrainProfileCompletions();
     active->Set(static_cast<double>(connections_.size()));
   }
 
@@ -414,12 +439,12 @@ void Server::PumpRequests(Connection* conn) {
   // the connection when a close-marked response flushes inline, so the
   // liveness check must key on the fd captured before the call.
   const int fd = conn->fd;
-  while (!conn->awaiting_sample && conn->parser.done() &&
-         !conn->close_after_write) {
+  while (!conn->awaiting_sample && !conn->awaiting_profile &&
+         conn->parser.done() && !conn->close_after_write) {
     conn->request_start_ns = obs::NowNs();
     ProcessRequest(conn);
     if (connections_.count(fd) == 0) return;  // Closed.
-    if (conn->awaiting_sample) break;
+    if (conn->awaiting_sample || conn->awaiting_profile) break;
     conn->parser.ResetForNext();
     if (conn->parser.failed()) {
       PumpRequests(conn);  // Report the pipelined parse error.
@@ -477,6 +502,16 @@ void Server::ProcessRequest(Connection* conn) {
     if (req.path == "/v1/quality") {
       conn->endpoint = "/v1/quality";
       Respond(conn, QualityResponse());
+      return;
+    }
+    if (req.path == "/v1/profile") {
+      conn->endpoint = "/v1/profile";
+      HandleProfile(conn, req);
+      return;
+    }
+    if (req.path == "/v1/profile/heap") {
+      conn->endpoint = "/v1/profile/heap";
+      Respond(conn, ProfileHeapResponse());
       return;
     }
     Respond(conn, JsonResponse(404, ErrorJson("no such endpoint: " +
@@ -560,6 +595,9 @@ HttpResponse Server::MetricsResponse(const HttpRequest& req) {
       ->Set(static_cast<double>(flight.RecordedCount()));
   registry.gauge("obs.flight.overwritten_events")
       ->Set(static_cast<double>(flight.OverwrittenCount()));
+  // p3gm_process_* (always) and p3gm_alloc_* (when the operator-new
+  // hooks are compiled in) refresh on every scrape.
+  obs::PublishProcessGauges();
 
   const obs::Snapshot snapshot = registry.TakeSnapshot();
   const std::string* format = req.QueryParam("format");
@@ -644,6 +682,205 @@ void Server::HandleSample(Connection* conn, const HttpRequest& req) {
   conn->model = sample.model;
   conn->generation = generation;
   ticket_to_fd_[ticket] = conn->fd;
+}
+
+void Server::HandleProfile(Connection* conn, const HttpRequest& req) {
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* requests = registry.counter("serve.profile.requests");
+  requests->Add();
+
+  std::uint64_t seconds = 1;
+  std::uint64_t hz = 99;
+  if (const std::string* s = req.QueryParam("seconds")) {
+    if (!util::ParseUint64(*s, 1, 60, &seconds)) {
+      Respond(conn, JsonResponse(
+                        400, ErrorJson("bad seconds \"" + *s +
+                                       "\" (want integer in [1, 60])")));
+      return;
+    }
+  }
+  if (const std::string* s = req.QueryParam("hz")) {
+    if (!util::ParseUint64(*s, 1, 1000, &hz)) {
+      Respond(conn, JsonResponse(
+                        400, ErrorJson("bad hz \"" + *s +
+                                       "\" (want integer in [1, 1000])")));
+      return;
+    }
+  }
+
+  // Admission: one profile at a time, shared with --profile-on-slow
+  // bursts. exchange(true) claims the slot or reports it taken.
+  if (profile_busy_.exchange(true, std::memory_order_acq_rel)) {
+    HttpResponse busy;
+    busy.status = 503;
+    busy.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(seconds));
+    busy.body = ErrorJson("a profile is already running, retry later");
+    Respond(conn, std::move(busy));
+    return;
+  }
+  obs::profile::CpuProfileOptions profile_options;
+  profile_options.hz = static_cast<int>(hz);
+  const util::Status status =
+      obs::profile::CpuProfiler::Global().Start(profile_options);
+  if (!status.ok()) {
+    profile_busy_.store(false, std::memory_order_release);
+    const bool contended =
+        status.code() == util::StatusCode::kFailedPrecondition;
+    HttpResponse response;
+    response.status = contended ? 503 : 500;
+    if (contended) response.extra_headers.emplace_back("Retry-After", "1");
+    response.body = ErrorJson(status.message());
+    Respond(conn, std::move(response));
+    return;
+  }
+
+  // Park the connection (sample-request machinery) and collect on a
+  // worker so the event loop keeps serving; the loop thread's own work
+  // still gets sampled — only this endpoint's response assembly happens
+  // after Stop, excluding it from its own profile.
+  const std::uint64_t ticket = next_ticket_++;
+  conn->awaiting_profile = true;
+  conn->ticket = ticket;
+  ticket_to_fd_[ticket] = conn->fd;
+  if (profile_thread_.joinable()) profile_thread_.join();
+  profile_thread_ = std::thread([this, ticket, seconds] {
+    const std::uint64_t deadline_ns =
+        obs::NowNs() + seconds * 1000000000ull;
+    while (obs::NowNs() < deadline_ns &&
+           !stop_requested_.load(std::memory_order_acquire)) {
+      struct timespec ts = {0, 50 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+    auto profile = obs::profile::CpuProfiler::Global().Stop();
+    HttpResponse response;
+    if (!profile.ok()) {
+      response.status = 500;
+      response.body = ErrorJson(profile.status().message());
+    } else {
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = profile->ToFoldedText();
+      response.extra_headers.emplace_back(
+          "X-Profile-Samples", std::to_string(profile->samples));
+      response.extra_headers.emplace_back(
+          "X-Profile-Dropped", std::to_string(profile->dropped));
+      response.extra_headers.emplace_back(
+          "X-Profile-Hz", std::to_string(profile->hz));
+    }
+    {
+      std::lock_guard<std::mutex> lock(profile_completions_mutex_);
+      profile_completions_.push_back(
+          ProfileCompletion{ticket, std::move(response)});
+    }
+    profile_busy_.store(false, std::memory_order_release);
+    Wake();
+  });
+}
+
+HttpResponse Server::ProfileHeapResponse() {
+  obs::profile::HeapProfiler& heap = obs::profile::HeapProfiler::Global();
+  if (!obs::perf::AllocTrackingCompiledIn()) {
+    HttpResponse response;
+    response.status = 501;
+    response.body = ErrorJson(
+        "heap profiling requires a -DP3GM_ALLOC_TRACKING=ON build");
+    return response;
+  }
+  if (!heap.running()) {
+    HttpResponse response;
+    response.status = 503;
+    response.extra_headers.emplace_back("Retry-After", "1");
+    response.body = ErrorJson("heap profiler is not running");
+    return response;
+  }
+  auto snapshot = heap.Snapshot();
+  if (!snapshot.ok()) {
+    return JsonResponse(500, ErrorJson(snapshot.status().message()));
+  }
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = snapshot->ToFoldedText();
+  response.extra_headers.emplace_back(
+      "X-Profile-Samples", std::to_string(snapshot->samples));
+  response.extra_headers.emplace_back(
+      "X-Profile-Dropped", std::to_string(snapshot->dropped));
+  response.extra_headers.emplace_back(
+      "X-Profile-Stride-Bytes", std::to_string(snapshot->stride_bytes));
+  return response;
+}
+
+void Server::MaybeStartSlowProfile() {
+  if (options_.profile_on_slow_dir.empty()) return;
+  obs::Registry& registry = obs::Registry::Global();
+  static obs::Counter* bursts =
+      registry.counter("serve.profile.slow_bursts");
+  static obs::Counter* skipped =
+      registry.counter("serve.profile.slow_skipped");
+  if (profile_busy_.exchange(true, std::memory_order_acq_rel)) {
+    skipped->Add();  // Never queue bursts behind a running profile.
+    return;
+  }
+  const util::Status status = obs::profile::CpuProfiler::Global().Start(
+      obs::profile::CpuProfileOptions());
+  if (!status.ok()) {
+    profile_busy_.store(false, std::memory_order_release);
+    skipped->Add();
+    return;
+  }
+  bursts->Add();
+  const std::string path = options_.profile_on_slow_dir + "/slow-" +
+                           obs::TraceIdHex(obs::CurrentContext()) +
+                           ".folded";
+  const std::uint64_t seconds = static_cast<std::uint64_t>(
+      std::max(1, options_.profile_on_slow_seconds));
+  if (profile_thread_.joinable()) profile_thread_.join();
+  profile_thread_ = std::thread([this, path, seconds] {
+    const std::uint64_t deadline_ns =
+        obs::NowNs() + seconds * 1000000000ull;
+    while (obs::NowNs() < deadline_ns &&
+           !stop_requested_.load(std::memory_order_acquire)) {
+      struct timespec ts = {0, 50 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+    auto profile = obs::profile::CpuProfiler::Global().Stop();
+    if (profile.ok()) {
+      std::ofstream out(path, std::ios::trunc);
+      out << profile->ToFoldedText();
+      out.close();
+      P3GM_LOG(Info) << "p3gm serve: slow-request profile burst ("
+                     << profile->samples << " samples, "
+                     << profile->dropped << " dropped) written to "
+                     << path;
+    } else {
+      P3GM_LOG(Warning) << "p3gm serve: slow-request profile burst "
+                        << "failed: " << profile.status();
+    }
+    profile_busy_.store(false, std::memory_order_release);
+  });
+}
+
+void Server::DrainProfileCompletions() {
+  std::vector<ProfileCompletion> batch;
+  {
+    std::lock_guard<std::mutex> lock(profile_completions_mutex_);
+    batch.swap(profile_completions_);
+  }
+  for (ProfileCompletion& done : batch) {
+    const auto it = ticket_to_fd_.find(done.ticket);
+    if (it == ticket_to_fd_.end()) continue;  // Connection went away.
+    const int fd = it->second;
+    ticket_to_fd_.erase(it);
+    const auto conn_it = connections_.find(fd);
+    if (conn_it == connections_.end()) continue;
+    Connection* conn = conn_it->second.get();
+    if (!conn->awaiting_profile || conn->ticket != done.ticket) continue;
+    conn->awaiting_profile = false;
+    obs::RequestScope request_scope(conn->trace);
+    Respond(conn, std::move(done.response));
+    if (connections_.count(fd) == 0) continue;
+    conn->parser.ResetForNext();
+    PumpRequests(conn);
+  }
 }
 
 void Server::DrainCompletions() {
@@ -756,6 +993,10 @@ void Server::Respond(Connection* conn, HttpResponse response) {
                         << static_cast<std::uint64_t>(seconds * 1000.0)
                         << " ms (threshold " << options_.slow_request_ms
                         << " ms)";
+      // --profile-on-slow: attach a flamegraph to the incident. The
+      // burst file is named by this request's trace id (ambient via
+      // slow_scope above).
+      MaybeStartSlowProfile();
     }
     conn->request_start_ns = 0;
   }
@@ -794,16 +1035,17 @@ void Server::HandleWritable(Connection* conn) {
 
 void Server::UpdateInterest(Connection* conn) {
   const bool want_write = conn->out_offset < conn->out.size();
-  // While a sample is in flight we stop reading: backpressure, and the
-  // parked request's response must go out before the next one is read.
-  const bool want_read = !conn->awaiting_sample;
+  // While a sample or profile is in flight we stop reading:
+  // backpressure, and the parked request's response must go out before
+  // the next one is read.
+  const bool want_read = !conn->awaiting_sample && !conn->awaiting_profile;
   poller_->Update(conn->fd, want_read, want_write);
 }
 
 void Server::CloseConnection(int fd) {
   const auto it = connections_.find(fd);
   if (it == connections_.end()) return;
-  if (it->second->awaiting_sample) {
+  if (it->second->awaiting_sample || it->second->awaiting_profile) {
     ticket_to_fd_.erase(it->second->ticket);
   }
   poller_->Remove(fd);

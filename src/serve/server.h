@@ -46,6 +46,15 @@ struct ServerOptions {
   /// Requests slower than this log one WARN record with the request's
   /// trace id, endpoint, status and latency. 0 disables the log.
   int slow_request_ms = 0;
+  /// --profile-on-slow: directory that receives a short CPU-profile
+  /// burst (folded stacks, one file per incident) whenever the
+  /// slow-request WARN above fires, so tail-latency incidents arrive
+  /// with a flamegraph attached. Empty disables; requires
+  /// slow_request_ms > 0 to ever trigger. Bursts are skipped (counted,
+  /// never queued) while another profile is running.
+  std::string profile_on_slow_dir;
+  /// Burst length for --profile-on-slow captures.
+  int profile_on_slow_seconds = 1;
   /// Decode through the compiled infer::DecoderPlan (packed weights,
   /// arena buffers, SIMD kernels). false routes every decode through the
   /// reference nn/linalg path instead — the `--no-planned-decode`
@@ -113,6 +122,9 @@ class Server {
     std::size_t out_offset = 0;
     bool close_after_write = false;
     bool awaiting_sample = false;
+    /// Parked on /v1/profile: the connection waits (no reads, like a
+    /// parked sample) until the profile worker pushes its completion.
+    bool awaiting_profile = false;
     std::uint64_t ticket = 0;
     // Context of the in-flight sample request, for response assembly.
     std::string model;
@@ -134,6 +146,13 @@ class Server {
     util::Result<data::Dataset> result;
   };
 
+  /// A finished /v1/profile capture, ready to flush to its parked
+  /// connection (same wakeup-pipe handoff as sample Completions).
+  struct ProfileCompletion {
+    std::uint64_t ticket = 0;
+    HttpResponse response;
+  };
+
   void LoopThread();
   void Wake();
   void AcceptNewConnections();
@@ -142,10 +161,21 @@ class Server {
   void PumpRequests(Connection* conn);
   void ProcessRequest(Connection* conn);
   void HandleSample(Connection* conn, const HttpRequest& req);
+  /// GET /v1/profile?seconds=N&hz=M — parks the connection, runs the
+  /// sampling CPU profiler on a worker thread, answers with folded
+  /// stacks. 503 while any profile is already running.
+  void HandleProfile(Connection* conn, const HttpRequest& req);
+  /// GET /v1/profile/heap — inline snapshot of the sampled heap
+  /// profile (running since Start when P3GM_ALLOC_TRACKING is ON).
+  HttpResponse ProfileHeapResponse();
+  /// Fire-and-forget burst capture for --profile-on-slow; skipped
+  /// (counted) when a profile is already running.
+  void MaybeStartSlowProfile();
   void Respond(Connection* conn, HttpResponse response);
   void UpdateInterest(Connection* conn);
   void CloseConnection(int fd);
   void DrainCompletions();
+  void DrainProfileCompletions();
   HttpResponse ReloadNow();
   HttpResponse MetricsResponse(const HttpRequest& req);
   HttpResponse QualityResponse();
@@ -173,6 +203,14 @@ class Server {
 
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;
+
+  // One profile at a time, process-wide: profile_busy_ is the admission
+  // gate (exchange true = claimed); the single worker-thread slot is
+  // joined before reuse and again at Stop.
+  std::mutex profile_completions_mutex_;
+  std::vector<ProfileCompletion> profile_completions_;
+  std::thread profile_thread_;
+  std::atomic<bool> profile_busy_{false};
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> reload_requested_{false};

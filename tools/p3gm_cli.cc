@@ -24,6 +24,9 @@
 #include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/observability.h"
+#include "obs/perf/alloc.h"
+#include "obs/profile/heap.h"
+#include "obs/profile/profiler.h"
 #include "obs/quality/monitor.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -64,6 +67,7 @@ int Usage() {
                "             [--warmup N] [--smoke] [--list]\n"
                "  p3gm serve <model.release>... [serve options]\n"
                "  p3gm quality <model.release> [quality options]\n"
+               "  p3gm profile [profile options] -- <subcommand...>\n"
                "\n"
                "train options:\n"
                "  --epsilon E          target epsilon (default 1.0)\n"
@@ -98,6 +102,11 @@ int Usage() {
                "  --seed S             stream seed for unseeded requests\n"
                "  --slow-ms N          WARN-log requests slower than N ms,\n"
                "                       0 = off (default 0)\n"
+               "  --profile-on-slow DIR  when a --slow-ms WARN fires,\n"
+               "                       capture a 1s CPU-profile burst and\n"
+               "                       write slow-<traceid>.folded to DIR\n"
+               "                       (skipped while a profile is already\n"
+               "                       running)\n"
                "  --flight-dump PATH   flight-recorder dump file for\n"
                "                       SIGQUIT and fatal signals (default\n"
                "                       p3gm_flight.dump)\n"
@@ -113,6 +122,19 @@ int Usage() {
                "  --no-quality         disable synthesis-quality\n"
                "                       monitoring (P3GM_NO_QUALITY=1 does\n"
                "                       the same)\n"
+               "\n"
+               "profile options (see docs/observability.md \"Profiling\"):\n"
+               "  --out PREFIX         write PREFIX_cpu.folded (and, in\n"
+               "                       -DP3GM_ALLOC_TRACKING=ON builds,\n"
+               "                       PREFIX_heap.folded) — folded stacks\n"
+               "                       for flamegraph.pl (default\n"
+               "                       p3gm_profile)\n"
+               "  --hz N               CPU samples per second of CPU time,\n"
+               "                       1-1000 (default 99)\n"
+               "  --heap-stride BYTES  bytes between heap samples (default\n"
+               "                       524288)\n"
+               "  everything after `--` runs as a normal p3gm invocation\n"
+               "  (train, generate, bench, quality, ...) under sampling.\n"
                "\n"
                "quality options (see docs/observability.md):\n"
                "  --score data.csv     score a CSV of samples against the\n"
@@ -135,6 +157,7 @@ int Usage() {
                "\n"
                "serve answers POST /v1/sample, GET /v1/models, GET\n"
                "/v1/metrics[?format=prometheus], GET /v1/quality, GET\n"
+               "/v1/profile[?seconds=N&hz=M], GET /v1/profile/heap, GET\n"
                "/healthz and POST /v1/reload; SIGHUP also hot-reloads\n"
                "packages, SIGQUIT dumps the flight recorder,\n"
                "SIGTERM/SIGINT drain gracefully. P3GM_LOG_LEVEL /\n"
@@ -562,6 +585,10 @@ int CmdServe(int argc, char** argv) {
         return Usage();
       }
       options.slow_request_ms = static_cast<int>(v);
+    } else if (arg == "--profile-on-slow") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      options.profile_on_slow_dir = text;
     } else if (arg == "--flight-dump") {
       const char* text = value();
       if (text == nullptr) return Usage();
@@ -614,9 +641,129 @@ int CmdServe(int argc, char** argv) {
   std::printf("p3gm serve: stopped\n");
   return 0;
 }
-}  // namespace
+int Dispatch(int argc, char** argv);
 
-int main(int argc, char** argv) {
+// p3gm profile [--out PREFIX] [--hz N] [--heap-stride BYTES] -- <verb...>
+//
+// Runs any other p3gm invocation under the sampling CPU profiler (and,
+// in -DP3GM_ALLOC_TRACKING=ON builds, the sampled heap profiler),
+// writing flamegraph-ready folded stacks next to the verb's own output.
+// The wrapped verb's exit code is passed through; profiling failures
+// only warn — a profile must never fail the run it observes.
+int CmdProfile(int argc, char** argv) {
+  std::string prefix = "p3gm_profile";
+  std::uint64_t hz = 99;
+  std::uint64_t heap_stride = 512 * 1024;
+  int sep = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--") {
+      sep = i;
+      break;
+    }
+    if (arg == "--out") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      prefix = text;
+    } else if (arg == "--hz") {
+      const char* text = value();
+      if (text == nullptr ||
+          !ParseServeUintFlag("--hz", text, 1, 1000, &hz)) {
+        return Usage();
+      }
+    } else if (arg == "--heap-stride") {
+      const char* text = value();
+      if (text == nullptr || !ParseServeUintFlag("--heap-stride", text, 1,
+                                                 1ull << 40, &heap_stride)) {
+        return Usage();
+      }
+    } else {
+      std::fprintf(stderr, "unknown profile flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (sep < 0 || sep + 1 >= argc) {
+    std::fprintf(stderr,
+                 "profile: missing `-- <subcommand>` to profile\n");
+    return Usage();
+  }
+
+  obs::profile::CpuProfileOptions cpu_options;
+  cpu_options.hz = static_cast<int>(hz);
+  if (auto st = obs::profile::CpuProfiler::Global().Start(cpu_options);
+      !st.ok()) {
+    std::fprintf(stderr, "profile: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  bool heap_on = false;
+  if (obs::perf::AllocTrackingCompiledIn()) {
+    obs::profile::HeapProfileOptions heap_options;
+    heap_options.stride_bytes = heap_stride;
+    heap_on =
+        obs::profile::HeapProfiler::Global().Start(heap_options).ok();
+  }
+
+  // Re-dispatch the tail as a fresh p3gm invocation: argv[0] stays the
+  // binary name, argv[1] becomes the wrapped verb.
+  std::vector<char*> inner;
+  inner.push_back(argv[0]);
+  for (int i = sep + 1; i < argc; ++i) inner.push_back(argv[i]);
+  const int rc = Dispatch(static_cast<int>(inner.size()), inner.data());
+
+  auto cpu = obs::profile::CpuProfiler::Global().Stop();
+  if (cpu.ok()) {
+    const std::string path = prefix + "_cpu.folded";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string text = cpu->ToFoldedText();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf(
+          "profile: %llu cpu samples (%llu dropped, %s walker) -> %s\n",
+          static_cast<unsigned long long>(cpu->samples),
+          static_cast<unsigned long long>(cpu->dropped),
+          obs::profile::UsingFramePointerWalk() ? "frame-pointer"
+                                                : "backtrace",
+          path.c_str());
+    } else {
+      std::fprintf(stderr, "profile: cannot write %s\n", path.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "profile: cpu collection failed: %s\n",
+                 cpu.status().ToString().c_str());
+  }
+  if (heap_on) {
+    auto heap = obs::profile::HeapProfiler::Global().Snapshot();
+    obs::profile::HeapProfiler::Global().Stop();
+    if (heap.ok()) {
+      const std::string path = prefix + "_heap.folded";
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f != nullptr) {
+        const std::string text = heap->ToFoldedText();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf(
+            "profile: %llu heap samples (%llu bytes attributed) -> %s\n",
+            static_cast<unsigned long long>(heap->samples),
+            static_cast<unsigned long long>(heap->sampled_bytes),
+            path.c_str());
+      } else {
+        std::fprintf(stderr, "profile: cannot write %s\n", path.c_str());
+      }
+    }
+  } else if (!obs::perf::AllocTrackingCompiledIn()) {
+    std::printf(
+        "profile: heap profile skipped (build with "
+        "-DP3GM_ALLOC_TRACKING=ON to enable)\n");
+  }
+  return rc;
+}
+
+// The verb table, shared by main() and the `profile` wrapper.
+int Dispatch(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   Flags flags;
@@ -640,5 +787,12 @@ int main(int argc, char** argv) {
   if (cmd == "quality" && argc >= 3) {
     return CmdQuality(argc, argv);
   }
+  if (cmd == "profile") {
+    return CmdProfile(argc, argv);
+  }
   return Usage();
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return Dispatch(argc, argv); }

@@ -41,6 +41,10 @@ echo "== synthesis-quality monitoring =="
 ctest --test-dir "$build_dir" -L quality \
   --output-on-failure -j4 || failures=$((failures + 1))
 
+echo "== profiler signal-handler safety =="
+ctest --test-dir "$build_dir" -L profile \
+  --output-on-failure || failures=$((failures + 1))
+
 if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
   asan_dir="$repo_root/build-asan"
   echo "== audit suite under ASan+UBSan ($asan_dir) =="
@@ -55,6 +59,9 @@ if [ "${P3GM_AUDIT_SANITIZE:-0}" != "0" ]; then
   echo "== synthesis-quality monitoring under ASan+UBSan ($asan_dir) =="
   ctest --test-dir "$asan_dir" -L quality \
     --output-on-failure -j4 || failures=$((failures + 1))
+  echo "== profiler signal-handler safety under ASan+UBSan ($asan_dir) =="
+  ctest --test-dir "$asan_dir" -L profile \
+    --output-on-failure || failures=$((failures + 1))
 fi
 
 if [ "$failures" -ne 0 ]; then
